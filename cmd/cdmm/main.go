@@ -1,0 +1,386 @@
+// Command cdmm is the command-line front end of the Compiler Directed
+// Memory Management reproduction: it compiles FORTRAN-subset programs,
+// shows their inserted memory directives and locality structure, runs the
+// virtual memory simulator under LRU/FIFO/WS/OPT/CD, and regenerates the
+// paper's Tables 1-4.
+//
+// Usage:
+//
+//	cdmm list                         # the built-in workload suite
+//	cdmm compile  <prog|file.f>       # show inserted directives (Fig. 5c)
+//	cdmm locality <prog|file.f>       # conceptual locality tree (Fig. 1)
+//	cdmm trace    <prog|file.f>       # trace summary
+//	cdmm sim      <prog|file.f> -policy cd -level 2 [-m N] [-tau N]
+//	cdmm sweep    <prog|file.f>       # CD levels vs best LRU / best WS
+//	cdmm table1 | table2 | table3 | table4 | tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cdmm/internal/advisor"
+	"cdmm/internal/bli"
+	"cdmm/internal/core"
+	"cdmm/internal/experiments"
+	"cdmm/internal/policy"
+	"cdmm/internal/report"
+	"cdmm/internal/trace"
+	"cdmm/internal/vmsim"
+	"cdmm/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "list":
+		err = cmdList()
+	case "compile":
+		err = withProgram(args, func(p *core.Program, _ []string) error {
+			fmt.Println(p.Summary())
+			fmt.Print(p.RenderDirectives())
+			return nil
+		})
+	case "locality":
+		err = withProgram(args, func(p *core.Program, _ []string) error {
+			fmt.Println(p.Summary())
+			fmt.Print(p.RenderLocalityTree())
+			return nil
+		})
+	case "trace":
+		err = cmdTrace(args)
+	case "replay":
+		err = cmdReplay(args)
+	case "bli":
+		err = withProgram(args, func(p *core.Program, _ []string) error {
+			tr, err := p.Trace()
+			if err != nil {
+				return err
+			}
+			fmt.Println(tr.Summary())
+			refs := tr.Pages()
+			ivs := bli.Detect(refs, bli.Config{MaxSize: p.V() + 4})
+			fmt.Println("bounded locality intervals (Madison & Batson model):")
+			fmt.Print(bli.Render(ivs, len(refs)))
+			fmt.Printf("dominant runtime locality sizes (>=25%% coverage): %v\n",
+				bli.DominantSizes(ivs, len(refs), 0.25))
+			return nil
+		})
+	case "report":
+		err = withProgram(args, func(p *core.Program, _ []string) error {
+			out, rerr := report.Generate(p, report.Options{})
+			if rerr != nil {
+				return rerr
+			}
+			fmt.Print(out)
+			return nil
+		})
+	case "advise":
+		err = withProgram(args, func(p *core.Program, _ []string) error {
+			fmt.Println(p.Summary())
+			fmt.Print(advisor.Render(advisor.Analyze(p.Analysis, advisor.Options{})))
+			return nil
+		})
+	case "family":
+		rows, ferr := experiments.PolicyFamily(nil)
+		if ferr != nil {
+			err = ferr
+			break
+		}
+		fmt.Print(experiments.RenderFamily(rows))
+	case "detune":
+		rows, derr := experiments.DetuneStudy(nil, nil)
+		if derr != nil {
+			err = derr
+			break
+		}
+		fmt.Print(experiments.RenderDetune(rows))
+	case "pagesize":
+		prog := "HWSCRT"
+		if len(args) > 0 {
+			prog = args[0]
+		}
+		rows, perr := experiments.PageSizeSensitivity(prog, []int{128, 256, 512, 1024})
+		if perr != nil {
+			err = perr
+			break
+		}
+		fmt.Print(experiments.RenderPageSize(rows))
+	case "sim":
+		err = cmdSim(args)
+	case "sweep":
+		err = cmdSweep(args)
+	case "table1", "table2", "table3", "table4", "tables":
+		err = cmdTables(cmd)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "cdmm: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdmm:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `cdmm - Compiler Directed Memory Management (Malkawi & Patel, SOSP 1985)
+
+commands:
+  list                      list the built-in workload programs
+  compile  <prog|file.f>    compile and show the inserted memory directives
+  locality <prog|file.f>    show the hierarchical locality structure
+  trace    <prog|file.f> [-o file]   execute, summarize, optionally save the trace
+  replay   <trace-file> [sim flags]  simulate a policy over a saved trace
+  bli      <prog|file.f>    detect runtime localities (Madison-Batson BLIs)
+  sim      <prog|file.f> [flags]   simulate one policy over the trace
+      -policy cd|lru|fifo|ws|opt   (default cd)
+      -level N                     CD directive-set stratum (default 1)
+      -m N                         LRU/FIFO/OPT allocation (default 8)
+      -tau N                       WS window size (default 500)
+  report   <prog|file.f>    full markdown analysis report
+  advise   <prog|file.f>    compiler advisories (loop interchange, big localities)
+  family   compare CD vs WS/DWS/SWS/VSWS/PFF on the suite
+  pagesize [prog]           page-size sensitivity study
+  detune                    CD sensitivity to mis-estimated locality sizes
+  sweep    <prog|file.f>    CD at every level vs tuned LRU and WS
+  table1..table4 | tables   regenerate the paper's tables
+`)
+}
+
+func cmdList() error {
+	for _, p := range workloads.All() {
+		sets := make([]string, len(p.Sets))
+		for i, s := range p.Sets {
+			sets[i] = s.Name
+		}
+		fmt.Printf("%-8s sets=%-32s %s\n", p.Name, strings.Join(sets, ","), p.Description)
+	}
+	return nil
+}
+
+// loadProgram resolves a name to a built-in workload or reads a source
+// file from disk.
+func loadProgram(name string) (*core.Program, error) {
+	if w, err := workloads.Get(name); err == nil {
+		return core.CompileSource(w.Name, w.Source)
+	}
+	src, err := os.ReadFile(name)
+	if err != nil {
+		return nil, fmt.Errorf("%q is neither a workload (%s) nor a readable file: %v",
+			name, strings.Join(workloads.Names(), ", "), err)
+	}
+	return core.CompileSource("", string(src))
+}
+
+func withProgram(args []string, fn func(*core.Program, []string) error) error {
+	if len(args) < 1 {
+		return fmt.Errorf("missing program name or file")
+	}
+	p, err := loadProgram(args[0])
+	if err != nil {
+		return err
+	}
+	return fn(p, args[1:])
+}
+
+func cmdSim(args []string) error {
+	return withProgram(args, func(p *core.Program, rest []string) error {
+		fs := flag.NewFlagSet("sim", flag.ContinueOnError)
+		polName := fs.String("policy", "cd", "policy: cd, lru, fifo, ws, opt")
+		level := fs.Int("level", 1, "CD directive-set stratum")
+		frames := fs.Int("m", 8, "fixed allocation for lru/fifo/opt")
+		tau := fs.Int("tau", 500, "WS window size")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		tr, err := p.Trace()
+		if err != nil {
+			return err
+		}
+		var res vmsim.Result
+		switch *polName {
+		case "cd":
+			res, err = p.RunCD(core.CDOptions{Level: *level})
+			if err != nil {
+				return err
+			}
+		case "lru":
+			res = vmsim.Run(tr.StripDirectives(), policy.NewLRU(*frames))
+		case "fifo":
+			res = vmsim.Run(tr.StripDirectives(), policy.NewFIFO(*frames))
+		case "ws":
+			res = vmsim.Run(tr.StripDirectives(), policy.NewWS(*tau))
+		case "opt":
+			refs := tr.Pages()
+			res = vmsim.Run(tr.StripDirectives(), policy.NewOPT(refs, *frames))
+		default:
+			return fmt.Errorf("unknown policy %q", *polName)
+		}
+		fmt.Println(p.Summary())
+		fmt.Println(res)
+		return nil
+	})
+}
+
+func cmdSweep(args []string) error {
+	return withProgram(args, func(p *core.Program, _ []string) error {
+		tr, err := p.Trace()
+		if err != nil {
+			return err
+		}
+		lru, err := p.LRUSweep()
+		if err != nil {
+			return err
+		}
+		ws, err := p.WSSweep()
+		if err != nil {
+			return err
+		}
+		mBest, lruST := lru.MinST()
+		tauBest, wsRes := ws.MinST()
+		fmt.Printf("%s: V=%d R=%d\n", p.Name, p.V(), tr.Refs)
+		fmt.Printf("best LRU: ST=%.4g at m=%d (PF=%d)\n", lruST, mBest, lru.Faults(mBest))
+		fmt.Printf("best WS : ST=%.4g at tau=%d (PF=%d, MEM=%.2f)\n", wsRes.ST(), tauBest, wsRes.Faults, wsRes.MEM())
+		for lvl := 1; lvl <= p.MaxPI(); lvl++ {
+			res, err := p.RunCD(core.CDOptions{Level: lvl})
+			if err != nil {
+				return err
+			}
+			marker := ""
+			if res.ST() < lruST && res.ST() < wsRes.ST() {
+				marker = "   <- beats both"
+			}
+			fmt.Printf("CD level %d: PF=%-6d MEM=%-8.2f ST=%.4g%s\n", lvl, res.Faults, res.MEM(), res.ST(), marker)
+		}
+		return nil
+	})
+}
+
+func cmdTables(which string) error {
+	show := func(name string, gen func() (string, error)) error {
+		if which != "tables" && which != name {
+			return nil
+		}
+		out, err := gen()
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+	}
+	if err := show("table1", func() (string, error) {
+		rows, err := experiments.Table1()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTable1(rows), nil
+	}); err != nil {
+		return err
+	}
+	if err := show("table2", func() (string, error) {
+		rows, err := experiments.Table2()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTable2(rows), nil
+	}); err != nil {
+		return err
+	}
+	if err := show("table3", func() (string, error) {
+		rows, err := experiments.Table3()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTable3(rows), nil
+	}); err != nil {
+		return err
+	}
+	return show("table4", func() (string, error) {
+		rows, err := experiments.Table4()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTable4(rows), nil
+	})
+}
+
+func cmdTrace(args []string) error {
+	return withProgram(args, func(p *core.Program, rest []string) error {
+		fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+		out := fs.String("o", "", "write the trace to this file (binary CDT1 format)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		tr, err := p.Trace()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tr.Summary())
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			n, err := tr.WriteTo(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d bytes to %s\n", n, *out)
+		}
+		return nil
+	})
+}
+
+func cmdReplay(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("missing trace file")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	polName := fs.String("policy", "cd", "policy: cd, lru, fifo, ws, opt")
+	level := fs.Int("level", 1, "CD directive-set stratum")
+	frames := fs.Int("m", 8, "fixed allocation for lru/fifo/opt")
+	tau := fs.Int("tau", 500, "WS window size")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	var res vmsim.Result
+	switch *polName {
+	case "cd":
+		res = vmsim.Run(tr, policy.NewCD(policy.SelectLevel(*level), 2))
+	case "lru":
+		res = vmsim.Run(tr.StripDirectives(), policy.NewLRU(*frames))
+	case "fifo":
+		res = vmsim.Run(tr.StripDirectives(), policy.NewFIFO(*frames))
+	case "ws":
+		res = vmsim.Run(tr.StripDirectives(), policy.NewWS(*tau))
+	case "opt":
+		res = vmsim.Run(tr.StripDirectives(), policy.NewOPT(tr.Pages(), *frames))
+	default:
+		return fmt.Errorf("unknown policy %q", *polName)
+	}
+	fmt.Println(tr.Summary())
+	fmt.Println(res)
+	return nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadProgramWorkload(t *testing.T) {
+	p, err := loadProgram("MAIN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "MAIN" {
+		t.Errorf("name = %q", p.Name)
+	}
+}
+
+func TestLoadProgramFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "toy.f")
+	src := "PROGRAM TOY\nDIMENSION V(64)\nDO I = 1, 64\nV(I) = 1.0\nEND DO\nEND\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := loadProgram(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "TOY" {
+		t.Errorf("name = %q, want TOY", p.Name)
+	}
+	if p.V() != 1 {
+		t.Errorf("V = %d, want 1", p.V())
+	}
+}
+
+func TestLoadProgramMissing(t *testing.T) {
+	if _, err := loadProgram("definitely-not-a-thing"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestWithProgramRequiresArg(t *testing.T) {
+	err := withProgram(nil, nil)
+	if err == nil {
+		t.Error("expected missing-argument error")
+	}
+}
+
+func TestCmdSimPolicies(t *testing.T) {
+	for _, pol := range []string{"cd", "lru", "fifo", "ws", "opt"} {
+		if err := cmdSim([]string{"HWSCRT", "-policy", pol, "-m", "16", "-tau", "300", "-level", "2"}); err != nil {
+			t.Errorf("sim %s: %v", pol, err)
+		}
+	}
+	if err := cmdSim([]string{"HWSCRT", "-policy", "bogus"}); err == nil {
+		t.Error("expected unknown-policy error")
+	}
+}
+
+func TestCmdTraceAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t.trc")
+	if err := cmdTrace([]string{"HWSCRT", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file missing or empty: %v", err)
+	}
+	if err := cmdReplay([]string{out, "-policy", "cd", "-level", "2"}); err != nil {
+		t.Errorf("replay: %v", err)
+	}
+	if err := cmdReplay([]string{out, "-policy", "ws", "-tau", "200"}); err != nil {
+		t.Errorf("replay ws: %v", err)
+	}
+	if err := cmdReplay([]string{filepath.Join(dir, "missing.trc")}); err == nil {
+		t.Error("expected error for missing trace file")
+	}
+}
+
+func TestCmdList(t *testing.T) {
+	if err := cmdList(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdSweepRuns(t *testing.T) {
+	if err := cmdSweep([]string{"HWSCRT"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module cdmm
+
+go 1.22

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cdmm/internal/mem"
+	"cdmm/internal/policy"
+)
+
+const demoSrc = `
+PROGRAM DEMO
+DIMENSION A(128,8), V(256)
+DO 20 J = 1, 8
+  DO 10 I = 1, 128
+    A(I,J) = FLOAT(I + J)
+10 CONTINUE
+20 CONTINUE
+DO 40 K = 1, 4
+  DO 30 L = 1, 256
+    V(L) = V(L) * 0.5 + A(MOD(L, 128) + 1, 1)
+30 CONTINUE
+40 CONTINUE
+END
+`
+
+func compile(t *testing.T) *Program {
+	t.Helper()
+	p, err := CompileSource("", demoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompileSourceDefaults(t *testing.T) {
+	p := compile(t)
+	if p.Name != "DEMO" {
+		t.Errorf("name = %q, want DEMO (from PROGRAM statement)", p.Name)
+	}
+	// A: 1024 elems = 16 pages; V: 256 elems = 4 pages.
+	if p.V() != 20 {
+		t.Errorf("V = %d, want 20", p.V())
+	}
+	if p.MaxPI() != 2 {
+		t.Errorf("Δ = %d, want 2", p.MaxPI())
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := CompileSource("X", "PROGRAM P\n=\nEND\n"); err == nil {
+		t.Error("parse error not surfaced")
+	}
+	if _, err := CompileSource("X", "PROGRAM P\nA(1) = 2.0\nEND\n"); err == nil {
+		t.Error("semantic error not surfaced")
+	}
+	if _, err := CompileSourceOpts("X", demoSrc, Options{Geometry: mem.Geometry{PageSize: 7, ElemSize: 4}}); err == nil {
+		t.Error("bad geometry not surfaced")
+	}
+}
+
+func TestTraceCachedAndSimulate(t *testing.T) {
+	p := compile(t)
+	tr1, err := p.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2 := p.MustTrace()
+	if tr1 != tr2 {
+		t.Error("trace not cached")
+	}
+	res, err := p.Simulate(policy.NewLRU(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Refs != tr1.Refs {
+		t.Errorf("refs = %d, want %d", res.Refs, tr1.Refs)
+	}
+	if res.Faults < p.V() {
+		t.Errorf("faults %d below compulsory minimum %d", res.Faults, p.V())
+	}
+}
+
+func TestRunCDLevels(t *testing.T) {
+	p := compile(t)
+	inner, err := p.RunCD(CDOptions{Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, err := p.RunCD(CDOptions{Level: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outer.MEM() < inner.MEM() {
+		t.Errorf("outer-level MEM %v < inner-level MEM %v", outer.MEM(), inner.MEM())
+	}
+	if outer.Faults > inner.Faults {
+		t.Errorf("outer-level faults %d > inner-level %d", outer.Faults, inner.Faults)
+	}
+	// Overrides apply.
+	ov, err := p.RunCD(CDOptions{Level: 1, Overrides: map[string]int{"10": 2, "20": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.MEM() < inner.MEM() {
+		t.Errorf("override run should not shrink MEM below the base level")
+	}
+}
+
+func TestSweepAccessors(t *testing.T) {
+	p := compile(t)
+	lru, err := p.LRUSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lru.V != p.MustTrace().Distinct {
+		t.Errorf("sweep V = %d, want %d", lru.V, p.MustTrace().Distinct)
+	}
+	ws, err := p.WSSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Faults(1) < lru.Faults(lru.V) {
+		t.Error("WS(1) cannot fault less than compulsory")
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	p := compile(t)
+	d := p.RenderDirectives()
+	if !strings.Contains(d, "ALLOCATE") {
+		t.Errorf("directives rendering missing ALLOCATE:\n%s", d)
+	}
+	l := p.RenderLocalityTree()
+	if !strings.Contains(l, "DO 20") {
+		t.Errorf("locality tree missing DO 20:\n%s", l)
+	}
+	s := p.Summary()
+	for _, want := range []string{"DEMO", "V=20", "Δ=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestMaxRefsOption(t *testing.T) {
+	p, err := CompileSourceOpts("X", demoSrc, Options{MaxRefs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Trace(); err == nil {
+		t.Error("expected max-refs error")
+	}
+}

@@ -1,0 +1,303 @@
+// Package experiments reproduces the paper's §5 evaluation: the effect of
+// directive-set choice on CD (Table 1), minimum space-time cost of LRU and
+// WS versus CD (Table 2), equal-memory comparison (Table 3), and
+// equal-fault comparison (Table 4), with the paper's metrics —
+//
+//	%MEM = (MEM(other) − MEM(CD)) / MEM(CD) × 100
+//	%ST  = (ST(other)  − ST(CD))  / ST(CD)  × 100
+//	ΔPF  = PF(other) − PF(CD)
+//
+// — over the nine-workload suite and its directive-set variants.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"cdmm/internal/policy"
+	"cdmm/internal/vmsim"
+	"cdmm/internal/workloads"
+)
+
+// Variant names one run: a program plus one of its directive sets.
+type Variant struct {
+	Program string
+	Set     string
+}
+
+// Table1Variants are the rows of Table 1: the directive-set study.
+var Table1Variants = []Variant{
+	{"MAIN", "MAIN"}, {"MAIN", "MAIN1"}, {"MAIN", "MAIN2"}, {"MAIN", "MAIN3"},
+	{"FDJAC", "FDJAC"}, {"FDJAC", "FDJAC1"},
+	{"TQL", "TQL1"}, {"TQL", "TQL2"},
+}
+
+// Table2Variants are the rows of Table 2: one canonical set per program
+// (the paper's Table 2 lists its own best-ST sets, e.g. MAIN3; our
+// canonical sets play that role — see EXPERIMENTS.md for the mapping).
+var Table2Variants = []Variant{
+	{"MAIN", "MAIN"}, {"FDJAC", "FDJAC"}, {"FIELD", "FIELD"},
+	{"INIT", "INIT"}, {"APPROX", "APPROX"}, {"HYBRJ", "HYBRJ"},
+	{"CONDUCT", "CONDUCT"}, {"TQL", "TQL1"},
+}
+
+// Table34Variants are the rows of Tables 3 and 4: every variant.
+var Table34Variants = []Variant{
+	{"MAIN", "MAIN"}, {"MAIN", "MAIN1"}, {"MAIN", "MAIN2"}, {"MAIN", "MAIN3"},
+	{"FDJAC", "FDJAC"}, {"FDJAC", "FDJAC1"},
+	{"FIELD", "FIELD"}, {"INIT", "INIT"}, {"APPROX", "APPROX"},
+	{"HYBRJ", "HYBRJ"}, {"CONDUCT", "CONDUCT"},
+	{"TQL", "TQL1"}, {"TQL", "TQL2"}, {"HWSCRT", "HWSCRT"},
+}
+
+// bundle caches everything expensive per program: the compiled trace and
+// the LRU/WS sweeps (which are independent of the directive set).
+type bundle struct {
+	compiled *workloads.Compiled
+	lru      *vmsim.LRUSweep
+	ws       *vmsim.WSSweep
+	cd       map[string]vmsim.Result // per set name
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*bundle{}
+)
+
+func getBundle(program string) (*bundle, error) {
+	cacheMu.Lock()
+	b, ok := cache[program]
+	cacheMu.Unlock()
+	if ok {
+		return b, nil
+	}
+	p, err := workloads.Get(program)
+	if err != nil {
+		return nil, err
+	}
+	c, err := workloads.Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	b = &bundle{
+		compiled: c,
+		lru:      vmsim.NewLRUSweep(c.Trace),
+		ws:       vmsim.NewWSSweep(c.Trace),
+		cd:       map[string]vmsim.Result{},
+	}
+	cacheMu.Lock()
+	cache[program] = b
+	cacheMu.Unlock()
+	return b, nil
+}
+
+// CDRun runs (and caches) the CD policy for one variant.
+func CDRun(v Variant) (vmsim.Result, error) {
+	b, err := getBundle(v.Program)
+	if err != nil {
+		return vmsim.Result{}, err
+	}
+	cacheMu.Lock()
+	if r, ok := b.cd[v.Set]; ok {
+		cacheMu.Unlock()
+		return r, nil
+	}
+	cacheMu.Unlock()
+	set, ok := b.compiled.Program.Set(v.Set)
+	if !ok {
+		return vmsim.Result{}, fmt.Errorf("experiments: program %s has no set %q", v.Program, v.Set)
+	}
+	cd := policy.NewCD(set.Selector(), 2)
+	r := vmsim.Run(b.compiled.Trace, cd)
+	cacheMu.Lock()
+	b.cd[v.Set] = r
+	cacheMu.Unlock()
+	return r, nil
+}
+
+func pct(other, cd float64) float64 {
+	if cd == 0 {
+		return 0
+	}
+	return (other - cd) / cd * 100
+}
+
+// Row1 is one Table 1 row: CD under one directive set.
+type Row1 struct {
+	Variant Variant
+	MEM     float64
+	PF      int
+	ST      float64
+}
+
+// Table1 reproduces Table 1: the effect of executing different directive
+// sets under the CD policy.
+func Table1() ([]Row1, error) {
+	rows := make([]Row1, 0, len(Table1Variants))
+	for _, v := range Table1Variants {
+		r, err := CDRun(v)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row1{Variant: v, MEM: r.MEM(), PF: r.Faults, ST: r.ST()})
+	}
+	return rows, nil
+}
+
+// Row2 is one Table 2 row: excess minimum space-time cost of LRU and WS
+// over CD.
+type Row2 struct {
+	Variant  Variant
+	CDST     float64
+	LRUMinST float64
+	WSMinST  float64
+	// PctSTLRU and PctSTWS are the paper's %ST columns.
+	PctSTLRU float64
+	PctSTWS  float64
+	// LRUAt and WSAt record the allocation / window achieving the minimum.
+	LRUAt int
+	WSAt  int
+}
+
+// Table2 reproduces Table 2: minimal space-time cost of LRU and WS versus
+// CD. The LRU minimum is over every allocation 1..V; the WS minimum is
+// over the τ ladder.
+func Table2() ([]Row2, error) {
+	rows := make([]Row2, 0, len(Table2Variants))
+	for _, v := range Table2Variants {
+		b, err := getBundle(v.Program)
+		if err != nil {
+			return nil, err
+		}
+		cd, err := CDRun(v)
+		if err != nil {
+			return nil, err
+		}
+		mLRU, stLRU := b.lru.MinST()
+		tauWS, wsRes := b.ws.MinST()
+		rows = append(rows, Row2{
+			Variant:  v,
+			CDST:     cd.ST(),
+			LRUMinST: stLRU,
+			WSMinST:  wsRes.ST(),
+			PctSTLRU: pct(stLRU, cd.ST()),
+			PctSTWS:  pct(wsRes.ST(), cd.ST()),
+			LRUAt:    mLRU,
+			WSAt:     tauWS,
+		})
+	}
+	return rows, nil
+}
+
+// Row3 is one Table 3 row: LRU and WS versus CD at equal average memory.
+type Row3 struct {
+	Variant Variant
+	CDMEM   float64
+	CDPF    int
+	CDST    float64
+
+	LRUAlloc   int
+	DeltaPFLRU int
+	PctSTLRU   float64
+
+	WSTau     int
+	WSMEM     float64
+	DeltaPFWS int
+	PctSTWS   float64
+}
+
+// Table3 reproduces Table 3: allocate LRU and WS the same average memory
+// CD used (LRU gets the rounded allocation, WS the window whose mean
+// working-set size is closest) and compare faults and space-time cost.
+func Table3() ([]Row3, error) {
+	rows := make([]Row3, 0, len(Table34Variants))
+	for _, v := range Table34Variants {
+		b, err := getBundle(v.Program)
+		if err != nil {
+			return nil, err
+		}
+		cd, err := CDRun(v)
+		if err != nil {
+			return nil, err
+		}
+		m := int(cd.MEM() + 0.5)
+		if m < 1 {
+			m = 1
+		}
+		lru := b.lru.Result(m)
+
+		tau := b.ws.TauForMEM(cd.MEM())
+		ws := b.ws.Run(tau)
+
+		rows = append(rows, Row3{
+			Variant:    v,
+			CDMEM:      cd.MEM(),
+			CDPF:       cd.Faults,
+			CDST:       cd.ST(),
+			LRUAlloc:   m,
+			DeltaPFLRU: lru.Faults - cd.Faults,
+			PctSTLRU:   pct(lru.ST(), cd.ST()),
+			WSTau:      tau,
+			WSMEM:      ws.MEM(),
+			DeltaPFWS:  ws.Faults - cd.Faults,
+			PctSTWS:    pct(ws.ST(), cd.ST()),
+		})
+	}
+	return rows, nil
+}
+
+// Row4 is one Table 4 row: the memory and space-time cost LRU and WS need
+// to generate at most as many faults as CD.
+type Row4 struct {
+	Variant Variant
+	CDMEM   float64
+	CDPF    int
+	CDST    float64
+
+	LRUAlloc  int
+	LRUOK     bool // false if no allocation achieves the fault target
+	PctMEMLRU float64
+	PctSTLRU  float64
+
+	WSTau    int
+	WSOK     bool
+	PctMEMWS float64
+	PctSTWS  float64
+}
+
+// Table4 reproduces Table 4: the cost of generating at most CD's fault
+// count — the smallest LRU allocation and WS window that do so, compared
+// on memory and space-time cost.
+func Table4() ([]Row4, error) {
+	rows := make([]Row4, 0, len(Table34Variants))
+	for _, v := range Table34Variants {
+		b, err := getBundle(v.Program)
+		if err != nil {
+			return nil, err
+		}
+		cd, err := CDRun(v)
+		if err != nil {
+			return nil, err
+		}
+		m, okLRU := b.lru.MinAllocationForFaults(cd.Faults)
+		lru := b.lru.Result(m)
+		tau, okWS := b.ws.MinTauForFaults(cd.Faults)
+		ws := b.ws.Run(tau)
+
+		rows = append(rows, Row4{
+			Variant:   v,
+			CDMEM:     cd.MEM(),
+			CDPF:      cd.Faults,
+			CDST:      cd.ST(),
+			LRUAlloc:  m,
+			LRUOK:     okLRU,
+			PctMEMLRU: pct(lru.MEM(), cd.MEM()),
+			PctSTLRU:  pct(lru.ST(), cd.ST()),
+			WSTau:     tau,
+			WSOK:      okWS,
+			PctMEMWS:  pct(ws.MEM(), cd.MEM()),
+			PctSTWS:   pct(ws.ST(), cd.ST()),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	byName := map[string]Row1{}
+	for _, r := range rows {
+		byName[r.Variant.Set] = r
+	}
+	// The paper's Table 1 ordering properties:
+	// MAIN1 (outermost) has the most memory and fewest faults; MAIN3
+	// (innermost) the least memory and most faults; MAIN in between.
+	main, main1, main2, main3 := byName["MAIN"], byName["MAIN1"], byName["MAIN2"], byName["MAIN3"]
+	if !(main1.MEM > main2.MEM && main2.MEM > main.MEM && main.MEM > main3.MEM) {
+		t.Errorf("MAIN MEM ordering wrong: %v %v %v %v", main1.MEM, main2.MEM, main.MEM, main3.MEM)
+	}
+	if !(main1.PF < main2.PF && main2.PF < main.PF && main.PF < main3.PF) {
+		t.Errorf("MAIN PF ordering wrong: %v %v %v %v", main1.PF, main2.PF, main.PF, main3.PF)
+	}
+	// "Directives at outer levels consume more memory and generate fewer
+	// page faults" also holds for the FDJAC and TQL pairs.
+	if byName["FDJAC"].MEM <= byName["FDJAC1"].MEM {
+		t.Errorf("FDJAC (level 3) should use more memory than FDJAC1 (level 2)")
+	}
+	if byName["FDJAC"].PF >= byName["FDJAC1"].PF {
+		t.Errorf("FDJAC should fault less than FDJAC1")
+	}
+	if byName["TQL1"].MEM <= byName["TQL2"].MEM {
+		t.Errorf("TQL1 should use more memory than TQL2")
+	}
+	if byName["TQL1"].PF >= byName["TQL2"].PF {
+		t.Errorf("TQL1 should fault less than TQL2")
+	}
+}
+
+func TestTable2CDWins(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	lruWins, wsWins := 0, 0
+	for _, r := range rows {
+		if r.PctSTLRU > 0 {
+			lruWins++
+		}
+		if r.PctSTWS >= 0 {
+			wsWins++
+		}
+	}
+	// The headline result: CD's space-time cost beats the best tuned LRU
+	// on every program and beats or ties the best tuned WS on almost all
+	// (the paper reports CD ahead of both across the board; we document
+	// the one WS exception in EXPERIMENTS.md).
+	if lruWins != len(rows) {
+		t.Errorf("CD beats min-ST LRU on %d/%d programs, want all", lruWins, len(rows))
+	}
+	if wsWins < len(rows)-1 {
+		t.Errorf("CD beats/ties min-ST WS on %d/%d programs, want at least %d", wsWins, len(rows), len(rows)-1)
+	}
+}
+
+func TestTable3EqualMemory(t *testing.T) {
+	rows, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("rows = %d, want 14", len(rows))
+	}
+	var lruSTWins, wsSTWins int
+	for _, r := range rows {
+		// The matched WS window must land near CD's MEM.
+		if r.CDMEM > 3 {
+			rel := (r.WSMEM - r.CDMEM) / r.CDMEM
+			if rel > 0.35 || rel < -0.35 {
+				t.Errorf("%s: WS MEM %v too far from CD MEM %v", r.Variant.Set, r.WSMEM, r.CDMEM)
+			}
+		}
+		// WS may edge out CD by a handful of faults on some rows (the
+		// paper's own Table 3 has a -4.7%ST entry); large wins for WS or
+		// LRU would signal a regression.
+		if r.DeltaPFWS < -50 {
+			t.Errorf("%s: WS beats CD by %d faults at equal memory", r.Variant.Set, -r.DeltaPFWS)
+		}
+		if r.PctSTLRU > 0 {
+			lruSTWins++
+		}
+		if r.PctSTWS > 0 {
+			wsSTWins++
+		}
+	}
+	// At equal memory CD's space-time cost beats LRU on every row and WS
+	// on nearly every row (the paper's Table 3 shape).
+	if lruSTWins < 13 {
+		t.Errorf("CD's ST ahead of LRU on only %d/14 rows at equal memory", lruSTWins)
+	}
+	if wsSTWins < 12 {
+		t.Errorf("CD's ST ahead of WS on only %d/14 rows at equal memory", wsSTWins)
+	}
+}
+
+func TestTable4EqualFaults(t *testing.T) {
+	rows, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("rows = %d, want 14", len(rows))
+	}
+	var lruMore int
+	for _, r := range rows {
+		if !r.LRUOK || !r.WSOK {
+			t.Errorf("%s: fault target unachievable (LRU %v, WS %v)", r.Variant.Set, r.LRUOK, r.WSOK)
+			continue
+		}
+		if r.PctMEMLRU >= 0 {
+			lruMore++
+		}
+	}
+	// LRU needs at least as much memory as CD to match CD's fault count on
+	// every row (the paper's Table 4 %MEM column is all positive).
+	if lruMore < 13 {
+		t.Errorf("LRU needs more memory than CD on only %d/14 rows", lruMore)
+	}
+}
+
+func TestCDRunCaches(t *testing.T) {
+	v := Variant{"MAIN", "MAIN"}
+	r1, err := CDRun(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := CDRun(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Faults != r2.Faults || r1.SpaceTime != r2.SpaceTime {
+		t.Error("cached CD run differs")
+	}
+}
+
+func TestCDRunUnknown(t *testing.T) {
+	if _, err := CDRun(Variant{"MAIN", "NOPE"}); err == nil {
+		t.Error("expected error for unknown set")
+	}
+	if _, err := CDRun(Variant{"NOPE", "X"}); err == nil {
+		t.Error("expected error for unknown program")
+	}
+}
+
+func TestRendering(t *testing.T) {
+	r1, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTable1(r1)
+	for _, want := range []string{"Table 1", "MAIN1", "TQL2", "MEM", "PF", "ST"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 rendering missing %q", want)
+		}
+	}
+	r2, _ := Table2()
+	if out := RenderTable2(r2); !strings.Contains(out, "LRU vs. CD") {
+		t.Error("Table 2 rendering missing header")
+	}
+	r3, _ := Table3()
+	if out := RenderTable3(r3); !strings.Contains(out, "HWSCRT") {
+		t.Error("Table 3 rendering missing HWSCRT row")
+	}
+	r4, _ := Table4()
+	if out := RenderTable4(r4); !strings.Contains(out, "%MEM-LRU") {
+		t.Error("Table 4 rendering missing header")
+	}
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cdmm/internal/core"
+	"cdmm/internal/mem"
+	"cdmm/internal/policy"
+	"cdmm/internal/vmsim"
+	"cdmm/internal/workloads"
+)
+
+// FamilyRow compares the whole §1 policy family against CD on one program:
+// WS and its cheaper realizations (SWS, VSWS), the damped variant (DWS),
+// and PFF. Parameters are scale-matched to CD's average memory through
+// the WS window that reproduces it (τ*), rather than oracle-tuned:
+// SWS samples at σ = τ*, VSWS uses (τ*/4, 2τ*, Q=4), DWS damps at τ*/8,
+// and PFF thresholds at τ*/4 — the natural correspondences from the
+// policies' own papers.
+type FamilyRow struct {
+	Variant Variant
+	Tau     int
+	CD      vmsim.Result
+	WS      vmsim.Result
+	DWS     vmsim.Result
+	SWS     vmsim.Result
+	VSWS    vmsim.Result
+	PFF     vmsim.Result
+}
+
+// PolicyFamily runs the comparison for the given variants (nil means the
+// Table 2 canonical set).
+func PolicyFamily(variants []Variant) ([]FamilyRow, error) {
+	if variants == nil {
+		variants = Table2Variants
+	}
+	rows := make([]FamilyRow, 0, len(variants))
+	for _, v := range variants {
+		b, err := getBundle(v.Program)
+		if err != nil {
+			return nil, err
+		}
+		cd, err := CDRun(v)
+		if err != nil {
+			return nil, err
+		}
+		tau := b.ws.TauForMEM(cd.MEM())
+		if tau < 4 {
+			tau = 4
+		}
+		refs := b.compiled.Trace.StripDirectives()
+		row := FamilyRow{
+			Variant: v,
+			Tau:     tau,
+			CD:      cd,
+			WS:      vmsim.Run(refs, policy.NewWS(tau)),
+			DWS:     vmsim.Run(refs, policy.NewDWS(tau, max(1, tau/8))),
+			SWS:     vmsim.Run(refs, policy.NewSWS(tau)),
+			VSWS:    vmsim.Run(refs, policy.NewVSWS(max(1, tau/4), 2*tau, 4)),
+			PFF:     vmsim.Run(refs, policy.NewPFF(max(1, tau/4))),
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFamily formats the policy-family comparison.
+func RenderFamily(rows []FamilyRow) string {
+	var b strings.Builder
+	b.WriteString("Policy family at CD-matched memory scale (PF | MEM | ST)\n")
+	fmt.Fprintf(&b, "%-8s %6s | %26s | %26s | %26s | %26s | %26s | %26s\n",
+		"PROGRAM", "tau*", "CD", "WS", "DWS", "SWS", "VSWS", "PFF")
+	cell := func(r vmsim.Result) string {
+		return fmt.Sprintf("%7d %7.1f %10.3g", r.Faults, r.MEM(), r.ST())
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %6d | %s | %s | %s | %s | %s | %s\n",
+			r.Variant.Set, r.Tau, cell(r.CD), cell(r.WS), cell(r.DWS), cell(r.SWS), cell(r.VSWS), cell(r.PFF))
+	}
+	return b.String()
+}
+
+// PageSizeRow reports one program's CD-versus-best-LRU comparison at one
+// page size — the sensitivity study the paper's fixed 256-byte assumption
+// invites.
+type PageSizeRow struct {
+	Program  string
+	PageSize int
+	V        int
+	CDPF     int
+	CDMEM    float64
+	CDST     float64
+	LRUMinST float64
+	PctSTLRU float64
+}
+
+// PageSizeSensitivity recompiles the named workload at each page size and
+// compares CD (canonical set) against the tuned-LRU minimum. Page size
+// changes everything downstream — AVS/CVS, the directive X values, the
+// trace itself — so the whole pipeline reruns per point.
+func PageSizeSensitivity(program string, pageSizes []int) ([]PageSizeRow, error) {
+	w, err := workloads.Get(program)
+	if err != nil {
+		return nil, err
+	}
+	set := w.DefaultSet()
+	rows := make([]PageSizeRow, 0, len(pageSizes))
+	for _, ps := range pageSizes {
+		prog, err := core.CompileSourceOpts(w.Name, w.Source, core.Options{
+			Geometry: mem.Geometry{PageSize: ps, ElemSize: 4},
+		})
+		if err != nil {
+			return nil, err
+		}
+		cd, err := prog.RunCD(core.CDOptions{Level: set.Level, Overrides: set.Overrides})
+		if err != nil {
+			return nil, err
+		}
+		lru, err := prog.LRUSweep()
+		if err != nil {
+			return nil, err
+		}
+		_, stLRU := lru.MinST()
+		rows = append(rows, PageSizeRow{
+			Program:  program,
+			PageSize: ps,
+			V:        prog.V(),
+			CDPF:     cd.Faults,
+			CDMEM:    cd.MEM(),
+			CDST:     cd.ST(),
+			LRUMinST: stLRU,
+			PctSTLRU: pct(stLRU, cd.ST()),
+		})
+	}
+	return rows, nil
+}
+
+// RenderPageSize formats the sensitivity rows.
+func RenderPageSize(rows []PageSizeRow) string {
+	var b strings.Builder
+	b.WriteString("Page-size sensitivity: CD (canonical set) vs tuned-LRU minimum\n")
+	fmt.Fprintf(&b, "%-8s %9s %6s %8s %8s %12s %12s %10s\n",
+		"PROGRAM", "page", "V", "CD-PF", "CD-MEM", "CD-ST", "LRUmin-ST", "%ST-LRU")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %9d %6d %8d %8.2f %12.4g %12.4g %9.0f%%\n",
+			r.Program, r.PageSize, r.V, r.CDPF, r.CDMEM, r.CDST, r.LRUMinST, r.PctSTLRU)
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTable1 prints Table 1 in the paper's layout.
+func RenderTable1(rows []Row1) string {
+	var b strings.Builder
+	b.WriteString("Table 1: The Effect of Executing Different Sets of Directives Under CD Policy\n")
+	fmt.Fprintf(&b, "%-10s %10s %8s %14s\n", "Program", "MEM", "PF", "ST")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %10.2f %8d %14.4g\n", r.Variant.Set, r.MEM, r.PF, r.ST)
+	}
+	return b.String()
+}
+
+// RenderTable2 prints Table 2 in the paper's layout.
+func RenderTable2(rows []Row2) string {
+	var b strings.Builder
+	b.WriteString("Table 2: Comparing Minimal Space Time Cost Values of LRU and WS versus CD (%ST)\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s %10s %12s\n", "PROGRAM", "LRU vs. CD", "WS vs. CD", "LRU@m", "WS@tau")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %12.0f %12.0f %10d %12d\n", r.Variant.Set, r.PctSTLRU, r.PctSTWS, r.LRUAt, r.WSAt)
+	}
+	return b.String()
+}
+
+// RenderTable3 prints Table 3 in the paper's layout.
+func RenderTable3(rows []Row3) string {
+	var b strings.Builder
+	b.WriteString("Table 3: Comparing LRU and WS versus CD When Similar Average Memory is Allocated\n")
+	fmt.Fprintf(&b, "%-10s %8s | %8s %8s | %8s %8s\n", "PROGRAM", "MEM(CD)", "dPF-LRU", "%ST-LRU", "dPF-WS", "%ST-WS")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %8.2f | %8d %8.1f | %8d %8.1f\n",
+			r.Variant.Set, r.CDMEM, r.DeltaPFLRU, r.PctSTLRU, r.DeltaPFWS, r.PctSTWS)
+	}
+	return b.String()
+}
+
+// RenderTable4 prints Table 4 in the paper's layout.
+func RenderTable4(rows []Row4) string {
+	var b strings.Builder
+	b.WriteString("Table 4: The Cost of Generating The Same Number of Page Faults as CD by LRU and WS\n")
+	fmt.Fprintf(&b, "%-10s %8s | %9s %8s | %9s %8s\n", "PROGRAM", "PF(CD)", "%MEM-LRU", "%ST-LRU", "%MEM-WS", "%ST-WS")
+	for _, r := range rows {
+		lru := fmt.Sprintf("%9.1f %8.1f", r.PctMEMLRU, r.PctSTLRU)
+		if !r.LRUOK {
+			lru = fmt.Sprintf("%9s %8s", "n/a", "n/a")
+		}
+		ws := fmt.Sprintf("%9.1f %8.1f", r.PctMEMWS, r.PctSTWS)
+		if !r.WSOK {
+			ws = fmt.Sprintf("%9s %8s", "n/a", "n/a")
+		}
+		fmt.Fprintf(&b, "%-10s %8d | %s | %s\n", r.Variant.Set, r.CDPF, lru, ws)
+	}
+	return b.String()
+}

@@ -1,0 +1,259 @@
+package fortran
+
+import "fmt"
+
+// Program is the root of a parsed program unit.
+type Program struct {
+	Name   string       // from the PROGRAM statement, or "MAIN" if absent
+	Arrays []*ArrayDecl // DIMENSION / typed array declarations, in order
+	Params []*ParamDecl // PARAMETER constants, in order
+	Body   []Stmt       // executable statements
+}
+
+// Array returns the declaration of the named array, or nil.
+func (p *Program) Array(name string) *ArrayDecl {
+	for _, a := range p.Arrays {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// ArrayDecl declares a one- or two-dimensional array. Only up to two
+// dimensions are supported, matching the paper's analysis ("Only up to two
+// dimensional arrays are considered in this paper").
+type ArrayDecl struct {
+	Name string
+	Dims []int // 1 or 2 entries: rows M, columns N (N omitted for vectors)
+	Line int
+}
+
+// Rows returns M, the number of rows (vector length for 1-D arrays).
+func (a *ArrayDecl) Rows() int { return a.Dims[0] }
+
+// Cols returns N, the number of columns (1 for vectors).
+func (a *ArrayDecl) Cols() int {
+	if len(a.Dims) == 2 {
+		return a.Dims[1]
+	}
+	return 1
+}
+
+// Elems returns the total number of elements M*N.
+func (a *ArrayDecl) Elems() int { return a.Rows() * a.Cols() }
+
+// IsVector reports whether the array is one-dimensional.
+func (a *ArrayDecl) IsVector() bool { return len(a.Dims) == 1 }
+
+// ParamDecl is a named compile-time constant (PARAMETER (N = 100)).
+type ParamDecl struct {
+	Name  string
+	Value float64
+	IsInt bool
+	Line  int
+}
+
+// Stmt is an executable statement.
+type Stmt interface {
+	stmtNode()
+	// Pos returns the source line of the statement.
+	Pos() int
+}
+
+// DoStmt is a DO loop:
+//
+//	DO 10 I = 1, N, 2      ...  10 CONTINUE
+//	DO I = 1, N            ...  END DO
+type DoStmt struct {
+	Label string // terminating label, "" for END DO form
+	Var   string
+	From  Expr
+	To    Expr
+	Step  Expr // nil means 1
+	Body  []Stmt
+	Line  int
+}
+
+// AssignStmt is an assignment to a scalar or array element.
+type AssignStmt struct {
+	LHS  *RefExpr // scalar (no subscripts) or array element
+	RHS  Expr
+	Line int
+}
+
+// IfStmt is a structured IF. A logical IF ("IF (c) stmt") parses as an
+// IfStmt with a single-statement Then and no Else.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // may be nil; ELSE IF chains nest here
+	Line int
+}
+
+// ExitStmt leaves the innermost enclosing DO loop.
+type ExitStmt struct{ Line int }
+
+// CycleStmt continues with the next iteration of the innermost DO loop.
+type CycleStmt struct{ Line int }
+
+// ContinueStmt is a CONTINUE used as a plain no-op statement (loop
+// terminators are absorbed into DoStmt during parsing).
+type ContinueStmt struct{ Line int }
+
+func (*DoStmt) stmtNode()       {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*ExitStmt) stmtNode()     {}
+func (*CycleStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+func (s *DoStmt) Pos() int       { return s.Line }
+func (s *AssignStmt) Pos() int   { return s.Line }
+func (s *IfStmt) Pos() int       { return s.Line }
+func (s *ExitStmt) Pos() int     { return s.Line }
+func (s *CycleStmt) Pos() int    { return s.Line }
+func (s *ContinueStmt) Pos() int { return s.Line }
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+}
+
+// NumExpr is a numeric literal.
+type NumExpr struct {
+	Value float64
+	IsInt bool
+}
+
+// RefExpr is a variable reference or array element reference. A scalar
+// variable has no subscripts. Whether a parenthesized name is an array
+// reference or an intrinsic call is resolved by the parser against the
+// declaration table and the intrinsic set.
+type RefExpr struct {
+	Name string
+	Subs []Expr // nil for scalars
+	Line int
+}
+
+// IsScalar reports whether the reference has no subscripts.
+func (r *RefExpr) IsScalar() bool { return len(r.Subs) == 0 }
+
+// CallExpr is an intrinsic function call (ABS, SQRT, MAX, MIN, MOD, SIGN,
+// EXP, LOG, SIN, COS, FLOAT, REAL, INT, DBLE).
+type CallExpr struct {
+	Name string
+	Args []Expr
+}
+
+// BinExpr is a binary operation. Op is one of + - * / ** and the dot
+// operators .LT. .LE. .GT. .GE. .EQ. .NE. .AND. .OR.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// UnExpr is unary minus or .NOT.
+type UnExpr struct {
+	Op string // "-" or ".NOT."
+	X  Expr
+}
+
+func (*NumExpr) exprNode()  {}
+func (*RefExpr) exprNode()  {}
+func (*CallExpr) exprNode() {}
+func (*BinExpr) exprNode()  {}
+func (*UnExpr) exprNode()   {}
+
+// Intrinsics is the set of supported intrinsic function names.
+var Intrinsics = map[string]bool{
+	"ABS": true, "SQRT": true, "MAX": true, "MIN": true, "MOD": true,
+	"SIGN": true, "EXP": true, "LOG": true, "SIN": true, "COS": true,
+	"FLOAT": true, "REAL": true, "INT": true, "DBLE": true, "ATAN": true,
+	"MAX0": true, "MIN0": true, "AMAX1": true, "AMIN1": true, "IABS": true,
+}
+
+// Walk calls fn for every statement in the subtree rooted at the given
+// statements, in source order, recursing into loop and branch bodies.
+// If fn returns false the walk stops.
+func Walk(stmts []Stmt, fn func(Stmt) bool) bool {
+	for _, s := range stmts {
+		if !fn(s) {
+			return false
+		}
+		switch st := s.(type) {
+		case *DoStmt:
+			if !Walk(st.Body, fn) {
+				return false
+			}
+		case *IfStmt:
+			if !Walk(st.Then, fn) {
+				return false
+			}
+			if !Walk(st.Else, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// WalkExprs calls fn for every expression appearing in the statement,
+// including nested subexpressions and subscripts.
+func WalkExprs(s Stmt, fn func(Expr)) {
+	var walkExpr func(Expr)
+	walkExpr = func(e Expr) {
+		if e == nil {
+			return
+		}
+		fn(e)
+		switch x := e.(type) {
+		case *RefExpr:
+			for _, sub := range x.Subs {
+				walkExpr(sub)
+			}
+		case *CallExpr:
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+		case *BinExpr:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *UnExpr:
+			walkExpr(x.X)
+		}
+	}
+	switch st := s.(type) {
+	case *DoStmt:
+		walkExpr(st.From)
+		walkExpr(st.To)
+		if st.Step != nil {
+			walkExpr(st.Step)
+		}
+	case *AssignStmt:
+		walkExpr(st.LHS)
+		walkExpr(st.RHS)
+	case *IfStmt:
+		walkExpr(st.Cond)
+	}
+}
+
+// ImplicitInteger reports whether a scalar name is integer-typed under the
+// classic FORTRAN implicit rule (first letter I-N).
+func ImplicitInteger(name string) bool {
+	if name == "" {
+		return false
+	}
+	c := name[0]
+	return c >= 'I' && c <= 'N'
+}
+
+// ParseError describes a parse error with its source position.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("line %d: parse error: %s", e.Line, e.Msg)
+}

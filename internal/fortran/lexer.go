@@ -1,0 +1,293 @@
+package fortran
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LexError describes a lexical error with its source position.
+type LexError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *LexError) Error() string {
+	return fmt.Sprintf("%d:%d: lex error: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lexer tokenizes a source text of the FORTRAN subset. Create one with
+// NewLexer and pull tokens with Next, or tokenize everything with Tokens.
+type Lexer struct {
+	src       string
+	pos       int
+	line      int
+	col       int
+	lineStart bool // true when no token has been emitted on this line yet
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1, lineStart: true}
+}
+
+// Tokens tokenizes the entire input, returning the token stream terminated
+// by a TokEOF token.
+func Tokens(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) peekAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' }
+func isAlnum(c byte) bool  { return isDigit(c) || isLetter(c) }
+
+// Next returns the next token. Newlines are significant (statements are
+// line-oriented) and are returned as TokNewline; consecutive blank lines
+// collapse into a single newline token.
+func (lx *Lexer) Next() (Token, error) {
+	for {
+		c := lx.peek()
+		if c == 0 {
+			return Token{Kind: TokEOF, Line: lx.line, Col: lx.col}, nil
+		}
+		// Comment: '!' anywhere, or 'C'/'c'/'*' in column one followed by
+		// space or end of line (classic fixed-form comment card).
+		if c == '!' || (lx.col == 1 && (c == 'C' || c == 'c' || c == '*') && lx.isCommentCard()) {
+			for lx.peek() != 0 && lx.peek() != '\n' {
+				lx.advance()
+			}
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\r' {
+			lx.advance()
+			continue
+		}
+		if c == '\n' {
+			tok := Token{Kind: TokNewline, Line: lx.line, Col: lx.col}
+			lx.advance()
+			lx.lineStart = true
+			// Collapse runs of blank/comment lines into one newline.
+			return tok, nil
+		}
+		break
+	}
+
+	line, col := lx.line, lx.col
+	c := lx.peek()
+
+	// Numeric statement label: digits at the start of a line followed by
+	// whitespace and more statement text.
+	if lx.lineStart && isDigit(c) {
+		start := lx.pos
+		for isDigit(lx.peek()) {
+			lx.advance()
+		}
+		// A label must be followed by something other than '.', ')' or an
+		// operator — i.e. it is a standalone number before a statement.
+		if lx.peek() != '.' && !isLetter(lx.peek()) {
+			lx.lineStart = false
+			return Token{Kind: TokLabel, Text: lx.src[start:lx.pos], Line: line, Col: col}, nil
+		}
+		// Not a label after all (e.g. "10CONTINUE" — allow fused label).
+		if isLetter(lx.peek()) {
+			lx.lineStart = false
+			return Token{Kind: TokLabel, Text: lx.src[start:lx.pos], Line: line, Col: col}, nil
+		}
+	}
+	lx.lineStart = false
+
+	switch {
+	case isDigit(c) || (c == '.' && isDigit(lx.peekAt(1))):
+		return lx.lexNumber(line, col)
+	case isLetter(c):
+		start := lx.pos
+		for isAlnum(lx.peek()) {
+			lx.advance()
+		}
+		word := strings.ToUpper(lx.src[start:lx.pos])
+		kind := TokIdent
+		if IsKeyword(word) {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: word, Line: line, Col: col}, nil
+	case c == '.':
+		return lx.lexDotOperator(line, col)
+	}
+
+	lx.advance()
+	switch c {
+	case '(':
+		return Token{Kind: TokLParen, Text: "(", Line: line, Col: col}, nil
+	case ')':
+		return Token{Kind: TokRParen, Text: ")", Line: line, Col: col}, nil
+	case ',':
+		return Token{Kind: TokComma, Text: ",", Line: line, Col: col}, nil
+	case ':':
+		return Token{Kind: TokColon, Text: ":", Line: line, Col: col}, nil
+	case '+':
+		return Token{Kind: TokPlus, Text: "+", Line: line, Col: col}, nil
+	case '-':
+		return Token{Kind: TokMinus, Text: "-", Line: line, Col: col}, nil
+	case '*':
+		if lx.peek() == '*' {
+			lx.advance()
+			return Token{Kind: TokPow, Text: "**", Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokStar, Text: "*", Line: line, Col: col}, nil
+	case '/':
+		if lx.peek() == '=' {
+			lx.advance()
+			return Token{Kind: TokRelop, Text: ".NE.", Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokSlash, Text: "/", Line: line, Col: col}, nil
+	case '=':
+		if lx.peek() == '=' {
+			lx.advance()
+			return Token{Kind: TokRelop, Text: ".EQ.", Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokAssign, Text: "=", Line: line, Col: col}, nil
+	case '<':
+		if lx.peek() == '=' {
+			lx.advance()
+			return Token{Kind: TokRelop, Text: ".LE.", Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokRelop, Text: ".LT.", Line: line, Col: col}, nil
+	case '>':
+		if lx.peek() == '=' {
+			lx.advance()
+			return Token{Kind: TokRelop, Text: ".GE.", Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokRelop, Text: ".GT.", Line: line, Col: col}, nil
+	}
+	return Token{}, &LexError{Line: line, Col: col, Msg: fmt.Sprintf("unexpected character %q", c)}
+}
+
+// isCommentCard reports whether the current column-one C/c/* starts a
+// classic comment card rather than an identifier.
+func (lx *Lexer) isCommentCard() bool {
+	n := lx.peekAt(1)
+	return n == ' ' || n == '\t' || n == '\n' || n == 0
+}
+
+func (lx *Lexer) lexNumber(line, col int) (Token, error) {
+	start := lx.pos
+	isReal := false
+	for isDigit(lx.peek()) {
+		lx.advance()
+	}
+	if lx.peek() == '.' {
+		// Don't swallow ".AND." style operators: a '.' followed by a letter
+		// sequence and another '.' is an operator, except E/D exponents like
+		// "1.E5" — those have digits or sign after the letter run's first char.
+		if !lx.dotStartsOperator() {
+			isReal = true
+			lx.advance()
+			for isDigit(lx.peek()) {
+				lx.advance()
+			}
+		}
+	}
+	if c := lx.peek(); c == 'e' || c == 'E' || c == 'd' || c == 'D' {
+		save, saveLine, saveCol := lx.pos, lx.line, lx.col
+		lx.advance()
+		if lx.peek() == '+' || lx.peek() == '-' {
+			lx.advance()
+		}
+		if isDigit(lx.peek()) {
+			isReal = true
+			for isDigit(lx.peek()) {
+				lx.advance()
+			}
+		} else {
+			lx.pos, lx.line, lx.col = save, saveLine, saveCol
+		}
+	}
+	kind := TokInt
+	if isReal {
+		kind = TokReal
+	}
+	text := lx.src[start:lx.pos]
+	// Normalize FORTRAN D exponents to E for Go parsing.
+	text = strings.Map(func(r rune) rune {
+		if r == 'd' || r == 'D' {
+			return 'E'
+		}
+		return r
+	}, text)
+	return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+}
+
+// dotStartsOperator reports whether the '.' at the current position begins
+// a .OP. style operator such as .LT. or .AND. rather than a decimal point.
+func (lx *Lexer) dotStartsOperator() bool {
+	i := lx.pos + 1
+	for i < len(lx.src) && isLetter(lx.src[i]) {
+		i++
+	}
+	return i > lx.pos+1 && i < len(lx.src) && lx.src[i] == '.'
+}
+
+var dotOps = map[string]TokenKind{
+	"LT": TokRelop, "LE": TokRelop, "GT": TokRelop, "GE": TokRelop,
+	"EQ": TokRelop, "NE": TokRelop,
+	"AND": TokLogop, "OR": TokLogop,
+	"NOT": TokNot,
+}
+
+func (lx *Lexer) lexDotOperator(line, col int) (Token, error) {
+	lx.advance() // consume '.'
+	start := lx.pos
+	for isLetter(lx.peek()) {
+		lx.advance()
+	}
+	word := strings.ToUpper(lx.src[start:lx.pos])
+	if lx.peek() != '.' {
+		return Token{}, &LexError{Line: line, Col: col, Msg: fmt.Sprintf("malformed operator .%s", word)}
+	}
+	lx.advance() // consume trailing '.'
+	kind, ok := dotOps[word]
+	if !ok {
+		return Token{}, &LexError{Line: line, Col: col, Msg: fmt.Sprintf("unknown operator .%s.", word)}
+	}
+	text := "." + word + "."
+	if word == "TRUE" || word == "FALSE" {
+		text = word
+	}
+	return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+}

@@ -1,0 +1,217 @@
+package fortran
+
+import (
+	"strings"
+	"testing"
+)
+
+func kindsOf(t *testing.T, src string) []TokenKind {
+	t.Helper()
+	toks, err := Tokens(src)
+	if err != nil {
+		t.Fatalf("Tokens(%q): %v", src, err)
+	}
+	kinds := make([]TokenKind, len(toks))
+	for i, tok := range toks {
+		kinds[i] = tok.Kind
+	}
+	return kinds
+}
+
+func textsOf(t *testing.T, src string) []string {
+	t.Helper()
+	toks, err := Tokens(src)
+	if err != nil {
+		t.Fatalf("Tokens(%q): %v", src, err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		if tok.Kind == TokEOF || tok.Kind == TokNewline {
+			continue
+		}
+		texts = append(texts, tok.Text)
+	}
+	return texts
+}
+
+func TestLexSimpleAssignment(t *testing.T) {
+	got := kindsOf(t, "X = A(I,J) + 1.5")
+	want := []TokenKind{TokIdent, TokAssign, TokIdent, TokLParen, TokIdent, TokComma, TokIdent, TokRParen, TokPlus, TokReal, TokEOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexLabelAtLineStart(t *testing.T) {
+	toks, err := Tokens("10 CONTINUE\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokLabel || toks[0].Text != "10" {
+		t.Errorf("expected label 10, got %v %q", toks[0].Kind, toks[0].Text)
+	}
+	if toks[1].Kind != TokKeyword || toks[1].Text != "CONTINUE" {
+		t.Errorf("expected CONTINUE keyword, got %v %q", toks[1].Kind, toks[1].Text)
+	}
+}
+
+func TestLexNumberNotLabelMidLine(t *testing.T) {
+	toks, err := Tokens("X = 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != TokInt {
+		t.Errorf("mid-line 10 should be integer, got %v", toks[2].Kind)
+	}
+}
+
+func TestLexRealForms(t *testing.T) {
+	cases := map[string]TokenKind{
+		"1.5":    TokReal,
+		"1.":     TokReal,
+		".5":     TokReal,
+		"1E5":    TokReal,
+		"1.5E-3": TokReal,
+		"2D0":    TokReal,
+		"100":    TokInt,
+	}
+	for src, want := range cases {
+		toks, err := Tokens("X = " + src)
+		if err != nil {
+			t.Fatalf("Tokens(%q): %v", src, err)
+		}
+		if toks[2].Kind != want {
+			t.Errorf("%q: got %v, want %v", src, toks[2].Kind, want)
+		}
+	}
+}
+
+func TestLexDExponentNormalized(t *testing.T) {
+	toks, err := Tokens("X = 2.5D-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Text != "2.5E-3" {
+		t.Errorf("D exponent should normalize to E: got %q", toks[2].Text)
+	}
+}
+
+func TestLexDotOperators(t *testing.T) {
+	got := textsOf(t, "IF (A .LT. B .AND. C .GE. 1.0) THEN")
+	want := []string{"IF", "(", "A", ".LT.", "B", ".AND.", "C", ".GE.", "1.0", ")", "THEN"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestLexModernRelops(t *testing.T) {
+	got := textsOf(t, "IF (A < B) X = 1")
+	if got[3] != ".LT." {
+		t.Errorf("'<' should lex as .LT., got %q", got[3])
+	}
+	got = textsOf(t, "IF (A /= B) X = 1")
+	if got[3] != ".NE." {
+		t.Errorf("'/=' should lex as .NE., got %q", got[3])
+	}
+	got = textsOf(t, "IF (A == B) X = 1")
+	if got[3] != ".EQ." {
+		t.Errorf("'==' should lex as .EQ., got %q", got[3])
+	}
+}
+
+func TestLexPower(t *testing.T) {
+	got := kindsOf(t, "X = Y**2")
+	want := []TokenKind{TokIdent, TokAssign, TokIdent, TokPow, TokInt, TokEOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := "C this is a comment card\n! bang comment\nX = 1 ! trailing\n"
+	got := textsOf(t, src)
+	want := []string{"X", "=", "1"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestLexCommentCardVsIdentifier(t *testing.T) {
+	// 'C' at column one followed by '(' is an identifier, not a comment.
+	got := textsOf(t, "C(1) = 2.0")
+	if len(got) == 0 || got[0] != "C" {
+		t.Errorf("C(1) should lex as identifier C, got %v", got)
+	}
+}
+
+func TestLexCaseInsensitiveKeywords(t *testing.T) {
+	toks, err := Tokens("do 10 i = 1, 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokKeyword || toks[0].Text != "DO" {
+		t.Errorf("'do' should be DO keyword, got %v %q", toks[0].Kind, toks[0].Text)
+	}
+	if toks[2].Kind != TokIdent || toks[2].Text != "I" {
+		t.Errorf("'i' should uppercase to I, got %q", toks[2].Text)
+	}
+}
+
+func TestLexErrorBadChar(t *testing.T) {
+	_, err := Tokens("X = 1 @ 2")
+	if err == nil {
+		t.Fatal("expected error for '@'")
+	}
+	var lexErr *LexError
+	if !asErr(err, &lexErr) {
+		t.Fatalf("expected *LexError, got %T", err)
+	}
+}
+
+func asErr[T error](err error, target *T) bool {
+	if e, ok := err.(T); ok {
+		*target = e
+		return true
+	}
+	return false
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Tokens("X = 1\nY = 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Y token should be on line 2 column 1.
+	var y Token
+	for _, tok := range toks {
+		if tok.Text == "Y" {
+			y = tok
+		}
+	}
+	if y.Line != 2 || y.Col != 1 {
+		t.Errorf("Y at %d:%d, want 2:1", y.Line, y.Col)
+	}
+}
+
+func TestLexNewlineCollapsing(t *testing.T) {
+	toks, err := Tokens("X = 1\nY = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, tok := range toks {
+		if tok.Kind == TokNewline {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("expected exactly 1 newline token, got %d", n)
+	}
+}

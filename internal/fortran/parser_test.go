@@ -1,0 +1,374 @@
+package fortran
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const figure1Src = `
+PROGRAM FIG1
+DIMENSION E(200,100), F(200,100), G(200,10), H(200,10)
+DO 10 I = 1, 10
+  DO 20 K = 1, 100
+    E(I,K) = F(I,K) + 1.0
+20  CONTINUE
+  DO 30 K = 1, 200
+    G(K,I) = H(K,I)
+30  CONTINUE
+10 CONTINUE
+END
+`
+
+func TestParseFigure1(t *testing.T) {
+	prog, err := Parse(figure1Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "FIG1" {
+		t.Errorf("name = %q, want FIG1", prog.Name)
+	}
+	if len(prog.Arrays) != 4 {
+		t.Fatalf("arrays = %d, want 4", len(prog.Arrays))
+	}
+	e := prog.Array("E")
+	if e == nil || e.Rows() != 200 || e.Cols() != 100 {
+		t.Fatalf("array E wrong: %+v", e)
+	}
+	if len(prog.Body) != 1 {
+		t.Fatalf("body = %d stmts, want 1", len(prog.Body))
+	}
+	outer, ok := prog.Body[0].(*DoStmt)
+	if !ok {
+		t.Fatalf("body[0] is %T, want *DoStmt", prog.Body[0])
+	}
+	if outer.Var != "I" || outer.Label != "10" {
+		t.Errorf("outer loop: var=%q label=%q", outer.Var, outer.Label)
+	}
+	if len(outer.Body) != 2 {
+		t.Fatalf("outer body = %d stmts, want 2 inner loops", len(outer.Body))
+	}
+	for i, want := range []string{"20", "30"} {
+		inner, ok := outer.Body[i].(*DoStmt)
+		if !ok {
+			t.Fatalf("outer.Body[%d] is %T", i, outer.Body[i])
+		}
+		if inner.Label != want {
+			t.Errorf("inner loop %d label = %q, want %q", i, inner.Label, want)
+		}
+	}
+}
+
+func TestParseEndDoForm(t *testing.T) {
+	src := `
+PROGRAM P
+DIMENSION A(10)
+DO I = 1, 10
+  A(I) = 0.0
+END DO
+DO J = 1, 5
+  A(J) = 1.0
+ENDDO
+END
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Body) != 2 {
+		t.Fatalf("body = %d, want 2 loops", len(prog.Body))
+	}
+}
+
+func TestParseDoWithStep(t *testing.T) {
+	prog := MustParse("PROGRAM P\nDIMENSION A(100)\nDO 1 I = 1, 99, 2\nA(I) = 0.0\n1 CONTINUE\nEND\n")
+	do := prog.Body[0].(*DoStmt)
+	if do.Step == nil {
+		t.Fatal("step is nil")
+	}
+	if n, ok := do.Step.(*NumExpr); !ok || n.Value != 2 {
+		t.Errorf("step = %v, want 2", do.Step)
+	}
+}
+
+func TestParseBlockIfElse(t *testing.T) {
+	src := `
+PROGRAM P
+DIMENSION A(10)
+DO I = 1, 10
+  IF (A(I) .GT. 0.0) THEN
+    A(I) = 1.0
+  ELSE
+    A(I) = -1.0
+  ENDIF
+END DO
+END
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	do := prog.Body[0].(*DoStmt)
+	ifs, ok := do.Body[0].(*IfStmt)
+	if !ok {
+		t.Fatalf("expected IfStmt, got %T", do.Body[0])
+	}
+	if len(ifs.Then) != 1 || len(ifs.Else) != 1 {
+		t.Errorf("then=%d else=%d, want 1/1", len(ifs.Then), len(ifs.Else))
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	src := `
+PROGRAM P
+X = 1.0
+IF (X .GT. 2.0) THEN
+  X = 2.0
+ELSE IF (X .GT. 1.0) THEN
+  X = 1.5
+ELSE
+  X = 0.0
+ENDIF
+END
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs := prog.Body[1].(*IfStmt)
+	nested, ok := ifs.Else[0].(*IfStmt)
+	if !ok {
+		t.Fatalf("else-if should nest an IfStmt, got %T", ifs.Else[0])
+	}
+	if len(nested.Else) != 1 {
+		t.Errorf("nested else = %d stmts, want 1", len(nested.Else))
+	}
+}
+
+func TestParseLogicalIf(t *testing.T) {
+	src := "PROGRAM P\nDIMENSION A(10)\nDO I = 1, 10\nIF (A(I) .LT. 0.0) EXIT\nEND DO\nEND\n"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	do := prog.Body[0].(*DoStmt)
+	ifs := do.Body[0].(*IfStmt)
+	if _, ok := ifs.Then[0].(*ExitStmt); !ok {
+		t.Errorf("logical IF body should be ExitStmt, got %T", ifs.Then[0])
+	}
+	if ifs.Else != nil {
+		t.Errorf("logical IF should have no else")
+	}
+}
+
+func TestParseParameterFolding(t *testing.T) {
+	src := `
+PROGRAM P
+PARAMETER (N = 50)
+DIMENSION A(N, N)
+DO I = 1, N
+  A(I,1) = 0.0
+END DO
+END
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := prog.Array("A")
+	if a.Rows() != 50 || a.Cols() != 50 {
+		t.Errorf("A dims = %v, want 50x50", a.Dims)
+	}
+	do := prog.Body[0].(*DoStmt)
+	if n, ok := do.To.(*NumExpr); !ok || n.Value != 50 {
+		t.Errorf("loop bound should fold to 50, got %v", do.To)
+	}
+}
+
+func TestParseIntrinsicVsArray(t *testing.T) {
+	src := "PROGRAM P\nDIMENSION V(10)\nX = SQRT(V(3)) + ABS(-2.0)\nEND\n"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn := prog.Body[0].(*AssignStmt)
+	bin := asn.RHS.(*BinExpr)
+	if _, ok := bin.L.(*CallExpr); !ok {
+		t.Errorf("SQRT should parse as CallExpr, got %T", bin.L)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	src := "PROGRAM P\nX = 1.0 + 2.0 * 3.0 ** 2\nEND\n"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := prog.Body[0].(*AssignStmt).RHS
+	top, ok := rhs.(*BinExpr)
+	if !ok || top.Op != "+" {
+		t.Fatalf("top op should be +, got %v", rhs)
+	}
+	mul, ok := top.R.(*BinExpr)
+	if !ok || mul.Op != "*" {
+		t.Fatalf("right of + should be *, got %v", top.R)
+	}
+	if pow, ok := mul.R.(*BinExpr); !ok || pow.Op != "**" {
+		t.Fatalf("right of * should be **, got %v", mul.R)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"missing END", "PROGRAM P\nX = 1.0\n"},
+		{"unterminated DO", "PROGRAM P\nDO 10 I = 1, 5\nX = 1.0\nEND\n"},
+		{"three subscripts", "PROGRAM P\nDIMENSION A(2,2)\nA(1,1,1) = 0.0\nEND\n"},
+		{"three dims", "PROGRAM P\nDIMENSION A(2,2,2)\nEND\n"},
+		{"zero dim", "PROGRAM P\nDIMENSION A(0)\nEND\n"},
+		{"double decl", "PROGRAM P\nDIMENSION A(2), A(3)\nEND\n"},
+		{"garbage stmt", "PROGRAM P\n= 1.0\nEND\n"},
+		{"missing then-endif", "PROGRAM P\nIF (1 .LT. 2) THEN\nX = 1.0\nEND\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(c.src); err == nil {
+				t.Errorf("expected error for %q", c.src)
+			}
+		})
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	srcs := []string{
+		figure1Src,
+		"PROGRAM P\nDIMENSION A(10,10), V(20)\nDO I = 1, 10\nIF (V(I) .GT. 0.0 .AND. I .LT. 5) THEN\nA(I,I) = SQRT(V(I)) ** 2 - 1.0\nELSE\nA(I,1) = -V(I) / 2.0\nENDIF\nEND DO\nEND\n",
+	}
+	for _, src := range srcs {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("first parse: %v", err)
+		}
+		out1 := Format(p1)
+		p2, err := Parse(out1)
+		if err != nil {
+			t.Fatalf("reparse of formatted output failed: %v\n%s", err, out1)
+		}
+		out2 := Format(p2)
+		if out1 != out2 {
+			t.Errorf("format not stable:\n--- first\n%s\n--- second\n%s", out1, out2)
+		}
+	}
+}
+
+// TestFormatExprParsesBack property-tests that formatting a random
+// expression tree and reparsing yields a tree that formats identically
+// (i.e. parenthesization preserves structure).
+func TestFormatExprParsesBack(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	gen := func(seed int64) bool {
+		e := randomExpr(seed, 0)
+		src := "PROGRAM P\nX = " + FormatExpr(e) + "\nEND\n"
+		prog, err := Parse(src)
+		if err != nil {
+			t.Logf("expr %s failed to parse: %v", FormatExpr(e), err)
+			return false
+		}
+		got := FormatExpr(prog.Body[0].(*AssignStmt).RHS)
+		want := FormatExpr(e)
+		if got != want {
+			t.Logf("round trip mismatch: %s -> %s", want, got)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(gen, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomExpr builds a deterministic pseudo-random arithmetic expression.
+func randomExpr(seed int64, depth int) Expr {
+	next := func() int64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return seed
+	}
+	var build func(d int) Expr
+	build = func(d int) Expr {
+		r := next()
+		if r < 0 {
+			r = -r
+		}
+		if d > 3 || r%5 == 0 {
+			v := float64(r%97) / 4
+			return &NumExpr{Value: math.Abs(v) + 0.5}
+		}
+		switch r % 5 {
+		case 1:
+			return &BinExpr{Op: "+", L: build(d + 1), R: build(d + 1)}
+		case 2:
+			return &BinExpr{Op: "-", L: build(d + 1), R: build(d + 1)}
+		case 3:
+			return &BinExpr{Op: "*", L: build(d + 1), R: build(d + 1)}
+		default:
+			return &BinExpr{Op: "/", L: build(d + 1), R: build(d + 1)}
+		}
+	}
+	return build(depth)
+}
+
+func TestWalkVisitsAll(t *testing.T) {
+	prog := MustParse(figure1Src)
+	var loops, assigns int
+	Walk(prog.Body, func(s Stmt) bool {
+		switch s.(type) {
+		case *DoStmt:
+			loops++
+		case *AssignStmt:
+			assigns++
+		}
+		return true
+	})
+	if loops != 3 {
+		t.Errorf("loops = %d, want 3", loops)
+	}
+	if assigns != 2 {
+		t.Errorf("assigns = %d, want 2", assigns)
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	prog := MustParse(figure1Src)
+	count := 0
+	Walk(prog.Body, func(s Stmt) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("walk did not stop early: count = %d", count)
+	}
+}
+
+func TestWalkExprsFindsRefs(t *testing.T) {
+	prog := MustParse("PROGRAM P\nDIMENSION A(5,5), V(9)\nA(1,2) = V(3) * (V(4) + 2.0)\nEND\n")
+	var refs []string
+	WalkExprs(prog.Body[0], func(e Expr) {
+		if r, ok := e.(*RefExpr); ok && !r.IsScalar() {
+			refs = append(refs, r.Name)
+		}
+	})
+	want := "A V V"
+	if got := strings.Join(refs, " "); got != want {
+		t.Errorf("refs = %q, want %q", got, want)
+	}
+}
+
+func TestImplicitInteger(t *testing.T) {
+	for name, want := range map[string]bool{"I": true, "N": true, "J2": true, "X": false, "A": false, "H": false, "O": false} {
+		if got := ImplicitInteger(name); got != want {
+			t.Errorf("ImplicitInteger(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package fortran
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders the program back to source text in a canonical layout.
+// The output is itself parseable, so Parse(Format(p)) reproduces p (up to
+// folded PARAMETER constants, which print as literals).
+func Format(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PROGRAM %s\n", p.Name)
+	if len(p.Arrays) > 0 {
+		parts := make([]string, len(p.Arrays))
+		for i, a := range p.Arrays {
+			dims := make([]string, len(a.Dims))
+			for j, d := range a.Dims {
+				dims[j] = strconv.Itoa(d)
+			}
+			parts[i] = fmt.Sprintf("%s(%s)", a.Name, strings.Join(dims, ","))
+		}
+		fmt.Fprintf(&b, "DIMENSION %s\n", strings.Join(parts, ", "))
+	}
+	printStmts(&b, p.Body, 0)
+	b.WriteString("END\n")
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func printStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	for _, s := range stmts {
+		printStmt(b, s, depth)
+	}
+}
+
+func printStmt(b *strings.Builder, s Stmt, depth int) {
+	switch st := s.(type) {
+	case *DoStmt:
+		indent(b, depth)
+		if st.Label != "" {
+			fmt.Fprintf(b, "DO %s %s = %s, %s", st.Label, st.Var, FormatExpr(st.From), FormatExpr(st.To))
+		} else {
+			fmt.Fprintf(b, "DO %s = %s, %s", st.Var, FormatExpr(st.From), FormatExpr(st.To))
+		}
+		if st.Step != nil {
+			fmt.Fprintf(b, ", %s", FormatExpr(st.Step))
+		}
+		b.WriteByte('\n')
+		printStmts(b, st.Body, depth+1)
+		indent(b, depth)
+		if st.Label != "" {
+			fmt.Fprintf(b, "%s CONTINUE\n", st.Label)
+		} else {
+			b.WriteString("END DO\n")
+		}
+	case *AssignStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "%s = %s\n", FormatExpr(st.LHS), FormatExpr(st.RHS))
+	case *IfStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "IF (%s) THEN\n", FormatExpr(st.Cond))
+		printStmts(b, st.Then, depth+1)
+		if len(st.Else) > 0 {
+			indent(b, depth)
+			b.WriteString("ELSE\n")
+			printStmts(b, st.Else, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("ENDIF\n")
+	case *ExitStmt:
+		indent(b, depth)
+		b.WriteString("EXIT\n")
+	case *CycleStmt:
+		indent(b, depth)
+		b.WriteString("CYCLE\n")
+	case *ContinueStmt:
+		indent(b, depth)
+		b.WriteString("CONTINUE\n")
+	}
+}
+
+// FormatExpr renders an expression in FORTRAN syntax.
+func FormatExpr(e Expr) string {
+	switch x := e.(type) {
+	case *NumExpr:
+		if x.IsInt {
+			return strconv.Itoa(int(x.Value))
+		}
+		s := strconv.FormatFloat(x.Value, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case *RefExpr:
+		if x.IsScalar() {
+			return x.Name
+		}
+		subs := make([]string, len(x.Subs))
+		for i, sub := range x.Subs {
+			subs[i] = FormatExpr(sub)
+		}
+		return fmt.Sprintf("%s(%s)", x.Name, strings.Join(subs, ","))
+	case *CallExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = FormatExpr(a)
+		}
+		return fmt.Sprintf("%s(%s)", x.Name, strings.Join(args, ","))
+	case *BinExpr:
+		op := x.Op
+		if op[0] != '.' { // arithmetic ops get no padding only for **
+			if op == "**" {
+				return fmt.Sprintf("%s**%s", formatOperand(x.L, precOf(op), false), formatOperand(x.R, precOf(op), true))
+			}
+			return fmt.Sprintf("%s %s %s", formatOperand(x.L, precOf(op), false), op, formatOperand(x.R, precOf(op), true))
+		}
+		return fmt.Sprintf("%s %s %s", formatOperand(x.L, precOf(op), false), op, formatOperand(x.R, precOf(op), true))
+	case *UnExpr:
+		if x.Op == ".NOT." {
+			return fmt.Sprintf(".NOT. %s", formatOperand(x.X, 90, true))
+		}
+		return fmt.Sprintf("-%s", formatOperand(x.X, 90, true))
+	}
+	return "?"
+}
+
+// precOf gives relative binding strength for parenthesization decisions.
+func precOf(op string) int {
+	switch op {
+	case ".OR.":
+		return 10
+	case ".AND.":
+		return 20
+	case ".LT.", ".LE.", ".GT.", ".GE.", ".EQ.", ".NE.":
+		return 30
+	case "+", "-":
+		return 40
+	case "*", "/":
+		return 50
+	case "**":
+		return 60
+	}
+	return 100
+}
+
+// formatOperand parenthesizes an operand when its operator binds more
+// loosely than the parent, or equally on the right-hand side (to preserve
+// left associativity of -, /).
+func formatOperand(e Expr, parentPrec int, right bool) string {
+	s := FormatExpr(e)
+	var prec int
+	switch x := e.(type) {
+	case *BinExpr:
+		prec = precOf(x.Op)
+	case *UnExpr:
+		prec = 45
+	default:
+		return s
+	}
+	if prec < parentPrec || (right && prec == parentPrec) {
+		return "(" + s + ")"
+	}
+	return s
+}

@@ -1,0 +1,105 @@
+package fortran
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatGolden(t *testing.T) {
+	src := `
+PROGRAM G
+DIMENSION A(8,4), V(16)
+DO 10 I = 1, 8
+  DO J = 1, 4, 2
+    A(I,J) = V(I) * 2.0 + 1.5
+  END DO
+10 CONTINUE
+IF (A(1,1) .GT. 0.0 .AND. V(2) .LT. 3.0) THEN
+  V(1) = -A(1,1)
+ELSE
+  V(1) = ABS(V(3))
+ENDIF
+END
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `PROGRAM G
+DIMENSION A(8,4), V(16)
+DO 10 I = 1, 8
+  DO J = 1, 4, 2
+    A(I,J) = V(I) * 2.0 + 1.5
+  END DO
+10 CONTINUE
+IF (A(1,1) .GT. 0.0 .AND. V(2) .LT. 3.0) THEN
+  V(1) = -A(1,1)
+ELSE
+  V(1) = ABS(V(3))
+ENDIF
+END
+`
+	if got := Format(prog); got != want {
+		t.Errorf("golden mismatch:\n--- got\n%s--- want\n%s", got, want)
+	}
+}
+
+func TestFormatExprParenthesization(t *testing.T) {
+	cases := map[string]string{
+		"(1.0 + 2.0) * 3.0":  "(1.0 + 2.0) * 3.0",
+		"1.0 - (2.0 - 3.0)":  "1.0 - (2.0 - 3.0)",
+		"1.0 / (2.0 * 3.0)":  "1.0 / (2.0 * 3.0)",
+		"1.0 + 2.0 + 3.0":    "1.0 + 2.0 + 3.0",
+		"-(1.0 + 2.0)":       "-(1.0 + 2.0)",
+		"2.0 ** (1.0 + 1.0)": "2.0**(1.0 + 1.0)",
+		"(1.0 + X) ** 2":     "(1.0 + X)**2",
+	}
+	for in, want := range cases {
+		prog, err := Parse("PROGRAM P\nY = " + in + "\nEND\n")
+		if err != nil {
+			t.Fatalf("parse %q: %v", in, err)
+		}
+		got := FormatExpr(prog.Body[0].(*AssignStmt).RHS)
+		if got != want {
+			t.Errorf("FormatExpr(%q) = %q, want %q", in, got, want)
+		}
+		// And the printed form must evaluate to the same tree.
+		re, err := Parse("PROGRAM P\nY = " + got + "\nEND\n")
+		if err != nil {
+			t.Fatalf("reparse %q: %v", got, err)
+		}
+		if FormatExpr(re.Body[0].(*AssignStmt).RHS) != got {
+			t.Errorf("%q not stable under reparse", got)
+		}
+	}
+}
+
+func TestFormatLogicalOps(t *testing.T) {
+	prog, err := Parse("PROGRAM P\nIF (A .LT. 1.0 .OR. B .GT. 2.0 .AND. .NOT. C .EQ. 0.0) X = 1.0\nEND\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(prog)
+	for _, want := range []string{".OR.", ".AND.", ".NOT."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %s:\n%s", want, out)
+		}
+	}
+	if _, err := Parse(out); err != nil {
+		t.Errorf("formatted logical expression does not reparse: %v\n%s", err, out)
+	}
+}
+
+func TestFormatNegativeStepLoop(t *testing.T) {
+	prog, err := Parse("PROGRAM P\nDIMENSION V(10)\nDO I = 10, 1, -1\nV(I) = 0.0\nEND DO\nEND\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(prog)
+	if !strings.Contains(out, "DO I = 10, 1, -1") {
+		t.Errorf("negative step lost:\n%s", out)
+	}
+	if _, err := Parse(out); err != nil {
+		t.Errorf("reparse failed: %v", err)
+	}
+}

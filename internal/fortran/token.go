@@ -1,0 +1,121 @@
+// Package fortran implements a lexer, parser, AST, and printer for the
+// FORTRAN-77-like subset used throughout this reproduction of Malkawi &
+// Patel's "Compiler Directed Memory Management Policy For Numerical
+// Programs" (SOSP 1985).
+//
+// The subset is deliberately small but sufficient to express the loop-nest
+// and array-reference structure that the CD policy's compiler analysis
+// consumes: DIMENSION declarations, (optionally labeled) DO loops with
+// CONTINUE or END DO terminators, assignments over real arithmetic with
+// one- and two-dimensional array references, structured IF/ELSE blocks,
+// and EXIT/CYCLE for convergence-style loops.
+//
+// Source form is line-oriented free form: one statement per line, an
+// optional numeric statement label at the start of a line, and '!' or 'C '
+// (in column one) comments.
+package fortran
+
+import "fmt"
+
+// TokenKind identifies the lexical class of a token.
+type TokenKind int
+
+// Token kinds. Keywords are recognized case-insensitively by the lexer.
+const (
+	TokEOF TokenKind = iota
+	TokNewline
+	TokLabel   // numeric statement label at start of line
+	TokIdent   // identifier: names of variables, arrays, intrinsics
+	TokInt     // integer literal
+	TokReal    // real literal (1.5, 1E-3, .5, 2.)
+	TokLParen  // (
+	TokRParen  // )
+	TokComma   // ,
+	TokAssign  // =
+	TokPlus    // +
+	TokMinus   // -
+	TokStar    // *
+	TokSlash   // /
+	TokPow     // **
+	TokColon   // :
+	TokRelop   // .LT. .LE. .GT. .GE. .EQ. .NE. and < <= > >= == /=
+	TokLogop   // .AND. .OR.
+	TokNot     // .NOT.
+	TokKeyword // PROGRAM, DIMENSION, DO, CONTINUE, IF, THEN, ELSE, ENDIF, END, EXIT, CYCLE, GOTO, REAL, INTEGER, PARAMETER
+)
+
+var tokenKindNames = map[TokenKind]string{
+	TokEOF:     "EOF",
+	TokNewline: "newline",
+	TokLabel:   "label",
+	TokIdent:   "identifier",
+	TokInt:     "integer",
+	TokReal:    "real",
+	TokLParen:  "'('",
+	TokRParen:  "')'",
+	TokComma:   "','",
+	TokAssign:  "'='",
+	TokPlus:    "'+'",
+	TokMinus:   "'-'",
+	TokStar:    "'*'",
+	TokSlash:   "'/'",
+	TokPow:     "'**'",
+	TokColon:   "':'",
+	TokRelop:   "relational operator",
+	TokLogop:   "logical operator",
+	TokNot:     ".NOT.",
+	TokKeyword: "keyword",
+}
+
+// String returns a human-readable name for the token kind.
+func (k TokenKind) String() string {
+	if s, ok := tokenKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // uppercased for identifiers and keywords
+	Line int    // 1-based source line
+	Col  int    // 1-based source column
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokNewline:
+		return "end of line"
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// keywords is the set of reserved words of the subset. DO is handled
+// specially by the parser (a "DO" identifier followed by an identifier and
+// '=' begins a loop).
+var keywords = map[string]bool{
+	"PROGRAM":   true,
+	"DIMENSION": true,
+	"DO":        true,
+	"ENDDO":     true,
+	"CONTINUE":  true,
+	"IF":        true,
+	"THEN":      true,
+	"ELSE":      true,
+	"ELSEIF":    true,
+	"ENDIF":     true,
+	"END":       true,
+	"EXIT":      true,
+	"CYCLE":     true,
+	"REAL":      true,
+	"INTEGER":   true,
+	"PARAMETER": true,
+}
+
+// IsKeyword reports whether the (already uppercased) word is reserved.
+func IsKeyword(word string) bool { return keywords[word] }

@@ -1,0 +1,176 @@
+// Package mem models the paged virtual address space that the paper's
+// simulator assumes: a byte-addressed space with 256-byte pages (the §5
+// configuration), column-major FORTRAN arrays laid out page-aligned so
+// that an array's virtual size in pages is exactly AVS = ⌈M·N/P⌉ as the
+// paper computes it, and 4-byte REAL elements.
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"cdmm/internal/fortran"
+)
+
+// Geometry describes the paging parameters of the simulated machine.
+type Geometry struct {
+	PageSize int // bytes per page; the paper uses 256
+	ElemSize int // bytes per array element; FORTRAN REAL*4
+}
+
+// DefaultGeometry is the paper's configuration: 256-byte pages of 4-byte
+// reals, 64 elements per page.
+var DefaultGeometry = Geometry{PageSize: 256, ElemSize: 4}
+
+// ElemsPerPage returns how many array elements fit in one page.
+func (g Geometry) ElemsPerPage() int { return g.PageSize / g.ElemSize }
+
+// PagesFor returns the number of pages needed to hold n elements
+// (the paper's AVS for n = M·N, CVS for n = M).
+func (g Geometry) PagesFor(n int) int {
+	per := g.ElemsPerPage()
+	return (n + per - 1) / per
+}
+
+// Validate checks that the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.PageSize <= 0 || g.ElemSize <= 0 {
+		return fmt.Errorf("mem: page size %d and element size %d must be positive", g.PageSize, g.ElemSize)
+	}
+	if g.PageSize%g.ElemSize != 0 {
+		return fmt.Errorf("mem: page size %d not a multiple of element size %d", g.PageSize, g.ElemSize)
+	}
+	return nil
+}
+
+// Page is a virtual page number within a program's address space.
+type Page int32
+
+// Segment is the page range occupied by one array.
+type Segment struct {
+	Name  string
+	Base  Page // first page
+	Pages int  // AVS
+	Rows  int  // M
+	Cols  int  // N (1 for vectors)
+}
+
+// End returns one past the last page of the segment.
+func (s Segment) End() Page { return s.Base + Page(s.Pages) }
+
+// Layout maps each declared array to a page-aligned segment of the virtual
+// space, in declaration order.
+type Layout struct {
+	Geo      Geometry
+	Segments []Segment
+	byName   map[string]int
+	total    int
+}
+
+// NewLayout builds the address-space layout for a program's arrays.
+func NewLayout(prog *fortran.Program, geo Geometry) (*Layout, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	l := &Layout{Geo: geo, byName: make(map[string]int, len(prog.Arrays))}
+	next := Page(0)
+	for _, a := range prog.Arrays {
+		seg := Segment{
+			Name:  a.Name,
+			Base:  next,
+			Pages: geo.PagesFor(a.Elems()),
+			Rows:  a.Rows(),
+			Cols:  a.Cols(),
+		}
+		l.byName[a.Name] = len(l.Segments)
+		l.Segments = append(l.Segments, seg)
+		next = seg.End()
+	}
+	l.total = int(next)
+	return l, nil
+}
+
+// TotalPages returns V, the virtual size of the program's data space in
+// pages (the paper's upper bound on memory requirement).
+func (l *Layout) TotalPages() int { return l.total }
+
+// Segment returns the segment for the named array.
+func (l *Layout) Segment(name string) (Segment, bool) {
+	i, ok := l.byName[name]
+	if !ok {
+		return Segment{}, false
+	}
+	return l.Segments[i], true
+}
+
+// PageOf maps a 1-based (row, col) element reference of the named array to
+// its virtual page, using column-major order. col is 1 for vectors.
+// Out-of-bounds subscripts are an error (FORTRAN programs in the workload
+// suite are expected to stay in bounds; the simulator checks).
+func (l *Layout) PageOf(name string, row, col int) (Page, error) {
+	i, ok := l.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("mem: array %s not in layout", name)
+	}
+	s := l.Segments[i]
+	if row < 1 || row > s.Rows || col < 1 || col > s.Cols {
+		return 0, fmt.Errorf("mem: %s(%d,%d) out of bounds (%dx%d)", name, row, col, s.Rows, s.Cols)
+	}
+	elem := (col-1)*s.Rows + (row - 1) // column-major linear index
+	return s.Base + Page(elem/l.Geo.ElemsPerPage()), nil
+}
+
+// ColumnPages returns the pages spanned by one column of the named array
+// (the paper's CVS-sized unit that LOCK directives pin).
+func (l *Layout) ColumnPages(name string, col int) ([]Page, error) {
+	i, ok := l.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("mem: array %s not in layout", name)
+	}
+	s := l.Segments[i]
+	if col < 1 || col > s.Cols {
+		return nil, fmt.Errorf("mem: %s column %d out of bounds (N=%d)", name, col, s.Cols)
+	}
+	first, err := l.PageOf(name, 1, col)
+	if err != nil {
+		return nil, err
+	}
+	last, err := l.PageOf(name, s.Rows, col)
+	if err != nil {
+		return nil, err
+	}
+	pages := make([]Page, 0, last-first+1)
+	for p := first; p <= last; p++ {
+		pages = append(pages, p)
+	}
+	return pages, nil
+}
+
+// ArrayOf returns the name of the array owning page p, or "" if the page
+// is outside every segment.
+func (l *Layout) ArrayOf(p Page) string {
+	// Segments are sorted by base; binary search.
+	i := sort.Search(len(l.Segments), func(i int) bool { return l.Segments[i].End() > p })
+	if i < len(l.Segments) && p >= l.Segments[i].Base {
+		return l.Segments[i].Name
+	}
+	return ""
+}
+
+// AVS returns the array virtual size in pages for the named array, per the
+// paper's AVS = (M×N)/P definition (rounded up to whole pages).
+func (l *Layout) AVS(name string) int {
+	if s, ok := l.Segment(name); ok {
+		return s.Pages
+	}
+	return 0
+}
+
+// CVS returns the column virtual size in pages, CVS = M/P rounded up.
+func (l *Layout) CVS(name string) int {
+	s, ok := l.Segment(name)
+	if !ok {
+		return 0
+	}
+	return l.Geo.PagesFor(s.Rows)
+}

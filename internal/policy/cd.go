@@ -1,0 +1,316 @@
+package policy
+
+import (
+	"cdmm/internal/directive"
+	"cdmm/internal/mem"
+	"cdmm/internal/trace"
+)
+
+// ArmSelector decides which arm of an ALLOCATE directive's else-chain the
+// operating system grants, or reports that this directive is not part of
+// the executed set (ok = false). The paper's §5 setup fixes "the set of
+// directives to be executed" before each uniprogramming run; SelectLevel
+// encodes those sets. In a multiprogramming system the grant additionally
+// depends on the memory available at execution time (the Figure 6
+// flowchart), which CD.Alloc applies on top of the selector when Avail is
+// set.
+type ArmSelector func(label string, arms []directive.Arm) (directive.Arm, bool)
+
+// SelectLevel returns the selector for the directive set of stratum k:
+// only the directives inserted before loops of priority index ≤ k execute
+// (the "directives at the lower levels" of the paper's Table 1), and each
+// grants the arm with the largest priority index not exceeding k — the
+// outermost locality the set honors. SelectLevel(1) executes only the
+// innermost-loop directives with their own smallest localities (least
+// memory, most faults); SelectLevel(Δ) executes everything and grants the
+// outermost locality (most memory, fewest faults).
+func SelectLevel(level int) ArmSelector {
+	return func(_ string, arms []directive.Arm) (directive.Arm, bool) {
+		// Arms are ordered outermost→innermost with strictly decreasing
+		// PI; the last arm is the loop's own (PI, X).
+		if arms[len(arms)-1].PI > level {
+			return directive.Arm{}, false // directive not in the executed set
+		}
+		for _, a := range arms {
+			if a.PI <= level {
+				return a, true
+			}
+		}
+		return arms[len(arms)-1], true
+	}
+}
+
+// SelectLevels builds a mixed directive set: loops whose key appears in
+// overrides are honored at their own stratum, everything else at def.
+// This models the paper's hand-chosen "sets of directives to be executed",
+// which need not be uniform across a program's loop nests (Table 1 ran
+// MAIN under four different such sets).
+func SelectLevels(def int, overrides map[string]int) ArmSelector {
+	base := SelectLevel(def)
+	byLevel := map[int]ArmSelector{}
+	return func(label string, arms []directive.Arm) (directive.Arm, bool) {
+		lvl, ok := overrides[label]
+		if !ok {
+			return base(label, arms)
+		}
+		sel := byLevel[lvl]
+		if sel == nil {
+			sel = SelectLevel(lvl)
+			byLevel[lvl] = sel
+		}
+		return sel(label, arms)
+	}
+}
+
+// CD is the Compiler Directed memory management policy (§4): a variable-
+// allocation policy whose resident-set ceiling tracks the executed
+// ALLOCATE directives, with local-LRU replacement inside the allocation,
+// soft page locks honored until memory pressure forces their release in
+// increasing lock-priority order (largest PJ first), and a swap trigger
+// when a PI = 1 request cannot be granted.
+type CD struct {
+	selector ArmSelector
+	minAlloc int
+
+	// Avail, when non-nil, reports how many pages the operating system can
+	// currently grant this program (used by the multiprogramming driver).
+	// When nil the memory is unbounded and the selector alone decides,
+	// which is the paper's uniprogramming §5 setup.
+	Avail func() int
+
+	alloc  int // current allocation target in pages
+	list   *lruList
+	locked int // number of currently locked resident pages
+	// locksBySite maps a LOCK site id to its currently locked pages so a
+	// re-executed site replaces its previous locks.
+	locksBySite map[int][]mem.Page
+
+	// SwapSignals counts ALLOCATE executions where the innermost (PI = 1)
+	// request could not be granted — the condition under which the §4
+	// policy invokes the swapper. Under uniprogramming this stays 0.
+	SwapSignals int
+	// LockReleases counts locked pages the OS released under memory
+	// pressure without an UNLOCK.
+	LockReleases int
+}
+
+// NewCD returns a CD policy. The selector chooses ALLOCATE arms (nil
+// defaults to SelectLevel(1), the innermost stratum); minAlloc is the
+// system-default minimum allocation in pages.
+func NewCD(selector ArmSelector, minAlloc int) *CD {
+	if selector == nil {
+		selector = SelectLevel(1)
+	}
+	if minAlloc < 1 {
+		minAlloc = 1
+	}
+	return &CD{
+		selector:    selector,
+		minAlloc:    minAlloc,
+		alloc:       minAlloc,
+		list:        newLRUList(),
+		locksBySite: map[int][]mem.Page{},
+	}
+}
+
+// Name implements Policy.
+func (p *CD) Name() string { return "CD" }
+
+// Allocation returns the current allocation target.
+func (p *CD) Allocation() int { return p.alloc }
+
+// Alloc implements Policy: process an executed ALLOCATE directive
+// following the Figure 6 flowchart. The selector first narrows the
+// else-chain to the stratum being honored; if memory is bounded (Avail
+// set) the request is granted only when it fits, falling through the
+// chain to smaller requests. An ungrantable request whose innermost
+// priority index is 1 raises the swap signal; with PI > 1 the program
+// simply continues under its current allocation until the next directive.
+func (p *CD) Alloc(d trace.AllocDirective) {
+	arms := d.Arms
+	if len(arms) == 0 {
+		return
+	}
+	chosen, ok := p.selector(d.Label, arms)
+	if !ok {
+		return // this directive is not part of the executed set
+	}
+	if p.Avail == nil {
+		p.setTarget(chosen.X)
+		return
+	}
+	avail := p.Avail() + p.list.len() // frames already held stay granted
+	// Try the chain from the chosen arm inward (X non-increasing).
+	start := 0
+	for i, a := range arms {
+		if a == chosen {
+			start = i
+			break
+		}
+	}
+	for _, a := range arms[start:] {
+		if a.X <= avail {
+			p.setTarget(a.X)
+			return
+		}
+	}
+	// Nothing fits. PI = 1 at the innermost level means the program is
+	// entering its smallest locality and cannot run: invoke the swapper.
+	if arms[len(arms)-1].PI == 1 {
+		p.SwapSignals++
+	}
+	// Otherwise (or additionally), continue with the current allocation.
+}
+
+// setTarget applies a granted allocation.
+func (p *CD) setTarget(x int) {
+	if x < p.minAlloc {
+		x = p.minAlloc
+	}
+	p.alloc = x
+	p.shrinkTo(p.alloc)
+}
+
+// shrinkTo evicts LRU unlocked pages until the unlocked resident set fits
+// n pages. Locked pages ride above the allocation: the ALLOCATE request X
+// sizes the loop's own locality, while LOCK pins pages of *outer* loop
+// localities on top of it (LOCK exists precisely for when an outer
+// request was not granted, §3.2).
+func (p *CD) shrinkTo(n int) {
+	for p.list.len()-p.locked > n {
+		if _, ok := p.list.evictLRU(); !ok {
+			return // everything left is locked
+		}
+	}
+}
+
+// Ref implements Policy.
+func (p *CD) Ref(pg mem.Page) bool {
+	if p.list.contains(pg) {
+		p.list.touch(pg)
+		return false
+	}
+	if p.list.len()-p.locked >= p.alloc {
+		if _, ok := p.list.evictLRU(); !ok {
+			// Every resident page is locked: the OS releases the locked
+			// page with the lowest priority (largest PJ) and replaces it.
+			if n := p.list.lowestPriorityLocked(); n != nil {
+				p.releaseLock(n)
+				p.list.remove(n.page)
+				p.LockReleases++
+			}
+		}
+	}
+	p.list.touch(pg)
+	return true
+}
+
+// releaseLock clears the lock bookkeeping for a node being force-released.
+func (p *CD) releaseLock(n *lruNode) {
+	pages := p.locksBySite[n.site]
+	for i, q := range pages {
+		if q == n.page {
+			p.locksBySite[n.site] = append(pages[:i], pages[i+1:]...)
+			break
+		}
+	}
+	n.locked = false
+	p.locked--
+}
+
+// Lock implements Policy: pin the pages of a LOCK execution. Pages locked
+// earlier by the same site are unlocked first (the site has moved on to
+// new indices). Locked pages that are not yet resident are faulted in by
+// later references as usual; LOCK only pins pages already or subsequently
+// resident.
+func (p *CD) Lock(ls trace.LockSet) {
+	for _, old := range p.locksBySite[ls.Site] {
+		if n := p.list.get(old); n != nil && n.locked && n.site == ls.Site {
+			n.locked = false
+			p.locked--
+		}
+	}
+	p.locksBySite[ls.Site] = nil
+	for _, pg := range ls.Pages {
+		n := p.list.get(pg)
+		if n == nil {
+			// Pin-on-arrival: remember the page so that when it faults in
+			// it is locked. To keep the model simple (and matching the
+			// paper's "prevent some pages from being paged out"), we lock
+			// only resident pages; a non-resident page will be locked at
+			// its next LOCK execution if still wanted.
+			continue
+		}
+		if !n.locked {
+			p.locked++
+		}
+		n.locked = true
+		n.pj = ls.PJ
+		n.site = ls.Site
+		p.locksBySite[ls.Site] = append(p.locksBySite[ls.Site], pg)
+	}
+}
+
+// Unlock implements Policy: release any locks covering the given pages.
+func (p *CD) Unlock(pages []mem.Page) {
+	for _, pg := range pages {
+		if n := p.list.get(pg); n != nil && n.locked {
+			p.releaseLock(n)
+		}
+	}
+	// Drop bookkeeping for sites whose pages are all unlocked now.
+	for site, ps := range p.locksBySite {
+		if len(ps) == 0 {
+			delete(p.locksBySite, site)
+		}
+	}
+}
+
+// ForceRelease makes the operating system reclaim up to k locked pages
+// without waiting for UNLOCK, as §3.2 permits under high memory
+// contention ("the operating system is entitled to release the locked
+// pages"). Pages are released in increasing lock priority — largest PJ
+// first. It returns how many pages were released (and evicted).
+func (p *CD) ForceRelease(k int) int {
+	released := 0
+	for released < k {
+		n := p.list.lowestPriorityLocked()
+		if n == nil {
+			break
+		}
+		p.releaseLock(n)
+		p.list.remove(n.page)
+		p.LockReleases++
+		released++
+	}
+	return released
+}
+
+// Resident implements Policy.
+//
+// CD is charged its resident set (the default Charge rule): an ALLOCATE
+// grant is a ceiling up to which the operating system assigns frames on
+// demand, not a reserved partition — page frames are handed out as the
+// program faults them in and returned as directives shrink the ceiling.
+// This matches the paper's sub-2-page average CD allocations (e.g. MAIN3's
+// MEM of 1.11 pages), which are only possible under demand assignment.
+func (p *CD) Resident() int { return p.list.len() }
+
+// Reset implements Policy.
+func (p *CD) Reset() {
+	p.alloc = p.minAlloc
+	p.list.reset()
+	p.locked = 0
+	p.locksBySite = map[int][]mem.Page{}
+	p.SwapSignals = 0
+	p.LockReleases = 0
+}
+
+// LockedPages returns the number of currently locked resident pages.
+func (p *CD) LockedPages() int { return p.locked }
+
+var _ Policy = (*CD)(nil)
+var _ Policy = (*LRU)(nil)
+var _ Policy = (*FIFO)(nil)
+var _ Policy = (*WS)(nil)
+var _ Policy = (*OPT)(nil)

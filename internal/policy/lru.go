@@ -1,0 +1,100 @@
+package policy
+
+import (
+	"fmt"
+
+	"cdmm/internal/mem"
+)
+
+// LRU is the classic fixed-allocation least-recently-used policy: the
+// program owns a fixed partition of Frames page frames and the least
+// recently used page is replaced on a fault.
+type LRU struct {
+	noDirectives
+	frames int
+	list   *lruList
+}
+
+// NewLRU returns an LRU policy with the given fixed allocation.
+func NewLRU(frames int) *LRU {
+	if frames < 1 {
+		frames = 1
+	}
+	return &LRU{frames: frames, list: newLRUList()}
+}
+
+// Name implements Policy.
+func (p *LRU) Name() string { return fmt.Sprintf("LRU(m=%d)", p.frames) }
+
+// Frames returns the fixed allocation.
+func (p *LRU) Frames() int { return p.frames }
+
+// Ref implements Policy.
+func (p *LRU) Ref(pg mem.Page) bool {
+	if p.list.contains(pg) {
+		p.list.touch(pg)
+		return false
+	}
+	if p.list.len() >= p.frames {
+		p.list.evictLRU()
+	}
+	p.list.touch(pg)
+	return true
+}
+
+// Resident implements Policy.
+func (p *LRU) Resident() int { return p.list.len() }
+
+// Charged implements Charger: the whole fixed partition is allocated for
+// the program's entire run.
+func (p *LRU) Charged() int { return p.frames }
+
+// Reset implements Policy.
+func (p *LRU) Reset() { p.list.reset() }
+
+// FIFO is fixed-allocation first-in-first-out replacement, an extra
+// baseline (the paper cites FIFO as the other classic static policy).
+type FIFO struct {
+	noDirectives
+	frames int
+	queue  []mem.Page
+	in     map[mem.Page]bool
+}
+
+// NewFIFO returns a FIFO policy with the given fixed allocation.
+func NewFIFO(frames int) *FIFO {
+	if frames < 1 {
+		frames = 1
+	}
+	return &FIFO{frames: frames, in: map[mem.Page]bool{}}
+}
+
+// Name implements Policy.
+func (p *FIFO) Name() string { return fmt.Sprintf("FIFO(m=%d)", p.frames) }
+
+// Ref implements Policy.
+func (p *FIFO) Ref(pg mem.Page) bool {
+	if p.in[pg] {
+		return false
+	}
+	if len(p.queue) >= p.frames {
+		old := p.queue[0]
+		p.queue = p.queue[1:]
+		delete(p.in, old)
+	}
+	p.queue = append(p.queue, pg)
+	p.in[pg] = true
+	return true
+}
+
+// Resident implements Policy.
+func (p *FIFO) Resident() int { return len(p.queue) }
+
+// Charged implements Charger: the whole fixed partition is allocated.
+func (p *FIFO) Charged() int { return p.frames }
+
+// Reset implements Policy.
+func (p *FIFO) Reset() {
+	p.queue = nil
+	p.in = map[mem.Page]bool{}
+}

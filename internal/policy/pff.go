@@ -1,0 +1,76 @@
+package policy
+
+import (
+	"fmt"
+
+	"cdmm/internal/mem"
+)
+
+// PFF is the Page Fault Frequency policy of Chu & Opderbeck (1972), one of
+// the §1 baselines ("cheaper to implement [than WS] but has poorer
+// performance; also, it exhibits anomalous behavior"). The resident set is
+// adjusted only at fault times: if the inter-fault interval is below the
+// threshold T the process is faulting too often and the set grows; if the
+// interval is at least T, pages unreferenced since the previous fault are
+// released before the new page is added.
+type PFF struct {
+	noDirectives
+	threshold int64
+
+	now       int64
+	lastFault int64
+	resident  map[mem.Page]bool
+	usedSince map[mem.Page]bool // referenced since the last fault
+}
+
+// NewPFF returns a PFF policy with inter-fault threshold T in references.
+func NewPFF(threshold int) *PFF {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &PFF{
+		threshold: int64(threshold),
+		resident:  map[mem.Page]bool{},
+		usedSince: map[mem.Page]bool{},
+	}
+}
+
+// Name implements Policy.
+func (p *PFF) Name() string { return fmt.Sprintf("PFF(T=%d)", p.threshold) }
+
+// Ref implements Policy.
+func (p *PFF) Ref(pg mem.Page) bool {
+	p.now++
+	if p.resident[pg] {
+		p.usedSince[pg] = true
+		return false
+	}
+	// Fault: apply the PFF rule.
+	if p.now-p.lastFault >= p.threshold {
+		// Faulting slowly: shrink to the pages referenced since the last
+		// fault (they carry the current locality).
+		for q := range p.resident {
+			if !p.usedSince[q] {
+				delete(p.resident, q)
+			}
+		}
+	}
+	// Faulting quickly (interval < T): grow without releasing anything.
+	p.resident[pg] = true
+	p.usedSince = map[mem.Page]bool{pg: true}
+	p.lastFault = p.now
+	return true
+}
+
+// Resident implements Policy.
+func (p *PFF) Resident() int { return len(p.resident) }
+
+// Reset implements Policy.
+func (p *PFF) Reset() {
+	p.now = 0
+	p.lastFault = 0
+	p.resident = map[mem.Page]bool{}
+	p.usedSince = map[mem.Page]bool{}
+}
+
+var _ Policy = (*PFF)(nil)

@@ -1,0 +1,177 @@
+// Package policy implements the memory-management policies the paper
+// compares: LRU with fixed allocation, the Working Set policy (WS), and
+// the Compiler Directed policy (CD) driven by ALLOCATE/LOCK/UNLOCK
+// directives. FIFO and Belady's OPT are included as additional baselines
+// for the ablation experiments.
+//
+// A Policy consumes the event stream of a trace: page references plus,
+// for CD, the directive events. The vmsim package drives policies over
+// traces and accumulates the paper's three performance indexes — page
+// faults (PF), average memory (MEM) and space-time cost (ST).
+package policy
+
+import (
+	"cdmm/internal/mem"
+	"cdmm/internal/trace"
+)
+
+// FaultService is the page-fault service time in memory references,
+// as assumed in the paper's §5 (2000 references per fault).
+const FaultService = 2000
+
+// Policy is a replacement/allocation policy processing one program's
+// event stream.
+type Policy interface {
+	// Name identifies the policy for reports.
+	Name() string
+	// Ref processes a page reference and reports whether it faulted.
+	Ref(p mem.Page) bool
+	// Resident returns the current resident-set size in pages.
+	Resident() int
+	// Alloc processes an ALLOCATE directive (no-op for directive-blind
+	// policies).
+	Alloc(d trace.AllocDirective)
+	// Lock processes a LOCK directive's resolved page set.
+	Lock(ls trace.LockSet)
+	// Unlock processes an UNLOCK directive's page set.
+	Unlock(pages []mem.Page)
+	// Reset returns the policy to its initial state so it can replay
+	// another trace.
+	Reset()
+}
+
+// Charger is implemented by policies whose space-time charge differs from
+// their resident-set size. Fixed-partition policies (LRU, FIFO, OPT) are
+// charged their whole partition for the program's entire virtual time —
+// the frames are reserved whether or not they are filled. Variable-
+// allocation policies (WS, CD) are charged what they actually hold: WS its
+// working set, CD its demand-assigned resident set under the directive
+// ceiling.
+type Charger interface {
+	// Charged returns the number of pages currently allocated to the
+	// program for space-time accounting.
+	Charged() int
+}
+
+// Charge returns the space-time charge for a policy: Charged() when
+// implemented, the resident-set size otherwise.
+func Charge(p Policy) int {
+	if c, ok := p.(Charger); ok {
+		return c.Charged()
+	}
+	return p.Resident()
+}
+
+// noDirectives provides no-op directive handling for LRU/FIFO/WS/OPT.
+type noDirectives struct{}
+
+func (noDirectives) Alloc(trace.AllocDirective) {}
+func (noDirectives) Lock(trace.LockSet)         {}
+func (noDirectives) Unlock([]mem.Page)          {}
+
+// lruList is an intrusive doubly-linked LRU list over pages with O(1)
+// lookup, used by the LRU and CD policies.
+type lruList struct {
+	nodes map[mem.Page]*lruNode
+	head  *lruNode // most recently used
+	tail  *lruNode // least recently used
+}
+
+type lruNode struct {
+	page       mem.Page
+	prev, next *lruNode
+	locked     bool
+	pj         int // lock priority (valid when locked)
+	site       int // lock site (valid when locked)
+}
+
+func newLRUList() *lruList {
+	return &lruList{nodes: map[mem.Page]*lruNode{}}
+}
+
+func (l *lruList) len() int { return len(l.nodes) }
+
+func (l *lruList) contains(p mem.Page) bool {
+	_, ok := l.nodes[p]
+	return ok
+}
+
+func (l *lruList) get(p mem.Page) *lruNode { return l.nodes[p] }
+
+// touch moves p to the MRU position, inserting it if absent.
+func (l *lruList) touch(p mem.Page) *lruNode {
+	n, ok := l.nodes[p]
+	if ok {
+		l.unlink(n)
+	} else {
+		n = &lruNode{page: p}
+		l.nodes[p] = n
+	}
+	l.pushFront(n)
+	return n
+}
+
+func (l *lruList) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+}
+
+func (l *lruList) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// remove deletes p from the list.
+func (l *lruList) remove(p mem.Page) {
+	if n, ok := l.nodes[p]; ok {
+		l.unlink(n)
+		delete(l.nodes, p)
+	}
+}
+
+// evictLRU removes and returns the least recently used unlocked page.
+// It returns false if every resident page is locked.
+func (l *lruList) evictLRU() (mem.Page, bool) {
+	for n := l.tail; n != nil; n = n.prev {
+		if !n.locked {
+			l.unlink(n)
+			delete(l.nodes, n.page)
+			return n.page, true
+		}
+	}
+	return 0, false
+}
+
+// lowestPriorityLocked returns the locked node with the largest PJ
+// ("pages with higher PJ values have lower priority and they are unlocked
+// first by the operating system"), or nil if nothing is locked.
+func (l *lruList) lowestPriorityLocked() *lruNode {
+	var best *lruNode
+	for n := l.tail; n != nil; n = n.prev {
+		if n.locked && (best == nil || n.pj > best.pj) {
+			best = n
+		}
+	}
+	return best
+}
+
+func (l *lruList) reset() {
+	l.nodes = map[mem.Page]*lruNode{}
+	l.head, l.tail = nil, nil
+}

@@ -1,0 +1,242 @@
+package policy
+
+import (
+	"fmt"
+
+	"cdmm/internal/mem"
+)
+
+// SWS is the Sampled Working Set policy (Rodriguez-Rosell & Dupuy, 1973),
+// the cheaper realization of WS the paper cites: instead of tracking the
+// exact window, per-page use bits are examined every sigma references.
+// At each sampling point, pages whose use bit is clear are released and
+// all use bits are cleared; between samples the resident set only grows
+// (by faults).
+type SWS struct {
+	noDirectives
+	sigma int64
+
+	now      int64
+	nextSamp int64
+	resident map[mem.Page]bool
+	useBit   map[mem.Page]bool
+}
+
+// NewSWS returns a Sampled WS policy with sampling interval sigma.
+func NewSWS(sigma int) *SWS {
+	if sigma < 1 {
+		sigma = 1
+	}
+	s := &SWS{sigma: int64(sigma)}
+	s.Reset()
+	return s
+}
+
+// Name implements Policy.
+func (p *SWS) Name() string { return fmt.Sprintf("SWS(sigma=%d)", p.sigma) }
+
+// Ref implements Policy.
+func (p *SWS) Ref(pg mem.Page) bool {
+	p.now++
+	if p.now >= p.nextSamp {
+		p.sample()
+		p.nextSamp = p.now + p.sigma
+	}
+	if p.resident[pg] {
+		p.useBit[pg] = true
+		return false
+	}
+	p.resident[pg] = true
+	p.useBit[pg] = true
+	return true
+}
+
+// sample releases unreferenced pages and clears the use bits.
+func (p *SWS) sample() {
+	for q := range p.resident {
+		if !p.useBit[q] {
+			delete(p.resident, q)
+		}
+	}
+	p.useBit = map[mem.Page]bool{}
+}
+
+// Resident implements Policy.
+func (p *SWS) Resident() int { return len(p.resident) }
+
+// Reset implements Policy.
+func (p *SWS) Reset() {
+	p.now = 0
+	p.nextSamp = p.sigma
+	p.resident = map[mem.Page]bool{}
+	p.useBit = map[mem.Page]bool{}
+}
+
+// VSWS is the Variable-Interval Sampled Working Set policy (Ferrari &
+// Yih, 1983), proposed "to reduce both implementation cost and
+// transitional page faults": the use bits are sampled when Q page faults
+// have accumulated since the last sample, but never sooner than MinIS
+// references and never later than MaxIS references after it.
+type VSWS struct {
+	noDirectives
+	minIS, maxIS int64
+	q            int
+
+	now         int64
+	lastSample  int64
+	faultsSince int
+	resident    map[mem.Page]bool
+	useBit      map[mem.Page]bool
+}
+
+// NewVSWS returns a VSWS policy with the (MinIS, MaxIS, Q) parameters.
+func NewVSWS(minIS, maxIS, q int) *VSWS {
+	if minIS < 1 {
+		minIS = 1
+	}
+	if maxIS < minIS {
+		maxIS = minIS
+	}
+	if q < 1 {
+		q = 1
+	}
+	v := &VSWS{minIS: int64(minIS), maxIS: int64(maxIS), q: q}
+	v.Reset()
+	return v
+}
+
+// Name implements Policy.
+func (p *VSWS) Name() string {
+	return fmt.Sprintf("VSWS(min=%d,max=%d,Q=%d)", p.minIS, p.maxIS, p.q)
+}
+
+// Ref implements Policy.
+func (p *VSWS) Ref(pg mem.Page) bool {
+	p.now++
+	elapsed := p.now - p.lastSample
+	if (p.faultsSince >= p.q && elapsed >= p.minIS) || elapsed >= p.maxIS {
+		p.sample()
+	}
+	if p.resident[pg] {
+		p.useBit[pg] = true
+		return false
+	}
+	p.resident[pg] = true
+	p.useBit[pg] = true
+	p.faultsSince++
+	return true
+}
+
+func (p *VSWS) sample() {
+	for q := range p.resident {
+		if !p.useBit[q] {
+			delete(p.resident, q)
+		}
+	}
+	p.useBit = map[mem.Page]bool{}
+	p.lastSample = p.now
+	p.faultsSince = 0
+}
+
+// Resident implements Policy.
+func (p *VSWS) Resident() int { return len(p.resident) }
+
+// Reset implements Policy.
+func (p *VSWS) Reset() {
+	p.now = 0
+	p.lastSample = 0
+	p.faultsSince = 0
+	p.resident = map[mem.Page]bool{}
+	p.useBit = map[mem.Page]bool{}
+}
+
+// DWS is the Damped Working Set policy (Smith, 1976), which the paper
+// cites as handling WS's transitional faulting ("the DWS outperforms WS
+// by less than 10%"): it behaves exactly like WS except that departures
+// from the resident set are rate-limited — at most one page may leave per
+// Damping references — so the set deflates gradually across interlocality
+// transitions instead of collapsing.
+type DWS struct {
+	noDirectives
+	ws       *WS
+	damping  int64
+	lastDrop int64
+	now      int64
+
+	// held are pages that expired from the true WS but are retained by
+	// the damper, in expiry order.
+	held    []mem.Page
+	heldSet map[mem.Page]bool
+}
+
+// NewDWS returns a Damped WS with window tau and the given damping
+// interval (references per allowed departure).
+func NewDWS(tau, damping int) *DWS {
+	if damping < 1 {
+		damping = 1
+	}
+	p := &DWS{ws: NewWS(tau), damping: int64(damping), heldSet: map[mem.Page]bool{}}
+	p.ws.onExpire = p.hold
+	return p
+}
+
+// Name implements Policy.
+func (p *DWS) Name() string {
+	return fmt.Sprintf("DWS(tau=%d,d=%d)", p.ws.Tau(), p.damping)
+}
+
+// hold receives pages expiring from the true working set.
+func (p *DWS) hold(pg mem.Page) {
+	if !p.heldSet[pg] {
+		p.held = append(p.held, pg)
+		p.heldSet[pg] = true
+	}
+}
+
+// Ref implements Policy.
+func (p *DWS) Ref(pg mem.Page) bool {
+	p.now++
+	fault := p.ws.Ref(pg)
+	if p.heldSet[pg] {
+		// The page expired from the true WS but the damper still holds
+		// it: re-entry is not a real fault.
+		p.removeHeld(pg)
+		fault = false
+	}
+	// Damping: release at most one held page per damping interval.
+	if len(p.held) > 0 && p.now-p.lastDrop >= p.damping {
+		drop := p.held[0]
+		p.held = p.held[1:]
+		delete(p.heldSet, drop)
+		p.lastDrop = p.now
+	}
+	return fault
+}
+
+func (p *DWS) removeHeld(pg mem.Page) {
+	delete(p.heldSet, pg)
+	for i, q := range p.held {
+		if q == pg {
+			p.held = append(p.held[:i], p.held[i+1:]...)
+			break
+		}
+	}
+}
+
+// Resident implements Policy.
+func (p *DWS) Resident() int { return p.ws.Resident() + len(p.held) }
+
+// Reset implements Policy.
+func (p *DWS) Reset() {
+	p.ws.Reset()
+	p.now = 0
+	p.lastDrop = 0
+	p.held = nil
+	p.heldSet = map[mem.Page]bool{}
+}
+
+var (
+	_ Policy = (*SWS)(nil)
+	_ Policy = (*VSWS)(nil)
+	_ Policy = (*DWS)(nil)
+)

@@ -1,0 +1,91 @@
+package policy
+
+import (
+	"fmt"
+
+	"cdmm/internal/mem"
+)
+
+// WS is Denning's Working Set policy: the resident set at virtual time t
+// is exactly the set of pages referenced in the window (t-τ, t], where
+// virtual time advances one unit per reference. A reference to a page
+// outside the working set faults; pages leave the set when unreferenced
+// for τ time units.
+type WS struct {
+	noDirectives
+	tau     int64
+	now     int64
+	lastRef map[mem.Page]int64
+	// window is a FIFO of (time, page) reference records used to expire
+	// pages lazily; resident tracks |W(t, τ)| incrementally.
+	window   []wsRecord
+	resident int
+
+	// onExpire, when set, is called for each page that leaves the working
+	// set (used by the Damped WS wrapper).
+	onExpire func(mem.Page)
+}
+
+type wsRecord struct {
+	t    int64
+	page mem.Page
+}
+
+// NewWS returns a Working Set policy with window size tau (in references).
+func NewWS(tau int) *WS {
+	if tau < 1 {
+		tau = 1
+	}
+	return &WS{tau: int64(tau), lastRef: map[mem.Page]int64{}}
+}
+
+// Name implements Policy.
+func (p *WS) Name() string { return fmt.Sprintf("WS(tau=%d)", p.tau) }
+
+// Tau returns the window size.
+func (p *WS) Tau() int { return int(p.tau) }
+
+// Ref implements Policy. A reference at time t faults iff its page is not
+// in W(t-1, τ), i.e. iff the backward inter-reference interval exceeds τ
+// (Denning's definition); after the reference, the resident set is W(t, τ).
+func (p *WS) Ref(pg mem.Page) bool {
+	p.now++
+	p.expireTo(p.now - 1) // establish W(t-1, τ) for the membership test
+	_, resident := p.lastRef[pg]
+	if !resident {
+		p.resident++
+	}
+	p.lastRef[pg] = p.now
+	p.window = append(p.window, wsRecord{t: p.now, page: pg})
+	p.expireTo(p.now) // establish W(t, τ) for Resident()
+	return !resident
+}
+
+// expireTo removes pages whose last reference fell outside the window
+// (x - τ, x].
+func (p *WS) expireTo(x int64) {
+	cutoff := x - p.tau // records with t <= cutoff are outside the window
+	for len(p.window) > 0 && p.window[0].t <= cutoff {
+		rec := p.window[0]
+		p.window = p.window[1:]
+		if p.lastRef[rec.page] == rec.t {
+			// No later reference kept the page in the working set.
+			delete(p.lastRef, rec.page)
+			p.resident--
+			if p.onExpire != nil {
+				p.onExpire(rec.page)
+			}
+		}
+	}
+}
+
+// Resident implements Policy.
+func (p *WS) Resident() int { return p.resident }
+
+// Reset implements Policy.
+func (p *WS) Reset() {
+	p.now = 0
+	p.lastRef = map[mem.Page]int64{}
+	p.window = nil
+	p.resident = 0
+}

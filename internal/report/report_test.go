@@ -1,0 +1,96 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"cdmm/internal/core"
+	"cdmm/internal/workloads"
+)
+
+func TestGenerateFullReport(t *testing.T) {
+	w, err := workloads.Get("HWSCRT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.CompileSource(w.Name, w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Generate(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# HWSCRT",
+		"## Arrays",
+		"| F | 64×64 | 64 | 1 |",
+		"## Loop nest",
+		"## Locality structure",
+		"## Inserted memory directives",
+		"ALLOCATE",
+		"## Compiler advisories",
+		"## Execution trace",
+		"## Runtime localities",
+		"## Policy comparison",
+		"best LRU",
+		"best WS",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestGenerateSkips(t *testing.T) {
+	p, err := core.CompileSource("T", `
+PROGRAM T
+DIMENSION V(128)
+DO I = 1, 128
+  V(I) = 1.0
+END DO
+END
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Generate(p, Options{SkipBLI: true, SkipSimulation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "Runtime localities") {
+		t.Error("BLI section present despite SkipBLI")
+	}
+	if strings.Contains(out, "Policy comparison") {
+		t.Error("simulation section present despite SkipSimulation")
+	}
+	if !strings.Contains(out, "## Arrays") {
+		t.Error("static sections missing")
+	}
+}
+
+func TestReferenceOrdersColumn(t *testing.T) {
+	p, err := core.CompileSource("T", `
+PROGRAM T
+DIMENSION A(64,8)
+DO I = 1, 64
+  DO J = 1, 8
+    A(I,J) = 0.0
+  END DO
+END DO
+END
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Generate(p, Options{SkipBLI: true, SkipSimulation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "A:row-wise") {
+		t.Errorf("loop table missing the row-wise classification:\n%s", out)
+	}
+	if !strings.Contains(out, "interchange") {
+		t.Error("advisories missing the interchange finding")
+	}
+}

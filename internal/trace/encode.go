@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"cdmm/internal/directive"
+	"cdmm/internal/mem"
+)
+
+// Binary trace format ("CDT1"): a compact varint encoding so multi-
+// million-reference traces can be written to disk and replayed without
+// recompiling the program. Layout:
+//
+//	magic "CDT1"
+//	name            (uvarint length + bytes)
+//	alloc table     (uvarint count; per entry: label, uvarint arm count,
+//	                 per arm: varint PI, varint X)
+//	lock table      (uvarint count; per entry: varint PJ, varint site,
+//	                 uvarint page count, varint pages)
+//	unlock table    (uvarint count; per entry: uvarint count, varint pages)
+//	events          (uvarint count; per event: byte kind, varint arg)
+//
+// Page references dominate, so the common case costs two or three bytes.
+const traceMagic = "CDT1"
+
+// WriteTo serializes the trace. It implements io.WriterTo.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+
+	if err := cw.bytes([]byte(traceMagic)); err != nil {
+		return cw.n, err
+	}
+	cw.str(t.Name)
+
+	cw.uvarint(uint64(len(t.Allocs)))
+	for _, a := range t.Allocs {
+		cw.str(a.Label)
+		cw.uvarint(uint64(len(a.Arms)))
+		for _, arm := range a.Arms {
+			cw.varint(int64(arm.PI))
+			cw.varint(int64(arm.X))
+		}
+	}
+
+	cw.uvarint(uint64(len(t.LockSets)))
+	for _, ls := range t.LockSets {
+		cw.varint(int64(ls.PJ))
+		cw.varint(int64(ls.Site))
+		cw.uvarint(uint64(len(ls.Pages)))
+		for _, p := range ls.Pages {
+			cw.varint(int64(p))
+		}
+	}
+
+	cw.uvarint(uint64(len(t.UnlockSets)))
+	for _, ps := range t.UnlockSets {
+		cw.uvarint(uint64(len(ps)))
+		for _, p := range ps {
+			cw.varint(int64(p))
+		}
+	}
+
+	cw.uvarint(uint64(len(t.Events)))
+	for _, e := range t.Events {
+		cw.byte(byte(e.Kind))
+		cw.varint(int64(e.Arg))
+	}
+	if cw.err != nil {
+		return cw.n, cw.err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// Read deserializes a trace written by WriteTo.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	cr := &countReader{r: br}
+
+	t := New(cr.str())
+
+	nAllocs := cr.uvarint()
+	for i := uint64(0); i < nAllocs && cr.err == nil; i++ {
+		a := AllocDirective{Label: cr.str()}
+		nArms := cr.uvarint()
+		for k := uint64(0); k < nArms && cr.err == nil; k++ {
+			a.Arms = append(a.Arms, directive.Arm{PI: int(cr.varint()), X: int(cr.varint())})
+		}
+		t.Allocs = append(t.Allocs, a)
+	}
+
+	nLocks := cr.uvarint()
+	for i := uint64(0); i < nLocks && cr.err == nil; i++ {
+		ls := LockSet{PJ: int(cr.varint()), Site: int(cr.varint())}
+		nPages := cr.uvarint()
+		for k := uint64(0); k < nPages && cr.err == nil; k++ {
+			ls.Pages = append(ls.Pages, mem.Page(cr.varint()))
+		}
+		t.LockSets = append(t.LockSets, ls)
+	}
+
+	nUnlocks := cr.uvarint()
+	for i := uint64(0); i < nUnlocks && cr.err == nil; i++ {
+		nPages := cr.uvarint()
+		var ps []mem.Page
+		for k := uint64(0); k < nPages && cr.err == nil; k++ {
+			ps = append(ps, mem.Page(cr.varint()))
+		}
+		t.UnlockSets = append(t.UnlockSets, ps)
+	}
+
+	nEvents := cr.uvarint()
+	for i := uint64(0); i < nEvents && cr.err == nil; i++ {
+		kind := EventKind(cr.byte())
+		arg := int32(cr.varint())
+		switch kind {
+		case EvRef:
+			t.AddRef(mem.Page(arg)) // maintains Refs/Distinct counters
+		case EvAlloc, EvLock, EvUnlock:
+			if int(arg) >= sideLen(t, kind) || arg < 0 {
+				return nil, fmt.Errorf("trace: event %d: %v index %d out of range", i, kind, arg)
+			}
+			t.Events = append(t.Events, Event{Kind: kind, Arg: arg})
+		default:
+			return nil, fmt.Errorf("trace: event %d: unknown kind %d", i, kind)
+		}
+	}
+	if cr.err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", cr.err)
+	}
+	return t, nil
+}
+
+func sideLen(t *Trace, kind EventKind) int {
+	switch kind {
+	case EvAlloc:
+		return len(t.Allocs)
+	case EvLock:
+		return len(t.LockSets)
+	default:
+		return len(t.UnlockSets)
+	}
+}
+
+// countWriter accumulates write errors and byte counts.
+type countWriter struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (c *countWriter) bytes(b []byte) error {
+	if c.err != nil {
+		return c.err
+	}
+	n, err := c.w.Write(b)
+	c.n += int64(n)
+	c.err = err
+	return err
+}
+
+func (c *countWriter) byte(b byte) {
+	if c.err != nil {
+		return
+	}
+	c.err = c.w.WriteByte(b)
+	if c.err == nil {
+		c.n++
+	}
+}
+
+func (c *countWriter) uvarint(v uint64) {
+	n := binary.PutUvarint(c.buf[:], v)
+	_ = c.bytes(c.buf[:n])
+}
+
+func (c *countWriter) varint(v int64) {
+	n := binary.PutVarint(c.buf[:], v)
+	_ = c.bytes(c.buf[:n])
+}
+
+func (c *countWriter) str(s string) {
+	c.uvarint(uint64(len(s)))
+	_ = c.bytes([]byte(s))
+}
+
+// countReader accumulates read errors.
+type countReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (c *countReader) byte() byte {
+	if c.err != nil {
+		return 0
+	}
+	b, err := c.r.ReadByte()
+	c.err = err
+	return b
+}
+
+func (c *countReader) uvarint() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(c.r)
+	c.err = err
+	return v
+}
+
+func (c *countReader) varint() int64 {
+	if c.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(c.r)
+	c.err = err
+	return v
+}
+
+func (c *countReader) str() string {
+	n := c.uvarint()
+	if c.err != nil {
+		return ""
+	}
+	if n > 1<<20 {
+		c.err = fmt.Errorf("string length %d too large", n)
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(c.r, b); err != nil {
+		c.err = err
+		return ""
+	}
+	return string(b)
+}

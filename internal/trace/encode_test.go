@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cdmm/internal/directive"
+	"cdmm/internal/mem"
+)
+
+func sampleTrace() *Trace {
+	tr := New("SAMPLE")
+	d1 := &directive.Allocate{Arms: []directive.Arm{{PI: 3, X: 111}, {PI: 1, X: 4}}}
+	d2 := &directive.Allocate{Arms: []directive.Arm{{PI: 2, X: 40}}}
+	tr.AddAlloc(d1)
+	tr.AddRef(0)
+	tr.AddRef(5)
+	tr.AddLock(2, 7, []mem.Page{5, 6})
+	tr.AddAlloc(d2)
+	for i := 0; i < 100; i++ {
+		tr.AddRef(mem.Page(i % 9))
+	}
+	tr.AddUnlock([]mem.Page{5, 6})
+	return tr
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	n, err := tr.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo returned %d, wrote %d", n, buf.Len())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name {
+		t.Errorf("name = %q, want %q", got.Name, tr.Name)
+	}
+	if got.Refs != tr.Refs || got.Distinct != tr.Distinct {
+		t.Errorf("counters = %d/%d, want %d/%d", got.Refs, got.Distinct, tr.Refs, tr.Distinct)
+	}
+	if len(got.Events) != len(tr.Events) {
+		t.Fatalf("events = %d, want %d", len(got.Events), len(tr.Events))
+	}
+	for i := range tr.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+	// Side tables.
+	if len(got.Allocs) != 2 || got.Allocs[0].Arms[0].X != 111 {
+		t.Errorf("alloc table wrong: %+v", got.Allocs)
+	}
+	if len(got.LockSets) != 1 || got.LockSets[0].PJ != 2 || got.LockSets[0].Pages[1] != 6 {
+		t.Errorf("lock table wrong: %+v", got.LockSets)
+	}
+	if len(got.UnlockSets) != 1 || len(got.UnlockSets[0]) != 2 {
+		t.Errorf("unlock table wrong: %+v", got.UnlockSets)
+	}
+}
+
+func TestEncodeCompact(t *testing.T) {
+	tr := New("C")
+	for i := 0; i < 10000; i++ {
+		tr.AddRef(mem.Page(i % 50))
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Pages < 128 cost 2 bytes per event (kind + 1-byte varint).
+	if buf.Len() > 2*10000+200 {
+		t.Errorf("encoding too large: %d bytes for 10000 refs", buf.Len())
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOPE1234"),
+		"truncated": []byte("CDT1\x02AB\x00"),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Read(bytes.NewReader(data)); err == nil {
+				t.Error("expected decode error")
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsBadEventIndex(t *testing.T) {
+	tr := New("X")
+	tr.AddRef(1)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the final event into an EvAlloc pointing at an empty table.
+	data := buf.Bytes()
+	data[len(data)-2] = byte(EvAlloc)
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("expected out-of-range index error")
+	}
+}
+
+func TestDecodeRejectsHugeString(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("CDT1")
+	// A name length of 2^30.
+	buf.Write([]byte{0x80, 0x80, 0x80, 0x80, 0x04})
+	if _, err := Read(&buf); err == nil || !strings.Contains(err.Error(), "too large") {
+		t.Errorf("expected length guard error, got %v", err)
+	}
+}

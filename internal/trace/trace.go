@@ -1,0 +1,169 @@
+// Package trace defines the page-reference trace that the virtual memory
+// simulator replays. A trace is the sequence of data-page references a
+// program makes (instructions and constants are assumed permanently
+// resident, per the paper's §5), interleaved with the memory-directive
+// events (ALLOCATE / LOCK / UNLOCK) that the compiler inserted, resolved
+// to concrete pages at execution time.
+package trace
+
+import (
+	"fmt"
+
+	"cdmm/internal/directive"
+	"cdmm/internal/mem"
+)
+
+// EventKind discriminates trace events.
+type EventKind uint8
+
+const (
+	// EvRef is a reference to a data page.
+	EvRef EventKind = iota
+	// EvAlloc is an executed ALLOCATE directive; Arg indexes Allocs.
+	EvAlloc
+	// EvLock is an executed LOCK directive; Arg indexes LockSets.
+	EvLock
+	// EvUnlock is an executed UNLOCK directive; Arg indexes UnlockSets.
+	EvUnlock
+)
+
+// Event is one trace entry. For EvRef, Arg is the page number; for the
+// directive events it indexes the corresponding side table. Events are
+// kept to 8 bytes so multi-million-reference traces stay cheap.
+type Event struct {
+	Kind EventKind
+	Arg  int32
+}
+
+// AllocDirective is the side-table entry of an executed ALLOCATE: the
+// else-chain of (PI, X) arms plus the key of the loop the directive
+// precedes (used by directive-set selectors with per-loop overrides).
+type AllocDirective struct {
+	Label string
+	Arms  []directive.Arm
+}
+
+// LockSet is the resolved page set of one LOCK execution.
+type LockSet struct {
+	PJ    int
+	Site  int // lock site id; re-execution of a site replaces its locks
+	Pages []mem.Page
+}
+
+// Trace is a complete program execution record.
+type Trace struct {
+	Name   string
+	Events []Event
+
+	// Side tables referenced by Event.Arg.
+	Allocs     []AllocDirective
+	LockSets   []LockSet
+	UnlockSets [][]mem.Page
+
+	// Refs is R, the number of page references.
+	Refs int
+	// Distinct is V, the number of distinct pages referenced.
+	Distinct int
+
+	allocIndex map[*directive.Allocate]int32
+	seen       map[mem.Page]bool
+}
+
+// New returns an empty trace.
+func New(name string) *Trace {
+	return &Trace{
+		Name:       name,
+		allocIndex: map[*directive.Allocate]int32{},
+		seen:       map[mem.Page]bool{},
+	}
+}
+
+// AddRef appends a page reference.
+func (t *Trace) AddRef(p mem.Page) {
+	t.Events = append(t.Events, Event{Kind: EvRef, Arg: int32(p)})
+	t.Refs++
+	if !t.seen[p] {
+		t.seen[p] = true
+		t.Distinct++
+	}
+}
+
+// AddAlloc appends an ALLOCATE execution. The arm list of a given
+// directive is interned: repeated executions share one side-table entry.
+func (t *Trace) AddAlloc(d *directive.Allocate) {
+	idx, ok := t.allocIndex[d]
+	if !ok {
+		idx = int32(len(t.Allocs))
+		label := ""
+		if d.For != nil {
+			label = d.For.Key()
+		}
+		t.Allocs = append(t.Allocs, AllocDirective{Label: label, Arms: d.Arms})
+		t.allocIndex[d] = idx
+	}
+	t.Events = append(t.Events, Event{Kind: EvAlloc, Arg: idx})
+}
+
+// AddLock appends a LOCK execution with its resolved pages.
+func (t *Trace) AddLock(pj, site int, pages []mem.Page) {
+	idx := int32(len(t.LockSets))
+	t.LockSets = append(t.LockSets, LockSet{PJ: pj, Site: site, Pages: pages})
+	t.Events = append(t.Events, Event{Kind: EvLock, Arg: idx})
+}
+
+// AddUnlock appends an UNLOCK execution covering the given pages.
+func (t *Trace) AddUnlock(pages []mem.Page) {
+	idx := int32(len(t.UnlockSets))
+	t.UnlockSets = append(t.UnlockSets, pages)
+	t.Events = append(t.Events, Event{Kind: EvUnlock, Arg: idx})
+}
+
+// Page returns the page of a reference event.
+func (t *Trace) Page(e Event) mem.Page { return mem.Page(e.Arg) }
+
+// Alloc returns the directive of an EvAlloc event.
+func (t *Trace) Alloc(e Event) AllocDirective { return t.Allocs[e.Arg] }
+
+// Arms returns the arm list of an EvAlloc event.
+func (t *Trace) Arms(e Event) []directive.Arm { return t.Allocs[e.Arg].Arms }
+
+// Lock returns the lock set of an EvLock event.
+func (t *Trace) Lock(e Event) LockSet { return t.LockSets[e.Arg] }
+
+// Unlock returns the page set of an EvUnlock event.
+func (t *Trace) Unlock(e Event) []mem.Page { return t.UnlockSets[e.Arg] }
+
+// Pages returns only the reference string (no directive events).
+func (t *Trace) Pages() []mem.Page {
+	out := make([]mem.Page, 0, t.Refs)
+	for _, e := range t.Events {
+		if e.Kind == EvRef {
+			out = append(out, mem.Page(e.Arg))
+		}
+	}
+	return out
+}
+
+// StripDirectives returns a copy of the trace with directive events
+// removed, for running directive-blind policies (LRU, WS) on the same
+// reference string. The copy shares no mutable state with t.
+func (t *Trace) StripDirectives() *Trace {
+	out := New(t.Name)
+	for _, e := range t.Events {
+		if e.Kind == EvRef {
+			out.AddRef(mem.Page(e.Arg))
+		}
+	}
+	return out
+}
+
+// Summary renders a one-line description.
+func (t *Trace) Summary() string {
+	nd := 0
+	for _, e := range t.Events {
+		if e.Kind != EvRef {
+			nd++
+		}
+	}
+	return fmt.Sprintf("%s: R=%d references, V=%d distinct pages, %d directive events", t.Name, t.Refs, t.Distinct, nd)
+}

@@ -1,0 +1,159 @@
+package vmsim
+
+import (
+	"cdmm/internal/mem"
+	"cdmm/internal/policy"
+	"cdmm/internal/trace"
+)
+
+// LRUSweep computes the full LRU allocation sweep m = 1..V in a single
+// pass over the trace using LRU stack distances (Mattson's stack
+// algorithm) with a Fenwick tree, O(R log R) total time. The results are
+// exactly what replaying the trace under NewLRU(m) for every m would
+// produce — page faults, MEM and space-time cost under the fixed-partition
+// charging rule (the whole partition is allocated for the program's entire
+// virtual time) — at a fraction of the cost; TestLRUSweepMatchesBrute
+// cross-validates the equivalence.
+type LRUSweep struct {
+	V    int
+	Refs int
+	// faults[m] is PF under allocation m, for m in [1, V]; faults[0] is
+	// unused. Allocations above V behave exactly like V.
+	faults []int
+}
+
+// NewLRUSweep analyzes the trace's reference string.
+func NewLRUSweep(tr *trace.Trace) *LRUSweep {
+	refs := tr.Pages()
+	s := &LRUSweep{Refs: len(refs)}
+
+	// Single pass: the LRU stack distance of every reference.
+	bit := newFenwick(len(refs) + 1)
+	lastPos := map[mem.Page]int{} // page -> 1-based time of latest ref
+	distHist := map[int]int{}     // stack distance -> count (finite only)
+	distinct := 0
+
+	for i, pg := range refs {
+		t := i + 1
+		if prev, ok := lastPos[pg]; ok {
+			// Distinct pages referenced strictly after prev: set bits in
+			// (prev, t).
+			k := bit.sum(t-1) - bit.sum(prev)
+			distHist[k+1]++
+			bit.add(prev, -1)
+		} else {
+			distinct++
+		}
+		bit.add(t, 1)
+		lastPos[pg] = t
+	}
+	s.V = distinct
+
+	// Faults(m) = first touches (V) + #refs with stack distance > m.
+	s.faults = make([]int, s.V+1)
+	distSuffix := make([]int, s.V+2)
+	for d, c := range distHist {
+		if d > s.V {
+			d = s.V + 1 // cannot exceed V, defensive
+		}
+		distSuffix[d] += c
+	}
+	for d := s.V; d >= 1; d-- {
+		distSuffix[d] += distSuffix[d+1]
+	}
+	for m := 1; m <= s.V; m++ {
+		s.faults[m] = s.V + distSuffix[m+1]
+	}
+	return s
+}
+
+func (s *LRUSweep) clamp(m int) int {
+	if m < 1 {
+		return 1
+	}
+	if m > s.V {
+		return s.V
+	}
+	return m
+}
+
+// Faults returns PF under allocation m.
+func (s *LRUSweep) Faults(m int) int { return s.faults[s.clamp(m)] }
+
+// MEM returns the memory allocated: the partition size itself.
+func (s *LRUSweep) MEM(m int) float64 { return float64(s.clamp(m)) }
+
+// ST returns the space-time cost under allocation m: the partition is
+// held for the whole virtual time R + FaultService·PF(m).
+func (s *LRUSweep) ST(m int) float64 {
+	m = s.clamp(m)
+	return float64(m) * (float64(s.Refs) + float64(policy.FaultService)*float64(s.faults[m]))
+}
+
+// Result converts one sweep point into the common Result form.
+func (s *LRUSweep) Result(m int) Result {
+	m = s.clamp(m)
+	pf := s.faults[m]
+	vt := int64(s.Refs) + int64(pf)*policy.FaultService
+	return Result{
+		Policy:      policy.NewLRU(m).Name(),
+		Refs:        s.Refs,
+		Faults:      pf,
+		MemSum:      float64(m) * float64(s.Refs),
+		SpaceTime:   float64(m) * float64(vt),
+		VirtualTime: vt,
+		MaxResident: m,
+	}
+}
+
+// MinST returns the allocation minimizing space-time cost and that cost.
+func (s *LRUSweep) MinST() (int, float64) {
+	bestM, best := 1, s.ST(1)
+	for m := 2; m <= s.V; m++ {
+		if st := s.ST(m); st < best {
+			bestM, best = m, st
+		}
+	}
+	return bestM, best
+}
+
+// MinAllocationForFaults returns the smallest allocation whose fault count
+// is at most target (faults are non-increasing in m for LRU). The second
+// result is false if even m = V faults more than target.
+func (s *LRUSweep) MinAllocationForFaults(target int) (int, bool) {
+	if s.faults[s.V] > target {
+		return s.V, false
+	}
+	lo, hi := 1, s.V
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.faults[mid] <= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, true
+}
+
+// fenwick is a basic binary indexed tree over 1..n.
+type fenwick struct {
+	tree []int
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int, n+1)} }
+
+func (f *fenwick) add(i, delta int) {
+	for ; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// sum returns the prefix sum over [1, i].
+func (f *fenwick) sum(i int) int {
+	s := 0
+	for ; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}

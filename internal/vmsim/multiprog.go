@@ -1,0 +1,261 @@
+// Multiprogramming driver: the paper designs CD for multiprogramming (the
+// priority-index machinery and the swapping mechanism of §4 exist for it)
+// but evaluates only uniprogramming, noting "the performance of CD in a
+// multiprogramming environment is still to be evaluated". This driver is
+// that evaluation: several jobs share a fixed frame pool, page-fault
+// service overlaps with the execution of other jobs, and the memory
+// manager deactivates (swaps out) jobs under overcommitment — CD jobs by
+// their own swap signal and lowest priority, WS jobs by the working-set
+// principle (suspend when the working sets no longer fit).
+package vmsim
+
+import (
+	"fmt"
+
+	"cdmm/internal/mem"
+	"cdmm/internal/policy"
+	"cdmm/internal/trace"
+)
+
+// Job is one program in a multiprogramming mix.
+type Job struct {
+	Name   string
+	Trace  *trace.Trace
+	Policy policy.Policy
+
+	pos       int   // next event index
+	readyAt   int64 // global tick when the job can run again
+	swappedIn bool
+	done      bool
+	// seenSignals tracks how many CD swap signals were already acted on.
+	seenSignals int
+
+	// Accumulated metrics.
+	Faults   int
+	Refs     int
+	MemSum   float64
+	Swaps    int // times this job was swapped out
+	Finished int64
+}
+
+// MultiConfig configures the multiprogramming run.
+type MultiConfig struct {
+	// Frames is the size of the shared page-frame pool.
+	Frames int
+	// Quantum is the maximum references a job executes before the
+	// round-robin scheduler rotates. Defaults to 500.
+	Quantum int
+	// SwapInDelay is the extra delay (in ticks) a swapped-out job pays
+	// before resuming, on top of refaulting its pages. Defaults to
+	// FaultService.
+	SwapInDelay int64
+}
+
+// MultiResult summarizes a multiprogramming run.
+type MultiResult struct {
+	Jobs      []*Job
+	Makespan  int64 // global tick when the last job finished
+	IdleTicks int64 // ticks with no job ready to run
+	Swaps     int   // total swap-outs
+}
+
+// String renders a summary.
+func (r *MultiResult) String() string {
+	s := fmt.Sprintf("makespan=%d idle=%d swaps=%d", r.Makespan, r.IdleTicks, r.Swaps)
+	for _, j := range r.Jobs {
+		s += fmt.Sprintf("\n  %-10s PF=%-6d MEM=%6.2f finished@%d swaps=%d",
+			j.Name, j.Faults, j.MEM(), j.Finished, j.Swaps)
+	}
+	return s
+}
+
+// MEM returns the job's average resident set over its executed references.
+func (j *Job) MEM() float64 {
+	if j.Refs == 0 {
+		return 0
+	}
+	return j.MemSum / float64(j.Refs)
+}
+
+// RunMulti executes the job mix to completion over a shared frame pool.
+// Each reference costs one global tick; a faulting job blocks for
+// FaultService ticks while other jobs keep running (fault service
+// overlaps). When the pool is overcommitted the driver swaps out the job
+// holding the most frames (other than the one being served); CD jobs that
+// raise their own swap signal (ungrantable PI = 1 request) are swapped out
+// directly, as the Figure 6 flowchart prescribes.
+func RunMulti(jobs []*Job, cfg MultiConfig) *MultiResult {
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 500
+	}
+	if cfg.SwapInDelay <= 0 {
+		cfg.SwapInDelay = policy.FaultService
+	}
+	for _, j := range jobs {
+		j.Policy.Reset()
+		j.pos = 0
+		j.readyAt = 0
+		j.swappedIn = true
+		j.done = false
+		if cd, ok := j.Policy.(*policy.CD); ok {
+			cd.Avail = func() int { return cfg.Frames - totalResident(jobs) }
+		}
+	}
+
+	res := &MultiResult{Jobs: jobs}
+	var clock int64
+	next := 0 // round-robin cursor
+
+	for {
+		j := pickReady(jobs, &next, clock)
+		if j == nil {
+			// Nobody ready: advance the clock to the earliest wake-up.
+			t, any := earliestReady(jobs)
+			if !any {
+				break // all done
+			}
+			if t > clock {
+				res.IdleTicks += t - clock
+				clock = t
+			}
+			continue
+		}
+		clock = runQuantum(j, jobs, cfg, clock, res)
+	}
+
+	for _, j := range jobs {
+		if j.Finished > res.Makespan {
+			res.Makespan = j.Finished
+		}
+	}
+	return res
+}
+
+// runQuantum executes up to cfg.Quantum references of job j, returning the
+// updated clock. The job yields early on a fault (service overlaps with
+// other jobs) or at trace end.
+func runQuantum(j *Job, jobs []*Job, cfg MultiConfig, clock int64, res *MultiResult) int64 {
+	if !j.swappedIn {
+		// Swap-in: the delay was charged at swap-out time; the pages
+		// refault on demand from here.
+		j.swappedIn = true
+	}
+	executed := 0
+	for executed < cfg.Quantum && j.pos < len(j.Trace.Events) {
+		e := j.Trace.Events[j.pos]
+		j.pos++
+		switch e.Kind {
+		case trace.EvRef:
+			// Admission control: if the pool is overcommitted, swap out
+			// the largest other job before serving this reference.
+			if totalResident(jobs) >= cfg.Frames {
+				swapOutVictim(jobs, j, clock, cfg, res)
+			}
+			fault := j.Policy.Ref(mem.Page(e.Arg))
+			executed++
+			j.Refs++
+			j.MemSum += float64(j.Policy.Resident())
+			clock++
+			if fault {
+				j.Faults++
+				j.readyAt = clock + policy.FaultService
+				return clock // yield: fault service overlaps
+			}
+		case trace.EvAlloc:
+			j.Policy.Alloc(j.Trace.Alloc(e))
+			if cd, ok := j.Policy.(*policy.CD); ok && cd.SwapSignals > j.seenSignals {
+				j.seenSignals = cd.SwapSignals
+				// The job's own PI = 1 request was ungrantable: swap out
+				// this job (the §4 swapping mechanism).
+				swapOut(j, clock, cfg, res)
+				return clock
+			}
+		case trace.EvLock:
+			j.Policy.Lock(j.Trace.Lock(e))
+		case trace.EvUnlock:
+			j.Policy.Unlock(j.Trace.Unlock(e))
+		}
+	}
+	if j.pos >= len(j.Trace.Events) {
+		j.done = true
+		j.Finished = clock
+		j.Policy.Reset() // release frames
+	}
+	return clock
+}
+
+// swapOutVictim deactivates the job (other than cur) holding the most
+// frames.
+func swapOutVictim(jobs []*Job, cur *Job, clock int64, cfg MultiConfig, res *MultiResult) {
+	var victim *Job
+	for _, j := range jobs {
+		if j == cur || j.done || !j.swappedIn {
+			continue
+		}
+		if victim == nil || j.Policy.Resident() > victim.Policy.Resident() {
+			victim = j
+		}
+	}
+	if victim != nil && victim.Policy.Resident() > 0 {
+		swapOut(victim, clock, cfg, res)
+	}
+}
+
+// swapOut releases a job's frames and delays it.
+func swapOut(j *Job, clock int64, cfg MultiConfig, res *MultiResult) {
+	if cd, ok := j.Policy.(*policy.CD); ok {
+		// Preserve the CD swap-signal count across the reset so repeated
+		// signals keep triggering swaps.
+		signals := cd.SwapSignals
+		avail := cd.Avail
+		cd.Reset()
+		cd.SwapSignals = signals
+		cd.Avail = avail
+	} else {
+		j.Policy.Reset()
+	}
+	j.swappedIn = false
+	j.Swaps++
+	res.Swaps++
+	if t := clock + cfg.SwapInDelay; t > j.readyAt {
+		j.readyAt = t
+	}
+}
+
+func totalResident(jobs []*Job) int {
+	n := 0
+	for _, j := range jobs {
+		if !j.done {
+			n += j.Policy.Resident()
+		}
+	}
+	return n
+}
+
+// pickReady returns the next ready job in round-robin order, or nil.
+func pickReady(jobs []*Job, next *int, clock int64) *Job {
+	for i := 0; i < len(jobs); i++ {
+		j := jobs[(*next+i)%len(jobs)]
+		if !j.done && j.readyAt <= clock {
+			*next = (*next + i + 1) % len(jobs)
+			return j
+		}
+	}
+	return nil
+}
+
+// earliestReady returns the earliest wake-up among unfinished jobs.
+func earliestReady(jobs []*Job) (int64, bool) {
+	var t int64
+	any := false
+	for _, j := range jobs {
+		if j.done {
+			continue
+		}
+		if !any || j.readyAt < t {
+			t = j.readyAt
+			any = true
+		}
+	}
+	return t, any
+}

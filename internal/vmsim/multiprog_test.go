@@ -1,0 +1,112 @@
+package vmsim
+
+import (
+	"testing"
+
+	"cdmm/internal/directive"
+	"cdmm/internal/mem"
+	"cdmm/internal/policy"
+	"cdmm/internal/trace"
+)
+
+// loopTrace builds a trace cycling over pages [base, base+n) for rounds.
+func loopTrace(name string, base, n, rounds int) *trace.Trace {
+	tr := trace.New(name)
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < n; i++ {
+			tr.AddRef(mem.Page(base + i))
+		}
+	}
+	return tr
+}
+
+func TestMultiSingleJobMatchesUniprogramming(t *testing.T) {
+	tr := loopTrace("a", 0, 4, 50)
+	uni := Run(tr, policy.NewWS(64))
+
+	job := &Job{Name: "a", Trace: tr, Policy: policy.NewWS(64)}
+	res := RunMulti([]*Job{job}, MultiConfig{Frames: 100})
+	if job.Faults != uni.Faults {
+		t.Errorf("multi faults = %d, uni = %d", job.Faults, uni.Faults)
+	}
+	if job.Refs != tr.Refs {
+		t.Errorf("refs = %d, want %d", job.Refs, tr.Refs)
+	}
+	if res.Swaps != 0 {
+		t.Errorf("swaps = %d, want 0 (pool ample)", res.Swaps)
+	}
+	if !jobDone(job) {
+		t.Error("job not finished")
+	}
+}
+
+func jobDone(j *Job) bool { return j.Finished > 0 }
+
+func TestMultiFaultServiceOverlaps(t *testing.T) {
+	// Two jobs, ample frames: while one is in fault service the other
+	// runs, so the makespan is far below the serial virtual time.
+	a := &Job{Name: "a", Trace: loopTrace("a", 0, 8, 100), Policy: policy.NewWS(64)}
+	b := &Job{Name: "b", Trace: loopTrace("b", 100, 8, 100), Policy: policy.NewWS(64)}
+	res := RunMulti([]*Job{a, b}, MultiConfig{Frames: 64})
+
+	serial := Run(a.Trace, policy.NewWS(64)).VirtualTime + Run(b.Trace, policy.NewWS(64)).VirtualTime
+	if res.Makespan >= serial {
+		t.Errorf("makespan %d not below serial %d: no overlap", res.Makespan, serial)
+	}
+	if a.Faults != 8 || b.Faults != 8 {
+		t.Errorf("faults = %d/%d, want 8/8", a.Faults, b.Faults)
+	}
+}
+
+func TestMultiPoolPressureCausesSwaps(t *testing.T) {
+	// Two jobs each needing 8 pages, pool of 10: somebody must be swapped.
+	a := &Job{Name: "a", Trace: loopTrace("a", 0, 8, 200), Policy: policy.NewWS(1000)}
+	b := &Job{Name: "b", Trace: loopTrace("b", 100, 8, 200), Policy: policy.NewWS(1000)}
+	res := RunMulti([]*Job{a, b}, MultiConfig{Frames: 10})
+	if res.Swaps == 0 {
+		t.Error("expected swaps under pool pressure")
+	}
+	if a.Faults+b.Faults <= 16 {
+		t.Error("swapped jobs must refault their pages")
+	}
+	if !jobDone(a) || !jobDone(b) {
+		t.Error("jobs must still run to completion")
+	}
+}
+
+func TestMultiCDSwapSignal(t *testing.T) {
+	// A CD job whose PI=1 request exceeds the whole pool raises the swap
+	// signal and is swapped out rather than thrashing.
+	tr2 := trace.New("cd")
+	tr2.AddAlloc(&directive.Allocate{Arms: []directive.Arm{{PI: 1, X: 50}}})
+	for r := 0; r < 3; r++ {
+		for i := 0; i < 20; i++ {
+			tr2.AddRef(mem.Page(i))
+		}
+	}
+	cd := policy.NewCD(policy.SelectLevel(1), 2)
+	job := &Job{Name: "cd", Trace: tr2, Policy: cd}
+	filler := &Job{Name: "filler", Trace: loopTrace("f", 100, 4, 400), Policy: policy.NewWS(64)}
+	res := RunMulti([]*Job{job, filler}, MultiConfig{Frames: 16})
+	if job.Swaps == 0 {
+		t.Errorf("CD job should have been swapped on its ungrantable PI=1 request; result: %v", res)
+	}
+	if !jobDone(job) {
+		t.Error("CD job must finish after swap-in")
+	}
+}
+
+func TestMultiDeterministic(t *testing.T) {
+	mk := func() []*Job {
+		return []*Job{
+			{Name: "a", Trace: loopTrace("a", 0, 6, 100), Policy: policy.NewWS(500)},
+			{Name: "b", Trace: loopTrace("b", 50, 6, 100), Policy: policy.NewWS(500)},
+			{Name: "c", Trace: loopTrace("c", 90, 6, 100), Policy: policy.NewLRU(6)},
+		}
+	}
+	r1 := RunMulti(mk(), MultiConfig{Frames: 14})
+	r2 := RunMulti(mk(), MultiConfig{Frames: 14})
+	if r1.Makespan != r2.Makespan || r1.Swaps != r2.Swaps {
+		t.Errorf("nondeterministic: %v vs %v", r1, r2)
+	}
+}

@@ -1,0 +1,189 @@
+package vmsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cdmm/internal/mem"
+	"cdmm/internal/policy"
+	"cdmm/internal/trace"
+)
+
+// randomTrace builds a deterministic pseudo-random trace with locality
+// phases (bursts around a moving base), a realistic shape for sweeps.
+func randomTrace(seed uint64, n, universe int) *trace.Trace {
+	rng := func() uint64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return seed >> 33
+	}
+	tr := trace.New("rand")
+	base := 0
+	for i := 0; i < n; i++ {
+		if rng()%97 == 0 {
+			base = int(rng()) % universe
+		}
+		span := 4 + int(rng()%8)
+		tr.AddRef(mem.Page((base + int(rng())%span) % universe))
+	}
+	return tr
+}
+
+func TestLRUSweepMatchesBrute(t *testing.T) {
+	tr := randomTrace(42, 3000, 40)
+	sweep := NewLRUSweep(tr)
+	brute := SweepLRU(tr, sweep.V)
+	for m := 1; m <= sweep.V; m++ {
+		b := brute[m-1]
+		if got := sweep.Faults(m); got != b.Faults {
+			t.Errorf("m=%d: faults %d != brute %d", m, got, b.Faults)
+		}
+		if got := sweep.MEM(m); math.Abs(got-b.MEM()) > 1e-6 {
+			t.Errorf("m=%d: MEM %v != brute %v", m, got, b.MEM())
+		}
+		if got := sweep.ST(m); math.Abs(got-b.ST()) > 1e-3 {
+			t.Errorf("m=%d: ST %v != brute %v", m, got, b.ST())
+		}
+	}
+}
+
+func TestLRUSweepPropertyRandom(t *testing.T) {
+	f := func(seed uint16) bool {
+		tr := randomTrace(uint64(seed)+1, 600, 24)
+		sweep := NewLRUSweep(tr)
+		for _, m := range []int{1, 2, 3, 5, 8, sweep.V} {
+			b := Run(tr.StripDirectives(), policy.NewLRU(m))
+			if sweep.Faults(m) != b.Faults {
+				return false
+			}
+			if math.Abs(sweep.ST(m)-b.ST()) > 1e-3 {
+				return false
+			}
+			if math.Abs(sweep.MEM(m)-b.MEM()) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLRUSweepMinST(t *testing.T) {
+	tr := randomTrace(7, 4000, 30)
+	sweep := NewLRUSweep(tr)
+	m, st := sweep.MinST()
+	for mm := 1; mm <= sweep.V; mm++ {
+		if sweep.ST(mm) < st {
+			t.Fatalf("MinST returned m=%d (%v) but m=%d has %v", m, st, mm, sweep.ST(mm))
+		}
+	}
+}
+
+func TestLRUSweepMinAllocationForFaults(t *testing.T) {
+	tr := randomTrace(11, 3000, 25)
+	sweep := NewLRUSweep(tr)
+	target := sweep.Faults(sweep.V / 2)
+	m, ok := sweep.MinAllocationForFaults(target)
+	if !ok {
+		t.Fatal("target not achievable but it must be (it equals a sweep point)")
+	}
+	if sweep.Faults(m) > target {
+		t.Errorf("m=%d faults %d exceed target %d", m, sweep.Faults(m), target)
+	}
+	if m > 1 && sweep.Faults(m-1) <= target {
+		t.Errorf("m=%d is not minimal: m-1 also achieves the target", m)
+	}
+	// Unachievable target.
+	if _, ok := sweep.MinAllocationForFaults(sweep.V - 1 - sweep.Faults(sweep.V)); ok && sweep.Faults(sweep.V) > sweep.V-1-sweep.Faults(sweep.V) {
+		t.Error("unachievable target reported achievable")
+	}
+}
+
+func TestWSSweepMatchesBrute(t *testing.T) {
+	tr := randomTrace(99, 2500, 30)
+	sweep := NewWSSweep(tr)
+	for _, tau := range []int{1, 2, 3, 5, 10, 25, 80, 300, 2500} {
+		b := Run(tr.StripDirectives(), policy.NewWS(tau))
+		if got := sweep.Faults(tau); got != b.Faults {
+			t.Errorf("tau=%d: faults %d != brute %d", tau, got, b.Faults)
+		}
+		if got := sweep.MEM(tau); math.Abs(got-b.MEM()) > 1e-6 {
+			t.Errorf("tau=%d: MEM %v != brute %v", tau, got, b.MEM())
+		}
+	}
+}
+
+func TestWSSweepPropertyRandom(t *testing.T) {
+	f := func(seed uint16) bool {
+		tr := randomTrace(uint64(seed)+777, 500, 16)
+		sweep := NewWSSweep(tr)
+		for _, tau := range []int{1, 3, 7, 20, 100} {
+			b := Run(tr.StripDirectives(), policy.NewWS(tau))
+			if sweep.Faults(tau) != b.Faults {
+				return false
+			}
+			if math.Abs(sweep.MEM(tau)-b.MEM()) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWSTauForMEM(t *testing.T) {
+	tr := randomTrace(5, 3000, 30)
+	sweep := NewWSSweep(tr)
+	target := sweep.MEM(40)
+	tau := sweep.TauForMEM(target)
+	got := sweep.MEM(tau)
+	// No other τ should be meaningfully closer.
+	for _, other := range []int{tau - 1, tau + 1} {
+		if other < 1 {
+			continue
+		}
+		if math.Abs(sweep.MEM(other)-target) < math.Abs(got-target)-1e-12 {
+			t.Errorf("τ=%d closer to target than chosen τ=%d", other, tau)
+		}
+	}
+}
+
+func TestWSMinTauForFaults(t *testing.T) {
+	tr := randomTrace(13, 2000, 20)
+	sweep := NewWSSweep(tr)
+	target := sweep.Faults(50)
+	tau, ok := sweep.MinTauForFaults(target)
+	if !ok {
+		t.Fatal("achievable target reported unachievable")
+	}
+	if sweep.Faults(tau) > target {
+		t.Errorf("τ=%d faults %d exceed target %d", tau, sweep.Faults(tau), target)
+	}
+	if tau > 1 && sweep.Faults(tau-1) <= target {
+		t.Errorf("τ=%d not minimal", tau)
+	}
+	// V first-touches can never be avoided: target below V is unachievable.
+	if _, ok := sweep.MinTauForFaults(0); ok {
+		t.Error("zero faults reported achievable")
+	}
+}
+
+func TestWSMinST(t *testing.T) {
+	tr := randomTrace(21, 2000, 20)
+	sweep := NewWSSweep(tr)
+	tau, res := sweep.MinST()
+	if res.Faults != sweep.Faults(tau) {
+		t.Errorf("result faults %d inconsistent with histogram %d", res.Faults, sweep.Faults(tau))
+	}
+	// Check a few other ladder points are not better.
+	for _, other := range []int{1, 10, 100, 1000} {
+		r := sweep.Run(other)
+		if r.SpaceTime < res.SpaceTime-1e-9 {
+			t.Errorf("τ=%d has ST %v < reported min %v (τ=%d)", other, r.SpaceTime, res.SpaceTime, tau)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package vmsim drives memory-management policies over page-reference
+// traces and accumulates the paper's three performance indexes: the number
+// of page faults (PF), the average memory allocated to the program (MEM),
+// and the space-time cost (ST), with page-fault service time of 2000
+// memory references (§5).
+//
+// Virtual time advances one unit per reference plus FaultService units per
+// fault; the space-time integral accumulates resident-set-size × elapsed
+// virtual time, so holding a large resident set across a fault is charged
+// 2000× more than across a hit — exactly the trade-off the paper's ST
+// index captures.
+package vmsim
+
+import (
+	"fmt"
+
+	"cdmm/internal/mem"
+	"cdmm/internal/policy"
+	"cdmm/internal/trace"
+)
+
+// Result holds the performance indexes of one simulation run.
+type Result struct {
+	Policy string
+	Refs   int
+	Faults int
+	// MemSum is Σ resident-set-size sampled after every reference.
+	MemSum float64
+	// SpaceTime is the pages × virtual-time integral (the paper's ST).
+	SpaceTime float64
+	// VirtualTime is Refs + Faults × FaultService.
+	VirtualTime int64
+	// SwapSignals and LockReleases are CD-specific counters (0 otherwise).
+	SwapSignals  int
+	LockReleases int
+	// MaxResident is the peak resident-set size.
+	MaxResident int
+}
+
+// MEM returns the average memory allocated, in pages, averaged over
+// references.
+func (r Result) MEM() float64 {
+	if r.Refs == 0 {
+		return 0
+	}
+	return r.MemSum / float64(r.Refs)
+}
+
+// ST returns the space-time cost.
+func (r Result) ST() float64 { return r.SpaceTime }
+
+// FaultRate returns faults per thousand references.
+func (r Result) FaultRate() float64 {
+	if r.Refs == 0 {
+		return 0
+	}
+	return 1000 * float64(r.Faults) / float64(r.Refs)
+}
+
+// String summarizes the result.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: PF=%d MEM=%.2f ST=%.3g (R=%d)", r.Policy, r.Faults, r.MEM(), r.ST(), r.Refs)
+}
+
+// Run replays the trace under the policy. The policy is Reset first, so a
+// single policy value can be reused across runs.
+func Run(tr *trace.Trace, pol policy.Policy) Result {
+	pol.Reset()
+	res := Result{Policy: pol.Name(), Refs: tr.Refs}
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.EvRef:
+			fault := pol.Ref(mem.Page(e.Arg))
+			dt := int64(1)
+			if fault {
+				res.Faults++
+				dt += policy.FaultService
+			}
+			m := policy.Charge(pol)
+			res.VirtualTime += dt
+			res.SpaceTime += float64(m) * float64(dt)
+			res.MemSum += float64(m)
+			if r := pol.Resident(); r > res.MaxResident {
+				res.MaxResident = r
+			}
+		case trace.EvAlloc:
+			pol.Alloc(tr.Alloc(e))
+		case trace.EvLock:
+			pol.Lock(tr.Lock(e))
+		case trace.EvUnlock:
+			pol.Unlock(tr.Unlock(e))
+		}
+	}
+	if cd, ok := pol.(*policy.CD); ok {
+		res.SwapSignals = cd.SwapSignals
+		res.LockReleases = cd.LockReleases
+	}
+	return res
+}
+
+// SweepLRU runs LRU at every allocation in [1, maxFrames] and returns the
+// results indexed by allocation-1. The paper varies the LRU allocation
+// between 1 and V.
+func SweepLRU(tr *trace.Trace, maxFrames int) []Result {
+	refs := tr.StripDirectives()
+	out := make([]Result, maxFrames)
+	for m := 1; m <= maxFrames; m++ {
+		out[m-1] = Run(refs, policy.NewLRU(m))
+	}
+	return out
+}
+
+// SweepWS runs the Working Set policy at each window size in taus.
+func SweepWS(tr *trace.Trace, taus []int) []Result {
+	refs := tr.StripDirectives()
+	out := make([]Result, len(taus))
+	for i, tau := range taus {
+		out[i] = Run(refs, policy.NewWS(tau))
+	}
+	return out
+}
+
+// DefaultTaus builds the WS window-size sweep for a trace of length R:
+// a geometric ladder from 1 to R covering the interesting range densely.
+func DefaultTaus(refLen int) []int {
+	var taus []int
+	seen := map[int]bool{}
+	add := func(t int) {
+		if t >= 1 && t <= refLen && !seen[t] {
+			seen[t] = true
+			taus = append(taus, t)
+		}
+	}
+	for t := 1; t <= refLen; {
+		add(t)
+		// ~12% steps give a dense enough ladder to match MEM targets.
+		nt := t + t/8
+		if nt == t {
+			nt = t + 1
+		}
+		t = nt
+	}
+	return taus
+}

@@ -1,0 +1,185 @@
+package vmsim
+
+import (
+	"sort"
+
+	"cdmm/internal/mem"
+	"cdmm/internal/policy"
+	"cdmm/internal/trace"
+)
+
+// WSSweep answers working-set questions for every window size τ from two
+// single-pass histograms, without replaying the trace per τ:
+//
+//   - Faults(τ): a reference faults iff the backward inter-reference
+//     interval of its page exceeds τ (first references always fault), so
+//     PF(τ) is a suffix count of the interval histogram.
+//   - MemSum(τ): a reference at time u with forward re-reference distance
+//     d (to the next reference of the same page, or to the end of the
+//     trace) keeps its page in W(t,τ) for exactly min(τ, d) time steps, so
+//     Σ_t |W(t,τ)| = Σ_u min(τ, d_u), a prefix-sum over the forward
+//     distance histogram.
+//
+// Both identities are exact and are cross-validated against the brute
+// replay in the tests. The space-time cost additionally depends on the
+// working-set size at fault instants, which does not reduce to a
+// histogram; ST is obtained by a brute replay at the (few) τ values the
+// experiments actually report.
+type WSSweep struct {
+	Refs int
+	tr   *trace.Trace
+
+	// interval suffix counts: faultsGE[k] = #refs with interval >= k.
+	faultsGE []int
+	// forward-distance histogram prefix aggregates.
+	fwdSorted []int
+	fwdPrefix []float64 // prefix sums of fwdSorted
+}
+
+// NewWSSweep analyzes the trace's reference string.
+func NewWSSweep(tr *trace.Trace) *WSSweep {
+	refs := tr.Pages()
+	n := len(refs)
+	s := &WSSweep{Refs: n, tr: tr}
+
+	last := map[mem.Page]int{}
+	intervals := make([]int, 0, n) // backward intervals; n+1 encodes "first ref"
+	fwd := make([]int, n)
+	nextOfSame := map[mem.Page]int{}
+
+	for i, pg := range refs {
+		t := i + 1
+		if prev, ok := last[pg]; ok {
+			intervals = append(intervals, t-prev)
+		} else {
+			intervals = append(intervals, n+1)
+		}
+		last[pg] = t
+	}
+	for i := n - 1; i >= 0; i-- {
+		t := i + 1
+		if nxt, ok := nextOfSame[refs[i]]; ok {
+			fwd[i] = nxt - t
+		} else {
+			fwd[i] = n - t + 1
+		}
+		nextOfSame[refs[i]] = t
+	}
+
+	s.faultsGE = make([]int, n+3)
+	for _, iv := range intervals {
+		if iv > n+1 {
+			iv = n + 1
+		}
+		s.faultsGE[iv]++
+	}
+	for k := n + 1; k >= 1; k-- {
+		s.faultsGE[k] += s.faultsGE[k+1]
+	}
+
+	sort.Ints(fwd)
+	s.fwdSorted = fwd
+	s.fwdPrefix = make([]float64, n+1)
+	for i, d := range fwd {
+		s.fwdPrefix[i+1] = s.fwdPrefix[i] + float64(d)
+	}
+	return s
+}
+
+// Faults returns PF under window size tau.
+func (s *WSSweep) Faults(tau int) int {
+	if tau < 1 {
+		tau = 1
+	}
+	k := tau + 1
+	if k > s.Refs+1 {
+		k = s.Refs + 1
+	}
+	return s.faultsGE[k]
+}
+
+// MemSum returns Σ_t |W(t,τ)|.
+func (s *WSSweep) MemSum(tau int) float64 {
+	if tau < 1 {
+		tau = 1
+	}
+	// Σ min(τ, d) = Σ_{d<=τ} d + τ·#{d>τ}.
+	i := sort.SearchInts(s.fwdSorted, tau+1)
+	return s.fwdPrefix[i] + float64(tau)*float64(len(s.fwdSorted)-i)
+}
+
+// MEM returns the average working-set size under window size tau.
+func (s *WSSweep) MEM(tau int) float64 {
+	if s.Refs == 0 {
+		return 0
+	}
+	return s.MemSum(tau) / float64(s.Refs)
+}
+
+// Run replays the trace under WS(τ) for the exact result including ST.
+func (s *WSSweep) Run(tau int) Result {
+	return Run(s.tr, policy.NewWS(tau))
+}
+
+// TauForMEM returns the window size whose average working-set size is
+// closest to target (MEM is non-decreasing in τ, so binary search).
+func (s *WSSweep) TauForMEM(target float64) int {
+	lo, hi := 1, s.Refs
+	if hi < 1 {
+		return 1
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.MEM(mid) < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// lo is the first τ with MEM >= target; τ-1 may be closer.
+	if lo > 1 && target-s.MEM(lo-1) < s.MEM(lo)-target {
+		return lo - 1
+	}
+	return lo
+}
+
+// MinTauForFaults returns the smallest window size whose fault count is at
+// most target (faults are non-increasing in τ). The second result is false
+// if no window achieves the target.
+func (s *WSSweep) MinTauForFaults(target int) (int, bool) {
+	if s.Faults(s.Refs) > target {
+		return s.Refs, false
+	}
+	lo, hi := 1, s.Refs
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.Faults(mid) <= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, true
+}
+
+// MinST searches the τ ladder for the window minimizing the space-time
+// cost, replaying the trace only at ladder points. It returns the best τ
+// and its full result.
+func (s *WSSweep) MinST() (int, Result) {
+	taus := DefaultTaus(s.Refs)
+	bestTau := taus[0]
+	best := s.Run(bestTau)
+	for _, tau := range taus[1:] {
+		// Histogram lower bound: ST >= MemSum + FaultService * faults * 1;
+		// skip τ whose bound already exceeds the best (cheap pruning).
+		lower := s.MemSum(tau) + float64(policy.FaultService)*float64(s.Faults(tau))
+		if lower >= best.SpaceTime {
+			continue
+		}
+		r := s.Run(tau)
+		if r.SpaceTime < best.SpaceTime {
+			bestTau, best = tau, r
+		}
+	}
+	return bestTau, best
+}

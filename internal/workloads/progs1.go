@@ -1,0 +1,290 @@
+package workloads
+
+// MAIN: an atmospheric-model driver in the style of the UIARL codes the
+// paper traces — a time loop over repeated grid-relaxation phases (a
+// four-deep nest) plus vector smoothing phases, giving the four-level
+// directive structure behind the MAIN/MAIN1/MAIN2/MAIN3 rows of Table 1.
+var MAIN = register(&Program{
+	Name: "MAIN",
+	Description: "UIARL-style atmospheric driver: time loop over grid " +
+		"relaxation (4-deep nest) and vector smoothing phases",
+	Sets: []Set{
+		{Name: "MAIN", Level: 2},  // per-column sweep locality (canonical)
+		{Name: "MAIN1", Level: 5}, // outermost: whole-program locality
+		{Name: "MAIN2", Level: 4}, // grid re-reference locality
+		{Name: "MAIN3", Level: 1}, // innermost: active pages only
+	},
+	Source: `
+PROGRAM MAIN
+C Grids are 128 x 12 (24 pages each at 64 elements/page); ZB and FC are
+C work vectors. Column-major storage; the relaxation walks columns, with
+C an inner multi-sweep loop that re-references the current column set.
+DIMENSION U(128,12), W(128,12), PSI(128,12), ZB(640), FC(320)
+C ---- initial fields (column-wise) ----
+DO 20 J = 1, 12
+  DO 10 I = 1, 128
+    U(I,J) = 0.01 * FLOAT(I) + 0.1 * FLOAT(J)
+    W(I,J) = 0.02 * FLOAT(I) - 0.05 * FLOAT(J)
+    PSI(I,J) = 0.0
+10 CONTINUE
+20 CONTINUE
+DO 30 L = 1, 640
+  ZB(L) = 1.0
+30 CONTINUE
+DO 40 L = 1, 320
+  FC(L) = 0.5
+40 CONTINUE
+C ---- time integration ----
+DO 100 IT = 1, 5
+C   relaxation phase: K repetitions re-reference the whole grids
+  DO 90 K = 1, 2
+    DO 80 J = 1, 11
+C     several smoothing sweeps re-walk the same columns
+      DO 75 IS = 1, 4
+        DO 70 I = 1, 127
+          PSI(I,J) = 0.25 * (U(I,J) + U(I+1,J) + W(I,J) + W(I,J+1))
+          U(I,J) = U(I,J) + 0.1 * PSI(I,J)
+70      CONTINUE
+75    CONTINUE
+80  CONTINUE
+90 CONTINUE
+C   vector smoothing phases (leaf loops)
+  DO 95 L = 1, 640
+    ZB(L) = 0.99 * ZB(L)
+95 CONTINUE
+  DO 96 L = 1, 320
+    FC(L) = FC(L) + 0.001
+96 CONTINUE
+100 CONTINUE
+END
+`,
+})
+
+// FDJAC: the MINPACK forward-difference Jacobian (fdjac2): for each
+// variable j, perturb x(j), re-evaluate the residual vector, and store the
+// divided difference into column j of the Jacobian.
+var FDJAC = register(&Program{
+	Name: "FDJAC",
+	Description: "MINPACK forward-difference Jacobian: perturb each " +
+		"variable, re-evaluate residuals, fill Jacobian columns",
+	Sets: []Set{
+		// The canonical set holds the Jacobian through the row-wise
+		// step-prediction passes (level 3 covers the FP nest).
+		{Name: "FDJAC", Level: 3},
+		{Name: "FDJAC1", Level: 2},
+	},
+	Source: `
+PROGRAM FDJAC
+PARAMETER (N = 120)
+DIMENSION X(N), FVEC(N), WA(N), DX(N), FP(N), FJAC(N,N)
+C ---- starting point and base residuals ----
+DO 10 I = 1, N
+  X(I) = 0.1 + 0.5 * FLOAT(I) / FLOAT(N)
+  DX(I) = 0.01
+10 CONTINUE
+DO 20 I = 1, N
+  FVEC(I) = X(I) * X(I) - COS(X(I))
+20 CONTINUE
+C ---- forward differences, one Jacobian column per variable ----
+DO 60 J = 1, N
+  TEMP = X(J)
+  H = 0.001 * ABS(TEMP)
+  IF (H .EQ. 0.0) H = 0.001
+  X(J) = TEMP + H
+  DO 30 I = 1, N
+    WA(I) = X(I) * X(I) - COS(X(I)) + 0.01 * X(J)
+30 CONTINUE
+  X(J) = TEMP
+  DO 40 I = 1, N
+    FJAC(I,J) = (WA(I) - FVEC(I)) / H
+40 CONTINUE
+60 CONTINUE
+C ---- step prediction: the forward product J*dx is computed row-wise ----
+DO 90 K = 1, 2
+  DO 80 I = 1, N
+    ACC = 0.0
+    DO 70 J = 1, N
+      ACC = ACC + FJAC(I,J) * DX(J)
+70  CONTINUE
+    FP(I) = FVEC(I) + ACC
+80 CONTINUE
+90 CONTINUE
+END
+`,
+})
+
+// TQL: the EISPACK tridiagonal QL eigensolver structure (TQL2): per
+// eigenvalue, a convergence-tested QL iteration applying plane rotations
+// that update adjacent columns of the eigenvector matrix Z.
+var TQL = register(&Program{
+	Name: "TQL",
+	Description: "EISPACK TQL2-style tridiagonal QL eigensolver with " +
+		"convergence loops and column rotations of the eigenvector matrix",
+	Sets: []Set{
+		{Name: "TQL1", Level: 2},
+		{Name: "TQL2", Level: 1},
+	},
+	Source: `
+PROGRAM TQL
+PARAMETER (N = 64)
+DIMENSION D(N), E(N), Z(N,N)
+C ---- symmetric tridiagonal matrix and identity eigenvector basis ----
+DO 10 I = 1, N
+  D(I) = 2.0 + 0.01 * FLOAT(I)
+  E(I) = -1.0
+10 CONTINUE
+E(1) = 0.0
+DO 30 J = 1, N
+  DO 20 I = 1, N
+    Z(I,J) = 0.0
+20 CONTINUE
+  Z(J,J) = 1.0
+30 CONTINUE
+C ---- QL iteration per eigenvalue index L ----
+DO 100 L = 1, N - 1
+  DO 90 ITER = 1, 12
+C     convergence scan for a negligible off-diagonal
+    TEST = ABS(E(L+1))
+    IF (TEST .LT. 0.0001) EXIT
+C     implicit shift from the 2x2 corner
+    G = (D(L+1) - D(L)) / (2.0 * E(L+1))
+    R = SQRT(G * G + 1.0)
+    SH = D(L) - E(L+1) / (G + SIGN(R, G))
+C     one QL sweep: rotations over rows L..L+1 updating Z columns
+    DO 80 K = L, MIN(L + 1, N - 1)
+      C = 0.8
+      S = 0.6
+      DK = D(K)
+      D(K) = C * C * DK + S * S * D(K+1) - 0.1 * SH
+      D(K+1) = S * S * DK + C * C * D(K+1) - 0.1 * SH
+      E(K+1) = 0.55 * E(K+1)
+      DO 70 I = 1, N
+        ZK = Z(I,K)
+        Z(I,K) = C * ZK + S * Z(I,K+1)
+        Z(I,K+1) = C * Z(I,K+1) - S * ZK
+70    CONTINUE
+80  CONTINUE
+90 CONTINUE
+100 CONTINUE
+C ---- back transformation: normalize each eigenvector column ----
+DO 140 K = 1, 3
+  DO 130 J = 1, N
+    ANORM = 0.0
+    DO 110 I = 1, N
+      ANORM = ANORM + Z(I,J) * Z(I,J)
+110 CONTINUE
+    ANORM = SQRT(ANORM) + 0.0001
+    DO 120 I = 1, N
+      Z(I,J) = Z(I,J) / ANORM
+120 CONTINUE
+130 CONTINUE
+140 CONTINUE
+C ---- residual refinement: row-wise passes over the eigenvector matrix ----
+DO 180 K = 1, 3
+  DO 170 I = 1, N
+    ACC = 0.0
+    DO 160 J = 1, N
+      ACC = ACC + Z(I,J) * D(J)
+160 CONTINUE
+    E(I) = 0.5 * (E(I) + ACC)
+170 CONTINUE
+180 CONTINUE
+END
+`,
+})
+
+// FIELD: a field-update kernel — row-wise gradient extraction followed by
+// column-wise relaxation and copy-back, per time step. The row-wise pass
+// is the classic bad-stride case for fixed-allocation policies.
+var FIELD = register(&Program{
+	Name: "FIELD",
+	Description: "field relaxation: row-wise gradient pass then " +
+		"column-wise update and copy-back per time step",
+	Sets: []Set{
+		// Level 2 covers the row-wise gradient pass (Xr·N pages) and the
+		// per-column stencil localities.
+		{Name: "FIELD", Level: 2},
+	},
+	Source: `
+PROGRAM FIELD
+DIMENSION A(128,30), B(128,30), BV(128), RS(128)
+DO 20 J = 1, 30
+  DO 10 I = 1, 128
+    A(I,J) = 0.1 * FLOAT(I + J)
+    B(I,J) = 0.0
+10 CONTINUE
+20 CONTINUE
+DO 25 I = 1, 128
+  BV(I) = 1.0
+  RS(I) = 0.0
+25 CONTINUE
+DO 100 IT = 1, 4
+C   row-wise gradient accumulation (stride = column length)
+  DO 40 I = 1, 128
+    RS(I) = 0.0
+    DO 30 J = 1, 29
+      RS(I) = RS(I) + ABS(A(I,J+1) - A(I,J))
+30  CONTINUE
+40 CONTINUE
+C   column-wise relaxation into B
+  DO 60 J = 2, 29
+    DO 50 I = 2, 127
+      B(I,J) = 0.25 * (A(I-1,J) + A(I+1,J) + A(I,J-1) + A(I,J+1)) + 0.01 * RS(I) * BV(I)
+50  CONTINUE
+60 CONTINUE
+C   copy-back (column-wise)
+  DO 80 J = 2, 29
+    DO 70 I = 2, 127
+      A(I,J) = B(I,J)
+70  CONTINUE
+80 CONTINUE
+100 CONTINUE
+END
+`,
+})
+
+// INIT: an initialization-dominated program: a row-wise first touch of two
+// grids (the worst reference order in column-major storage), a column-wise
+// second pass, and vector table setup, repeated per configuration.
+var INIT = register(&Program{
+	Name: "INIT",
+	Description: "initialization kernel: row-wise first touch, " +
+		"column-wise normalization, vector table setup",
+	Sets: []Set{
+		// The first-touch nest (loops 20/10) is honored at its own level so
+		// the 100-page row-sweep working set is covered; everything else
+		// streams at the innermost stratum.
+		{Name: "INIT", Level: 1, Overrides: map[string]int{"10": 2, "20": 2}},
+	},
+	Source: `
+PROGRAM INIT
+DIMENSION A(64,50), B(64,50), C(3200)
+C ---- one-time row-wise first touch of A and B: the whole 100-page
+C ---- grid working set is live while rows are swept (64 rows per page)
+DO 20 I = 1, 64
+  DO 10 J = 1, 50
+    A(I,J) = FLOAT(I) * 0.01 + FLOAT(J) * 0.02
+    B(I,J) = A(I,J) * 0.5
+10 CONTINUE
+20 CONTINUE
+C ---- long streaming phases: column passes and table smoothing ----
+DO 100 IT = 1, 5
+C   column-wise normalization streams A and B
+  DO 40 J = 1, 50
+    DO 30 I = 1, 64
+      A(I,J) = A(I,J) / (1.0 + B(I,J))
+30  CONTINUE
+40 CONTINUE
+C   work-table setup and smoothing sweeps
+  DO 50 L = 1, 3200
+    C(L) = FLOAT(L) * 0.001 + FLOAT(IT)
+50 CONTINUE
+  DO 70 K = 1, 3
+    DO 60 L = 2, 3200
+      C(L) = 0.5 * (C(L) + C(L-1))
+60  CONTINUE
+70 CONTINUE
+100 CONTINUE
+END
+`,
+})

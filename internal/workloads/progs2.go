@@ -1,0 +1,258 @@
+package workloads
+
+// APPROX: least-squares function approximation — a Chebyshev-style basis
+// matrix built column by column via recurrence, normal-equation assembly,
+// and a row-wise residual evaluation pass (the contrasting bad stride).
+var APPROX = register(&Program{
+	Name: "APPROX",
+	Description: "least-squares approximation: basis recurrence " +
+		"(column-wise), normal equations, row-wise residual passes",
+	Sets: []Set{
+		// The normal-equation assembly (loops 70/60/50) and the residual
+		// refinement nest (130/120/110/125) hold the basis matrix; the
+		// basis build and coefficient phases stream.
+		{Name: "APPROX", Level: 1, Overrides: map[string]int{
+			"50": 3, "60": 3, "70": 3, "110": 3, "120": 3, "125": 3,
+		}},
+	},
+	Source: `
+PROGRAM APPROX
+PARAMETER (M = 256, NB = 16)
+DIMENSION PHI(M,NB), G(NB,NB), CF(NB), XS(M), YS(M), R2(M)
+C ---- sample points and target values ----
+DO 10 I = 1, M
+  XS(I) = -1.0 + 2.0 * FLOAT(I - 1) / FLOAT(M - 1)
+  YS(I) = COS(3.0 * XS(I)) + 0.2 * XS(I)
+10 CONTINUE
+C ---- Chebyshev basis, one column per basis function ----
+DO 20 I = 1, M
+  PHI(I,1) = 1.0
+  PHI(I,2) = XS(I)
+20 CONTINUE
+DO 40 K = 3, NB
+  DO 30 I = 1, M
+    PHI(I,K) = 2.0 * XS(I) * PHI(I,K-1) - PHI(I,K-2)
+30 CONTINUE
+40 CONTINUE
+C ---- normal equations G = PHI' * PHI ----
+DO 70 K = 1, NB
+  DO 60 L = 1, NB
+    ACC = 0.0
+    DO 50 I = 1, M
+      ACC = ACC + PHI(I,K) * PHI(I,L)
+50  CONTINUE
+    G(K,L) = ACC
+60 CONTINUE
+70 CONTINUE
+C ---- diagonal-dominant coefficient estimate ----
+DO 90 K = 1, NB
+  ACC = 0.0
+  DO 80 I = 1, M
+    ACC = ACC + PHI(I,K) * YS(I)
+80 CONTINUE
+  CF(K) = ACC / (G(K,K) + 1.0)
+90 CONTINUE
+C ---- row-wise residual refinement passes ----
+DO 130 IT = 1, 3
+  DO 120 I = 1, M
+    ACC = 0.0
+    DO 110 K = 1, NB
+      ACC = ACC + CF(K) * PHI(I,K)
+110 CONTINUE
+    R2(I) = YS(I) - ACC
+120 CONTINUE
+  DO 125 K = 1, NB
+    CF(K) = CF(K) + 0.001 * R2(K)
+125 CONTINUE
+130 CONTINUE
+END
+`,
+})
+
+// HYBRJ: the MINPACK Powell hybrid method's memory shape — per outer
+// iteration an analytic Jacobian fill (column-wise), a banded
+// QR-elimination over neighboring columns, and vector solves/updates.
+var HYBRJ = register(&Program{
+	Name: "HYBRJ",
+	Description: "MINPACK Powell-hybrid iteration structure: Jacobian " +
+		"fill, banded column elimination, vector updates",
+	Sets: []Set{
+		// Everything inside the outer iteration is re-referenced by the
+		// dogleg phase (the Jacobian diagonal spans most FJ pages), so the
+		// canonical set honors the outer-iteration locality.
+		{Name: "HYBRJ", Level: 4},
+	},
+	Source: `
+PROGRAM HYBRJ
+PARAMETER (N = 80)
+DIMENSION X(N), F(N), FJ(N,N), QTF(N), DG(N)
+DO 10 I = 1, N
+  X(I) = 0.5
+  DG(I) = 1.0
+10 CONTINUE
+DO 200 IT = 1, 4
+C   residuals
+  DO 20 I = 1, N
+    F(I) = X(I) * (3.0 - 2.0 * X(I)) + 1.0
+20 CONTINUE
+C   analytic Jacobian, column-wise fill
+  DO 40 J = 1, N
+    DO 30 I = 1, N
+      FJ(I,J) = 0.01 * FLOAT(I - J)
+30  CONTINUE
+    FJ(J,J) = 3.0 - 4.0 * X(J)
+40 CONTINUE
+C   banded elimination: each column reduces its next three neighbors
+  DO 80 J = 1, N - 1
+    PIV = FJ(J,J)
+    IF (ABS(PIV) .LT. 0.0001) PIV = 0.0001
+    DO 70 K = J + 1, MIN(J + 3, N)
+      FAC = FJ(J,K) / PIV
+      DO 60 I = J, N
+        FJ(I,K) = FJ(I,K) - FAC * FJ(I,J)
+60    CONTINUE
+70  CONTINUE
+80 CONTINUE
+C   Q'f accumulation and damped update
+  DO 110 J = 1, N
+    ACC = 0.0
+    DO 100 I = 1, N
+      ACC = ACC + FJ(I,J) * F(I)
+100 CONTINUE
+    QTF(J) = ACC
+110 CONTINUE
+C   dogleg trial steps: a long vector-only phase reusing the band diagonal
+  DO 150 M = 1, 12
+    DO 130 I = 1, N
+      DG(I) = 0.9 * DG(I) + 0.1 * ABS(FJ(I,I)) + 0.0001
+130 CONTINUE
+    DO 140 I = 1, N
+      X(I) = X(I) - 0.001 * QTF(I) / DG(I)
+      F(I) = X(I) * (3.0 - 2.0 * X(I)) + 1.0
+140 CONTINUE
+150 CONTINUE
+200 CONTINUE
+END
+`,
+})
+
+// CONDUCT: a 2-D heat-conduction relaxation on a 90x90 grid. The virtual
+// space totals 270 pages, matching the size the paper reports for its
+// CONDUCT program. Each step does a column-wise stencil sweep, a row-wise
+// boundary-flux pass, and a copy-back.
+var CONDUCT = register(&Program{
+	Name: "CONDUCT",
+	Description: "2-D heat conduction: column-wise stencil relaxation, " +
+		"row-wise flux pass, copy-back per time step (V = 270 pages)",
+	Sets: []Set{
+		{Name: "CONDUCT", Level: 2},
+	},
+	Source: `
+PROGRAM CONDUCT
+PARAMETER (NG = 90)
+DIMENSION T(NG,NG), TN(NG,NG), COEF(90,6), QL(90), QR(90), SRC(64)
+DO 20 J = 1, NG
+  DO 10 I = 1, NG
+    T(I,J) = 100.0 * EXP(-0.001 * FLOAT((I - 45) * (I - 45) + (J - 45) * (J - 45)))
+    TN(I,J) = 0.0
+10 CONTINUE
+20 CONTINUE
+DO 30 I = 1, 90
+  QL(I) = 0.0
+  QR(I) = 0.0
+30 CONTINUE
+DO 35 J = 1, 6
+  DO 34 I = 1, 90
+    COEF(I,J) = 0.2
+34 CONTINUE
+35 CONTINUE
+DO 38 I = 1, 64
+  SRC(I) = 1.0
+38 CONTINUE
+DO 200 IT = 1, 5
+C   column-wise interior stencil
+  DO 60 J = 2, NG - 1
+    DO 50 I = 2, NG - 1
+      TN(I,J) = T(I,J) + 0.2 * (T(I-1,J) + T(I+1,J) + T(I,J-1) + T(I,J+1) - 4.0 * T(I,J))
+50  CONTINUE
+60 CONTINUE
+C   copy-back, column-wise
+  DO 100 J = 2, NG - 1
+    DO 90 I = 2, NG - 1
+      T(I,J) = TN(I,J)
+90  CONTINUE
+100 CONTINUE
+200 CONTINUE
+C ---- final energy balance: one row-wise flux accumulation over the
+C ---- steady field (the row working set spans the whole grid width)
+DO 300 K = 1, 2
+  DO 280 I = 2, NG - 1
+    QL(I) = 0.0
+    DO 270 J = 2, NG - 1
+      QL(I) = QL(I) + COEF(I,1) * TN(I,J)
+270 CONTINUE
+    QR(I) = QL(I) * 0.5
+280 CONTINUE
+300 CONTINUE
+END
+`,
+})
+
+// HWSCRT: the FISHPACK Helmholtz solver on a Cartesian grid — line
+// relaxation alternating column tridiagonal-style sweeps with row sweeps.
+// The virtual space totals 69 pages, matching the paper's HWSCRT.
+var HWSCRT = register(&Program{
+	Name: "HWSCRT",
+	Description: "FISHPACK-style Helmholtz solver: alternating column " +
+		"and row line sweeps on a 64x64 grid (V = 69 pages)",
+	Sets: []Set{
+		// The boundary row sweep is honored at its nest level (66 pages);
+		// the column line solves stream at the innermost stratum.
+		{Name: "HWSCRT", Level: 2, Overrides: map[string]int{"40": 1, "50": 1, "60": 1}},
+	},
+	Source: `
+PROGRAM HWSCRT
+PARAMETER (NG = 64)
+DIMENSION F(NG,NG), BDA(NG), BDB(NG), BDC(NG), BDD(NG), W(NG)
+DO 20 J = 1, NG
+  DO 10 I = 1, NG
+    F(I,J) = SIN(0.1 * FLOAT(I)) * COS(0.1 * FLOAT(J))
+10 CONTINUE
+20 CONTINUE
+DO 30 I = 1, NG
+  BDA(I) = 0.0
+  BDB(I) = 0.0
+  BDC(I) = 1.0
+  BDD(I) = 1.0
+  W(I) = 0.0
+30 CONTINUE
+C ---- boundary application: one row-direction sweep couples every
+C ---- column, so the whole grid is the working set while it runs
+DO 90 I = 1, NG
+  W(1) = F(I,1) + BDC(I)
+  DO 70 J = 2, NG
+    W(J) = F(I,J) - 0.4 * W(J-1)
+70 CONTINUE
+  F(I,NG) = W(NG) + BDD(I)
+  DO 80 J = NG - 1, 1, -1
+    F(I,J) = W(J) - 0.4 * F(I,J+1)
+80 CONTINUE
+90 CONTINUE
+C ---- iterated column line solves: small per-column working sets ----
+DO 200 IT = 1, 4
+  DO 160 K = 1, 3
+    DO 60 J = 1, NG
+      W(1) = F(1,J) + BDA(J)
+      DO 40 I = 2, NG
+        W(I) = F(I,J) - 0.4 * W(I-1)
+40    CONTINUE
+      F(NG,J) = W(NG) + BDB(J)
+      DO 50 I = NG - 1, 1, -1
+        F(I,J) = W(I) - 0.4 * F(I+1,J)
+50    CONTINUE
+60  CONTINUE
+160 CONTINUE
+200 CONTINUE
+END
+`,
+})

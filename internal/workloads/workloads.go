@@ -1,0 +1,193 @@
+// Package workloads provides the nine numerical FORTRAN programs of the
+// paper's §5 evaluation — MAIN, FDJAC, TQL, FIELD, INIT, APPROX, HYBRJ,
+// CONDUCT and HWSCRT — reconstructed in the FORTRAN subset from the named
+// algorithms' public descriptions (MINPACK, EISPACK, FISHPACK, and
+// standard relaxation kernels), plus the directive-set variants used in
+// Tables 1, 3 and 4 (MAIN1–3, FDJAC1, TQL1–2).
+//
+// The authors' exact sources are not available; these reconstructions
+// preserve what the CD policy consumes — the loop-nest shapes, reference
+// orders and array footprints — as documented in DESIGN.md.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cdmm/internal/directive"
+	"cdmm/internal/fortran"
+	"cdmm/internal/interp"
+	"cdmm/internal/locality"
+	"cdmm/internal/mem"
+	"cdmm/internal/policy"
+	"cdmm/internal/sem"
+	"cdmm/internal/trace"
+)
+
+// Program is one workload: a source text plus its directive-set variants.
+type Program struct {
+	Name        string
+	Description string
+	Source      string
+	// Sets are the directive-set variants the paper runs (Table 1): each
+	// names a run and gives the ALLOCATE stratum honored, where level 1 is
+	// the innermost-loop directives (smallest allocations) and level Δ the
+	// outermost. The first set is the program's canonical one (the name
+	// used in Tables 2–4).
+	Sets []Set
+}
+
+// Set is a named directive-set variant. Level is the default stratum;
+// Overrides maps loop keys (FORTRAN statement labels, or "L<line>" for
+// unlabeled loops) to a different stratum for the directives of those
+// loops — the paper's hand-chosen sets need not be uniform.
+type Set struct {
+	Name      string
+	Level     int
+	Overrides map[string]int
+}
+
+// Selector builds the ArmSelector realizing this directive set.
+func (s Set) Selector() policy.ArmSelector {
+	if len(s.Overrides) == 0 {
+		return policy.SelectLevel(s.Level)
+	}
+	return policy.SelectLevels(s.Level, s.Overrides)
+}
+
+// DefaultSet returns the canonical variant.
+func (p *Program) DefaultSet() Set { return p.Sets[0] }
+
+// Set returns the named variant.
+func (p *Program) Set(name string) (Set, bool) {
+	for _, s := range p.Sets {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Set{}, false
+}
+
+var (
+	registryMu sync.Mutex
+	registry   = map[string]*Program{}
+)
+
+// register adds a program at package init.
+func register(p *Program) *Program {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[p.Name]; dup {
+		panic("workloads: duplicate program " + p.Name)
+	}
+	registry[p.Name] = p
+	return p
+}
+
+// All returns every registered program sorted by name.
+func All() []*Program {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	out := make([]*Program, 0, len(registry))
+	for _, p := range registry {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Get returns the named program.
+func Get(name string) (*Program, error) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	p, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown program %q", name)
+	}
+	return p, nil
+}
+
+// Names returns the sorted program names.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, p := range all {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Compiled bundles everything derived from one program's source: the AST,
+// semantic info, address-space layout, locality analysis, directive plan,
+// and the directive-carrying execution trace.
+type Compiled struct {
+	Program  *Program
+	AST      *fortran.Program
+	Info     *sem.Info
+	Layout   *mem.Layout
+	Analysis *locality.Analysis
+	Plan     *directive.Plan
+	Trace    *trace.Trace
+}
+
+// V returns the program's virtual size in pages.
+func (c *Compiled) V() int { return c.Layout.TotalPages() }
+
+var (
+	compileMu    sync.Mutex
+	compileCache = map[string]*Compiled{}
+)
+
+// Compile parses, analyzes and executes the program with the default
+// geometry, producing its directive plan and trace. Results are cached:
+// traces are deterministic and immutable.
+func Compile(p *Program) (*Compiled, error) {
+	compileMu.Lock()
+	if c, ok := compileCache[p.Name]; ok {
+		compileMu.Unlock()
+		return c, nil
+	}
+	compileMu.Unlock()
+
+	ast, err := fortran.Parse(p.Source)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", p.Name, err)
+	}
+	info, err := sem.Analyze(ast)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", p.Name, err)
+	}
+	layout, err := mem.NewLayout(ast, mem.DefaultGeometry)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", p.Name, err)
+	}
+	analysis := locality.Analyze(info, layout, locality.DefaultParams)
+	plan := directive.Build(analysis)
+	tr, err := interp.Run(info, interp.Config{Layout: layout, Plan: plan})
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", p.Name, err)
+	}
+	c := &Compiled{
+		Program:  p,
+		AST:      ast,
+		Info:     info,
+		Layout:   layout,
+		Analysis: analysis,
+		Plan:     plan,
+		Trace:    tr,
+	}
+	compileMu.Lock()
+	compileCache[p.Name] = c
+	compileMu.Unlock()
+	return c, nil
+}
+
+// MustCompile is Compile but panics on error; for the embedded suite.
+func MustCompile(p *Program) *Compiled {
+	c, err := Compile(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
