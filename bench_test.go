@@ -19,6 +19,7 @@ import (
 	"cdmm/internal/bli"
 
 	"cdmm/internal/experiments"
+	"cdmm/internal/obs"
 	"cdmm/internal/policy"
 	"cdmm/internal/trace"
 	"cdmm/internal/vmsim"
@@ -370,4 +371,47 @@ func BenchmarkDetune(b *testing.B) {
 			b.Log("\n" + experiments.RenderDetune(rows))
 		}
 	}
+}
+
+// BenchmarkObservabilityOverhead guards the telemetry layer's cost. The
+// "Disabled" variant must stay within ~10% of the bare "Baseline" loop:
+// with no observer installed, vmsim.Run routes to the original
+// un-instrumented loop after a single nil check. "Collector" and
+// "Metrics" show the enabled cost for an in-memory tracer and for
+// counters+histograms alone.
+func BenchmarkObservabilityOverhead(b *testing.B) {
+	tr := compiledTrace(b, "CONDUCT")
+	w, _ := workloads.Get("CONDUCT")
+	newCD := func() policy.Policy { return policy.NewCD(w.DefaultSet().Selector(), 2) }
+
+	b.Run("Baseline", func(b *testing.B) {
+		p := newCD()
+		b.SetBytes(int64(tr.Refs))
+		for i := 0; i < b.N; i++ {
+			vmsim.Run(tr, p)
+		}
+	})
+	b.Run("Disabled", func(b *testing.B) {
+		p := newCD()
+		b.SetBytes(int64(tr.Refs))
+		for i := 0; i < b.N; i++ {
+			vmsim.RunObserved(tr, p, nil)
+		}
+	})
+	b.Run("Metrics", func(b *testing.B) {
+		p := newCD()
+		o := &obs.Observer{Metrics: obs.NewRegistry()}
+		b.SetBytes(int64(tr.Refs))
+		for i := 0; i < b.N; i++ {
+			vmsim.RunObserved(tr, p, o)
+		}
+	})
+	b.Run("Collector", func(b *testing.B) {
+		p := newCD()
+		b.SetBytes(int64(tr.Refs))
+		for i := 0; i < b.N; i++ {
+			col := &obs.Collector{}
+			vmsim.RunObserved(tr, p, &obs.Observer{Tracer: col})
+		}
+	})
 }

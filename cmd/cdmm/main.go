@@ -117,8 +117,10 @@ func main() {
 		err = cmdSim(args)
 	case "sweep":
 		err = cmdSweep(args)
+	case "profile":
+		err = cmdProfile(args)
 	case "table1", "table2", "table3", "table4", "tables":
-		err = cmdTables(cmd)
+		err = cmdTables(cmd, args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -153,7 +155,15 @@ commands:
   pagesize [prog]           page-size sensitivity study
   detune                    CD sensitivity to mis-estimated locality sizes
   sweep    <prog|file.f>    CD at every level vs tuned LRU and WS
+  profile  <prog|file.f> [-buckets N]   fault-timeline and residency
+                            sparklines for CD vs tuned LRU and WS
   table1..table4 | tables   regenerate the paper's tables
+
+observability flags (sim, replay, profile, table*):
+  -events f.jsonl           structured event trace (virtual-time stamped JSONL)
+  -metrics f.json           metrics snapshot (counters, gauges, histograms)
+  -cpuprofile f.pprof       pprof CPU profile of the command
+  -memprofile f.pprof       pprof heap profile of the command
 `)
 }
 
@@ -200,6 +210,7 @@ func cmdSim(args []string) error {
 		level := fs.Int("level", 1, "CD directive-set stratum")
 		frames := fs.Int("m", 8, "fixed allocation for lru/fifo/opt")
 		tau := fs.Int("tau", 500, "WS window size")
+		of := registerObsFlags(fs)
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
@@ -207,28 +218,31 @@ func cmdSim(args []string) error {
 		if err != nil {
 			return err
 		}
-		var res vmsim.Result
-		switch *polName {
-		case "cd":
-			res, err = p.RunCD(core.CDOptions{Level: *level})
-			if err != nil {
-				return err
+		return of.withObs(func() error {
+			var res vmsim.Result
+			var err error
+			switch *polName {
+			case "cd":
+				res, err = p.RunCD(core.CDOptions{Level: *level})
+				if err != nil {
+					return err
+				}
+			case "lru":
+				res = vmsim.Run(tr.StripDirectives(), policy.NewLRU(*frames))
+			case "fifo":
+				res = vmsim.Run(tr.StripDirectives(), policy.NewFIFO(*frames))
+			case "ws":
+				res = vmsim.Run(tr.StripDirectives(), policy.NewWS(*tau))
+			case "opt":
+				refs := tr.Pages()
+				res = vmsim.Run(tr.StripDirectives(), policy.NewOPT(refs, *frames))
+			default:
+				return fmt.Errorf("unknown policy %q", *polName)
 			}
-		case "lru":
-			res = vmsim.Run(tr.StripDirectives(), policy.NewLRU(*frames))
-		case "fifo":
-			res = vmsim.Run(tr.StripDirectives(), policy.NewFIFO(*frames))
-		case "ws":
-			res = vmsim.Run(tr.StripDirectives(), policy.NewWS(*tau))
-		case "opt":
-			refs := tr.Pages()
-			res = vmsim.Run(tr.StripDirectives(), policy.NewOPT(refs, *frames))
-		default:
-			return fmt.Errorf("unknown policy %q", *polName)
-		}
-		fmt.Println(p.Summary())
-		fmt.Println(res)
-		return nil
+			fmt.Println(p.Summary())
+			fmt.Println(res)
+			return nil
+		})
 	})
 }
 
@@ -266,7 +280,24 @@ func cmdSweep(args []string) error {
 	})
 }
 
-func cmdTables(which string) error {
+func cmdTables(which string, args []string) error {
+	fs := flag.NewFlagSet(which, flag.ContinueOnError)
+	of := registerObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	finish, err := of.activate()
+	if err != nil {
+		return err
+	}
+	err = runTables(which)
+	if ferr := finish(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+func runTables(which string) error {
 	show := func(name string, gen func() (string, error)) error {
 		if which != "tables" && which != name {
 			return nil
@@ -362,25 +393,28 @@ func cmdReplay(args []string) error {
 	level := fs.Int("level", 1, "CD directive-set stratum")
 	frames := fs.Int("m", 8, "fixed allocation for lru/fifo/opt")
 	tau := fs.Int("tau", 500, "WS window size")
+	of := registerObsFlags(fs)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	var res vmsim.Result
-	switch *polName {
-	case "cd":
-		res = vmsim.Run(tr, policy.NewCD(policy.SelectLevel(*level), 2))
-	case "lru":
-		res = vmsim.Run(tr.StripDirectives(), policy.NewLRU(*frames))
-	case "fifo":
-		res = vmsim.Run(tr.StripDirectives(), policy.NewFIFO(*frames))
-	case "ws":
-		res = vmsim.Run(tr.StripDirectives(), policy.NewWS(*tau))
-	case "opt":
-		res = vmsim.Run(tr.StripDirectives(), policy.NewOPT(tr.Pages(), *frames))
-	default:
-		return fmt.Errorf("unknown policy %q", *polName)
-	}
-	fmt.Println(tr.Summary())
-	fmt.Println(res)
-	return nil
+	return of.withObs(func() error {
+		var res vmsim.Result
+		switch *polName {
+		case "cd":
+			res = vmsim.Run(tr, policy.NewCD(policy.SelectLevel(*level), 2))
+		case "lru":
+			res = vmsim.Run(tr.StripDirectives(), policy.NewLRU(*frames))
+		case "fifo":
+			res = vmsim.Run(tr.StripDirectives(), policy.NewFIFO(*frames))
+		case "ws":
+			res = vmsim.Run(tr.StripDirectives(), policy.NewWS(*tau))
+		case "opt":
+			res = vmsim.Run(tr.StripDirectives(), policy.NewOPT(tr.Pages(), *frames))
+		default:
+			return fmt.Errorf("unknown policy %q", *polName)
+		}
+		fmt.Println(tr.Summary())
+		fmt.Println(res)
+		return nil
+	})
 }

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"cdmm/internal/obs"
+	"cdmm/internal/vmsim"
+)
+
+// obsFlags holds the observability flags shared by sim, replay, profile
+// and the table commands: structured event tracing, a metrics snapshot,
+// and pprof CPU/heap profiles.
+type obsFlags struct {
+	events     *string
+	metrics    *string
+	cpuprofile *string
+	memprofile *string
+
+	sink *obs.JSONLSink
+	reg  *obs.Registry
+	cpu  *os.File
+}
+
+// registerObsFlags adds the four flags to fs.
+func registerObsFlags(fs *flag.FlagSet) *obsFlags {
+	f := &obsFlags{}
+	f.events = fs.String("events", "", "write a JSONL structured event trace to this file")
+	f.metrics = fs.String("metrics", "", "write a JSON metrics snapshot to this file")
+	f.cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	f.memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file")
+	return f
+}
+
+// activate opens the requested sinks, installs the process-wide run
+// observer and starts CPU profiling. The returned finish func must be
+// called exactly once after the command's work to flush and close
+// everything; its error must be propagated.
+func (f *obsFlags) activate() (func() error, error) {
+	var o obs.Observer
+	if *f.events != "" {
+		file, err := os.Create(*f.events)
+		if err != nil {
+			return nil, err
+		}
+		f.sink = obs.NewJSONLSink(file)
+		o.Tracer = f.sink
+	}
+	if *f.metrics != "" {
+		f.reg = obs.NewRegistry()
+		o.Metrics = f.reg
+	}
+	if o.Enabled() {
+		vmsim.DefaultObserver = &o
+	}
+	if *f.cpuprofile != "" {
+		file, err := os.Create(*f.cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(file); err != nil {
+			file.Close()
+			return nil, err
+		}
+		f.cpu = file
+	}
+	return f.finish, nil
+}
+
+func (f *obsFlags) finish() error {
+	var first error
+	keep := func(err error) {
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	vmsim.DefaultObserver = nil
+	if f.cpu != nil {
+		pprof.StopCPUProfile()
+		keep(f.cpu.Close())
+	}
+	if *f.memprofile != "" {
+		file, err := os.Create(*f.memprofile)
+		if err != nil {
+			keep(err)
+		} else {
+			runtime.GC() // materialize final live-heap state
+			keep(pprof.WriteHeapProfile(file))
+			keep(file.Close())
+		}
+	}
+	if f.sink != nil {
+		keep(f.sink.Close())
+	}
+	if f.reg != nil {
+		file, err := os.Create(*f.metrics)
+		if err != nil {
+			keep(err)
+		} else {
+			keep(f.reg.WriteJSON(file))
+			keep(file.Close())
+		}
+	}
+	return first
+}
+
+// withObs parses nothing itself: it runs body between activate and
+// finish, merging errors.
+func (f *obsFlags) withObs(body func() error) error {
+	finish, err := f.activate()
+	if err != nil {
+		return err
+	}
+	err = body()
+	if ferr := finish(); err == nil {
+		err = ferr
+	}
+	return err
+}

@@ -21,6 +21,7 @@ import (
 	"cdmm/internal/interp"
 	"cdmm/internal/locality"
 	"cdmm/internal/mem"
+	"cdmm/internal/obs"
 	"cdmm/internal/policy"
 	"cdmm/internal/sem"
 	"cdmm/internal/trace"
@@ -134,11 +135,17 @@ func (p *Program) MustTrace() *trace.Trace {
 
 // Simulate replays the program's trace under any policy.
 func (p *Program) Simulate(pol policy.Policy) (vmsim.Result, error) {
+	return p.SimulateObserved(pol, nil)
+}
+
+// SimulateObserved replays the program's trace under any policy with an
+// observer attached (nil observes nothing beyond vmsim.DefaultObserver).
+func (p *Program) SimulateObserved(pol policy.Policy, o *obs.Observer) (vmsim.Result, error) {
 	tr, err := p.Trace()
 	if err != nil {
 		return vmsim.Result{}, err
 	}
-	return vmsim.Run(tr, pol), nil
+	return vmsim.RunObserved(tr, pol, o), nil
 }
 
 // CDOptions selects the directive set for a CD run.
@@ -155,6 +162,11 @@ type CDOptions struct {
 
 // RunCD simulates the program under the Compiler Directed policy.
 func (p *Program) RunCD(opts CDOptions) (vmsim.Result, error) {
+	return p.RunCDObserved(opts, nil)
+}
+
+// RunCDObserved is RunCD with an observer attached.
+func (p *Program) RunCDObserved(opts CDOptions, o *obs.Observer) (vmsim.Result, error) {
 	if opts.Level == 0 {
 		opts.Level = 1
 	}
@@ -167,7 +179,7 @@ func (p *Program) RunCD(opts CDOptions) (vmsim.Result, error) {
 	} else {
 		sel = policy.SelectLevel(opts.Level)
 	}
-	return p.Simulate(policy.NewCD(sel, opts.MinAlloc))
+	return p.SimulateObserved(policy.NewCD(sel, opts.MinAlloc), o)
 }
 
 // LRUSweep returns the analytic all-allocations LRU sweep of the trace.

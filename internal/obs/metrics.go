@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Registry holds a run's named metrics. Registration (Counter, Gauge,
+// Histogram) returns a stable handle that the hot path updates without
+// any map lookup or allocation. The registry is not safe for concurrent
+// use; simulation runs are single-goroutine.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	name string
+	n    int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds d.
+func (c *Counter) Add(d int64) { c.n += d }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Gauge is a last-value-wins measurement.
+type Gauge struct {
+	name string
+	v    float64
+}
+
+// Set records v.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Value returns the last recorded value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram is a fixed-bucket distribution. Bucket i counts observations
+// v with bounds[i-1] < v <= bounds[i]; one overflow bucket counts
+// v > bounds[len-1]. Observe is allocation-free.
+type Histogram struct {
+	name   string
+	bounds []float64 // ascending upper bounds (inclusive)
+	counts []int64   // len(bounds)+1, last is overflow
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if h.count == 1 || v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the average observation, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Bucket returns the upper bound (math.Inf(1) for the overflow bucket)
+// and count of bucket i.
+func (h *Histogram) Bucket(i int) (float64, int64) {
+	if i == len(h.bounds) {
+		return math.Inf(1), h.counts[i]
+	}
+	return h.bounds[i], h.counts[i]
+}
+
+// NumBuckets returns the bucket count including the overflow bucket.
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given ascending bucket bounds on first use (later calls reuse the
+// original bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	h := &Histogram{name: name, bounds: b, counts: make([]int64, len(b)+1)}
+	r.hists[name] = h
+	return h
+}
+
+// ExpBounds builds n exponentially growing bucket bounds starting at
+// start and multiplying by factor: start, start*factor, ...
+func ExpBounds(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBounds builds n bounds start, start+step, ...
+func LinearBounds(start, step float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*step
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteJSON writes the registry snapshot as a single JSON object with
+// stable key order, suitable for the CLI's -metrics file.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	var b []byte
+	b = append(b, `{"counters":{`...)
+	for i, k := range sortedKeys(r.counters) {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendQuote(b, k)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, r.counters[k].n, 10)
+	}
+	b = append(b, `},"gauges":{`...)
+	for i, k := range sortedKeys(r.gauges) {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendQuote(b, k)
+		b = append(b, ':')
+		b = appendFloat(b, r.gauges[k].v)
+	}
+	b = append(b, `},"histograms":{`...)
+	for i, k := range sortedKeys(r.hists) {
+		h := r.hists[k]
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendQuote(b, k)
+		b = append(b, `:{"count":`...)
+		b = strconv.AppendInt(b, h.count, 10)
+		b = append(b, `,"sum":`...)
+		b = appendFloat(b, h.sum)
+		b = append(b, `,"min":`...)
+		b = appendFloat(b, h.min)
+		b = append(b, `,"max":`...)
+		b = appendFloat(b, h.max)
+		b = append(b, `,"buckets":[`...)
+		for j := range h.counts {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"le":`...)
+			if j == len(h.bounds) {
+				b = append(b, `"+Inf"`...)
+			} else {
+				b = appendFloat(b, h.bounds[j])
+			}
+			b = append(b, `,"n":`...)
+			b = strconv.AppendInt(b, h.counts[j], 10)
+			b = append(b, '}')
+		}
+		b = append(b, `]}`...)
+	}
+	b = append(b, `}}`...)
+	b = append(b, '\n')
+	_, err := w.Write(b)
+	return err
+}
+
+// appendFloat renders a float compactly, avoiding exponent noise for the
+// integral values that dominate simulator metrics.
+func appendFloat(b []byte, v float64) []byte {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.AppendInt(b, int64(v), 10)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// Render returns a human-readable snapshot: counters and gauges aligned,
+// histograms with per-bucket bars.
+func (r *Registry) Render() string {
+	var b strings.Builder
+	for _, k := range sortedKeys(r.counters) {
+		fmt.Fprintf(&b, "%-28s %d\n", k, r.counters[k].n)
+	}
+	for _, k := range sortedKeys(r.gauges) {
+		fmt.Fprintf(&b, "%-28s %g\n", k, r.gauges[k].v)
+	}
+	for _, k := range sortedKeys(r.hists) {
+		h := r.hists[k]
+		fmt.Fprintf(&b, "%s: count=%d mean=%.3g min=%g max=%g\n", k, h.count, h.Mean(), h.min, h.max)
+		var peak int64
+		for _, c := range h.counts {
+			if c > peak {
+				peak = c
+			}
+		}
+		for j, c := range h.counts {
+			if c == 0 {
+				continue
+			}
+			le := "+Inf"
+			if j < len(h.bounds) {
+				le = strconv.FormatFloat(h.bounds[j], 'g', -1, 64)
+			}
+			bar := ""
+			if peak > 0 {
+				bar = strings.Repeat("#", int(1+c*29/peak))
+			}
+			fmt.Fprintf(&b, "  le %-10s %-10d %s\n", le, c, bar)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,35 @@
+// Package obs is the run-scoped observability subsystem of the simulator:
+// a lightweight metrics registry (counters, gauges, fixed-bucket
+// histograms) with an allocation-free hot path, and a structured event
+// tracer whose JSONL sink records fault/alloc/lock/unlock/swap/phase
+// events with virtual-time stamps so a simulation run can be replayed and
+// audited offline.
+//
+// Everything is opt-in: a nil *Observer (or an Observer with neither a
+// Tracer nor a Metrics registry) costs a single pointer comparison in the
+// simulator, so instrumentation-off runs pay ~nothing.
+//
+// The package deliberately has no dependencies on the simulator packages —
+// vmsim, policy and the CLI all depend on obs, never the reverse.
+package obs
+
+// Observer bundles the two observation channels of one simulation run.
+// Either field may be nil; a nil Observer observes nothing.
+type Observer struct {
+	// Tracer receives structured events as the run progresses.
+	Tracer Tracer
+	// Metrics receives counters, gauges and histograms.
+	Metrics *Registry
+}
+
+// Enabled reports whether the observer actually observes anything.
+func (o *Observer) Enabled() bool {
+	return o != nil && (o.Tracer != nil || o.Metrics != nil)
+}
+
+// Emit forwards an event to the tracer, if any. Safe on a nil Observer.
+func (o *Observer) Emit(e Event) {
+	if o != nil && o.Tracer != nil {
+		o.Tracer.Emit(e)
+	}
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline([]float64{0, 0, 0}); got != "···" {
+		t.Errorf("all-zero sparkline = %q", got)
+	}
+	got := Sparkline([]float64{0, 1, 4, 8})
+	runes := []rune(got)
+	if len(runes) != 4 {
+		t.Fatalf("len = %d, want 4", len(runes))
+	}
+	if runes[0] != '·' {
+		t.Errorf("zero cell = %q", runes[0])
+	}
+	if runes[3] != '█' {
+		t.Errorf("max cell = %q, want full block", runes[3])
+	}
+}
+
+func TestTimelineBucketsFaultsAndResidency(t *testing.T) {
+	// Span 100, 10 buckets of width 10. Charge: 2 pages over [0,50),
+	// 4 pages over [50,100). Faults at t=5 (bucket 0) and t=95 (bucket 9).
+	events := []Event{
+		{T: 0, Kind: KindRes, I: 1, Res: 2},
+		{T: 5, Kind: KindFault, I: 2, Page: 1, Res: 2},
+		{T: 50, Kind: KindRes, I: 10, Res: 4},
+		{T: 95, Kind: KindFault, I: 20, Page: 2, Res: 4},
+		{T: 100, Kind: KindEnd, Refs: 20, Faults: 2},
+	}
+	tl := NewTimeline(events, 10)
+	if tl.Span != 100 {
+		t.Fatalf("span = %d", tl.Span)
+	}
+	if tl.Faults[0] != 1 || tl.Faults[9] != 1 || tl.TotalFaults() != 2 {
+		t.Errorf("faults = %v", tl.Faults)
+	}
+	for i := 0; i < 5; i++ {
+		if math.Abs(tl.Resident[i]-2) > 1e-9 {
+			t.Errorf("bucket %d resident = %g, want 2", i, tl.Resident[i])
+		}
+	}
+	for i := 5; i < 10; i++ {
+		if math.Abs(tl.Resident[i]-4) > 1e-9 {
+			t.Errorf("bucket %d resident = %g, want 4", i, tl.Resident[i])
+		}
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	tl := NewTimeline(nil, 8)
+	if tl.Span != 0 || tl.TotalFaults() != 0 {
+		t.Errorf("empty timeline = %+v", tl)
+	}
+	if s := Sparkline(tl.FaultsF()); s != strings.Repeat("·", 8) {
+		t.Errorf("empty sparkline = %q", s)
+	}
+}

@@ -92,6 +92,25 @@ type CD struct {
 	// LockReleases counts locked pages the OS released under memory
 	// pressure without an UNLOCK.
 	LockReleases int
+
+	// Hooks, when non-nil, receives CD-internal transitions as they
+	// happen (the observability layer uses this to timestamp phase
+	// changes, swap signals and forced lock releases with the exact
+	// virtual time). Reset preserves Hooks.
+	Hooks *CDHooks
+}
+
+// CDHooks are optional callbacks into CD's internal transitions. Any
+// field may be nil.
+type CDHooks struct {
+	// AllocChange fires when an executed directive moves the allocation
+	// target — the policy-visible signature of a locality transition.
+	AllocChange func(prev, next int)
+	// SwapSignal fires when an ungrantable PI = 1 request raises the
+	// swapper.
+	SwapSignal func()
+	// LockRelease fires when the OS force-releases a locked page.
+	LockRelease func(pg mem.Page)
 }
 
 // NewCD returns a CD policy. The selector chooses ALLOCATE arms (nil
@@ -158,6 +177,9 @@ func (p *CD) Alloc(d trace.AllocDirective) {
 	// entering its smallest locality and cannot run: invoke the swapper.
 	if arms[len(arms)-1].PI == 1 {
 		p.SwapSignals++
+		if p.Hooks != nil && p.Hooks.SwapSignal != nil {
+			p.Hooks.SwapSignal()
+		}
 	}
 	// Otherwise (or additionally), continue with the current allocation.
 }
@@ -166,6 +188,9 @@ func (p *CD) Alloc(d trace.AllocDirective) {
 func (p *CD) setTarget(x int) {
 	if x < p.minAlloc {
 		x = p.minAlloc
+	}
+	if x != p.alloc && p.Hooks != nil && p.Hooks.AllocChange != nil {
+		p.Hooks.AllocChange(p.alloc, x)
 	}
 	p.alloc = x
 	p.shrinkTo(p.alloc)
@@ -198,6 +223,9 @@ func (p *CD) Ref(pg mem.Page) bool {
 				p.releaseLock(n)
 				p.list.remove(n.page)
 				p.LockReleases++
+				if p.Hooks != nil && p.Hooks.LockRelease != nil {
+					p.Hooks.LockRelease(n.page)
+				}
 			}
 		}
 	}
@@ -281,6 +309,9 @@ func (p *CD) ForceRelease(k int) int {
 		p.releaseLock(n)
 		p.list.remove(n.page)
 		p.LockReleases++
+		if p.Hooks != nil && p.Hooks.LockRelease != nil {
+			p.Hooks.LockRelease(n.page)
+		}
 		released++
 	}
 	return released

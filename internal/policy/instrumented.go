@@ -1,0 +1,111 @@
+package policy
+
+import (
+	"strings"
+
+	"cdmm/internal/mem"
+	"cdmm/internal/obs"
+	"cdmm/internal/trace"
+)
+
+// Instrumented decorates any Policy with per-call counters in an obs
+// registry, without touching the concrete policies. The counters are
+// named policy_<name>_<call> (e.g. policy_cd_refs, policy_cd_faults);
+// space-time charging and the simulator's CD-specific handling are
+// preserved — Charged delegates to the wrapped policy's charging rule and
+// AsCD sees through the wrapper via Unwrap.
+type Instrumented struct {
+	inner Policy
+
+	RefCalls    *obs.Counter
+	FaultCount  *obs.Counter
+	AllocCalls  *obs.Counter
+	LockCalls   *obs.Counter
+	UnlockCalls *obs.Counter
+	ResetCalls  *obs.Counter
+}
+
+// Instrument wraps p with per-call counters registered in reg.
+func Instrument(p Policy, reg *obs.Registry) *Instrumented {
+	prefix := "policy_" + metricName(p.Name()) + "_"
+	return &Instrumented{
+		inner:       p,
+		RefCalls:    reg.Counter(prefix + "refs"),
+		FaultCount:  reg.Counter(prefix + "faults"),
+		AllocCalls:  reg.Counter(prefix + "allocs"),
+		LockCalls:   reg.Counter(prefix + "locks"),
+		UnlockCalls: reg.Counter(prefix + "unlocks"),
+		ResetCalls:  reg.Counter(prefix + "resets"),
+	}
+}
+
+// metricName lowercases a policy name like "WS(tau=500)" into a metric
+// identifier like "ws_tau_500".
+func metricName(name string) string {
+	var b strings.Builder
+	lastUnderscore := true
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastUnderscore = false
+		default:
+			if !lastUnderscore {
+				b.WriteByte('_')
+				lastUnderscore = true
+			}
+		}
+	}
+	return strings.TrimSuffix(b.String(), "_")
+}
+
+// Unwrap returns the wrapped policy.
+func (i *Instrumented) Unwrap() Policy { return i.inner }
+
+// Name implements Policy.
+func (i *Instrumented) Name() string { return i.inner.Name() }
+
+// Ref implements Policy.
+func (i *Instrumented) Ref(p mem.Page) bool {
+	i.RefCalls.Inc()
+	fault := i.inner.Ref(p)
+	if fault {
+		i.FaultCount.Inc()
+	}
+	return fault
+}
+
+// Resident implements Policy.
+func (i *Instrumented) Resident() int { return i.inner.Resident() }
+
+// Charged implements Charger by delegating to the wrapped policy's
+// charging rule, so wrapping never changes space-time accounting.
+func (i *Instrumented) Charged() int { return Charge(i.inner) }
+
+// Alloc implements Policy.
+func (i *Instrumented) Alloc(d trace.AllocDirective) {
+	i.AllocCalls.Inc()
+	i.inner.Alloc(d)
+}
+
+// Lock implements Policy.
+func (i *Instrumented) Lock(ls trace.LockSet) {
+	i.LockCalls.Inc()
+	i.inner.Lock(ls)
+}
+
+// Unlock implements Policy.
+func (i *Instrumented) Unlock(pages []mem.Page) {
+	i.UnlockCalls.Inc()
+	i.inner.Unlock(pages)
+}
+
+// Reset implements Policy. The counters are cumulative across runs; only
+// the wrapped policy's state is reset.
+func (i *Instrumented) Reset() {
+	i.ResetCalls.Inc()
+	i.inner.Reset()
+}
+
+var _ Policy = (*Instrumented)(nil)
+var _ Charger = (*Instrumented)(nil)

@@ -1,0 +1,102 @@
+package policy
+
+import (
+	"testing"
+
+	"cdmm/internal/mem"
+	"cdmm/internal/obs"
+	"cdmm/internal/trace"
+)
+
+func TestInstrumentedCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := Instrument(NewLRU(2), reg)
+
+	for _, pg := range []mem.Page{1, 2, 3, 1} {
+		p.Ref(pg)
+	}
+	p.Lock(trace.LockSet{PJ: 1, Site: 1, Pages: []mem.Page{1}})
+	p.Unlock([]mem.Page{1})
+	p.Reset()
+
+	// Fault count comes from an identical uninstrumented run so the test
+	// asserts wrapper bookkeeping, not LRU behavior.
+	q := NewLRU(2)
+	faults := int64(0)
+	for _, pg := range []mem.Page{1, 2, 3, 1} {
+		if q.Ref(pg) {
+			faults++
+		}
+	}
+	want := map[string]int64{
+		"policy_lru_m_2_refs":    4,
+		"policy_lru_m_2_faults":  faults,
+		"policy_lru_m_2_locks":   1,
+		"policy_lru_m_2_unlocks": 1,
+		"policy_lru_m_2_resets":  1,
+	}
+	for name, w := range want {
+		if got := reg.Counter(name).Value(); got != w {
+			t.Errorf("%s = %d, want %d", name, got, w)
+		}
+	}
+}
+
+func TestInstrumentedPreservesCharging(t *testing.T) {
+	reg := obs.NewRegistry()
+	// LRU is a fixed-partition policy: charged the full partition even
+	// when fewer pages are resident. The wrapper must not change that.
+	bare := NewLRU(8)
+	wrapped := Instrument(NewLRU(8), reg)
+	bare.Ref(1)
+	wrapped.Ref(1)
+	if Charge(wrapped) != Charge(bare) {
+		t.Errorf("wrapped charge %d != bare charge %d", Charge(wrapped), Charge(bare))
+	}
+	if Charge(wrapped) != 8 {
+		t.Errorf("LRU(8) with 1 resident page must be charged 8, got %d", Charge(wrapped))
+	}
+
+	// WS is variable-partition: charged its resident set.
+	ws := Instrument(NewWS(100), reg)
+	ws.Ref(1)
+	ws.Ref(2)
+	if Charge(ws) != 2 {
+		t.Errorf("WS with 2 resident pages must be charged 2, got %d", Charge(ws))
+	}
+}
+
+func TestInstrumentedUnwrapAndAsCD(t *testing.T) {
+	reg := obs.NewRegistry()
+	cd := NewCD(SelectLevel(1), 2)
+	wrapped := Instrument(cd, reg)
+	if got := AsCD(wrapped); got != cd {
+		t.Errorf("AsCD through wrapper = %v, want the inner CD", got)
+	}
+	if got := AsCD(Instrument(NewLRU(4), reg)); got != nil {
+		t.Errorf("AsCD on wrapped LRU = %v, want nil", got)
+	}
+	if wrapped.Unwrap() != Policy(cd) {
+		t.Error("Unwrap must return the inner policy")
+	}
+}
+
+func TestInstrumentedBehavesIdentically(t *testing.T) {
+	reg := obs.NewRegistry()
+	bare := NewWS(3)
+	wrapped := Instrument(NewWS(3), reg)
+	pages := []mem.Page{1, 2, 3, 4, 1, 2, 5, 1}
+	for _, pg := range pages {
+		bf := bare.Ref(pg)
+		wf := wrapped.Ref(pg)
+		if bf != wf {
+			t.Fatalf("page %d: bare fault=%v wrapped fault=%v", pg, bf, wf)
+		}
+		if bare.Resident() != wrapped.Resident() {
+			t.Fatalf("page %d: resident %d vs %d", pg, bare.Resident(), wrapped.Resident())
+		}
+	}
+	if wrapped.Name() != bare.Name() {
+		t.Errorf("wrapper must not change the policy name: %q vs %q", wrapped.Name(), bare.Name())
+	}
+}

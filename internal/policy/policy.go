@@ -62,6 +62,24 @@ func Charge(p Policy) int {
 	return p.Resident()
 }
 
+// AsCD returns the CD policy underlying p, seeing through any chain of
+// wrappers that expose Unwrap (e.g. Instrumented), or nil when p is not
+// driven by a CD policy. The simulator uses it to surface CD-specific
+// counters and hook points regardless of decoration.
+func AsCD(p Policy) *CD {
+	for p != nil {
+		if cd, ok := p.(*CD); ok {
+			return cd
+		}
+		u, ok := p.(interface{ Unwrap() Policy })
+		if !ok {
+			return nil
+		}
+		p = u.Unwrap()
+	}
+	return nil
+}
+
 // noDirectives provides no-op directive handling for LRU/FIFO/WS/OPT.
 type noDirectives struct{}
 

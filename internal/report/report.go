@@ -25,6 +25,9 @@ type Options struct {
 	SkipBLI bool
 	// SkipSimulation disables the policy comparison section.
 	SkipSimulation bool
+	// TimelineBuckets sets the virtual-time bucket count of the fault
+	// timeline section; 0 means 64.
+	TimelineBuckets int
 }
 
 // Generate renders the markdown report for a compiled program.
@@ -65,6 +68,15 @@ func Generate(p *core.Program, opts Options) (string, error) {
 		if err := writeSimulation(&b, p); err != nil {
 			return "", err
 		}
+		buckets := opts.TimelineBuckets
+		if buckets == 0 {
+			buckets = 64
+		}
+		tl, err := TimelineReport(p, buckets)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(tl)
 	}
 	return b.String(), nil
 }

@@ -35,6 +35,8 @@ func TestGenerateFullReport(t *testing.T) {
 		"## Policy comparison",
 		"best LRU",
 		"best WS",
+		"## Fault timeline",
+		"Resident set",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q", want)

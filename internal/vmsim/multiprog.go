@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"cdmm/internal/mem"
+	"cdmm/internal/obs"
 	"cdmm/internal/policy"
 	"cdmm/internal/trace"
 )
@@ -49,6 +50,10 @@ type MultiConfig struct {
 	// before resuming, on top of refaulting its pages. Defaults to
 	// FaultService.
 	SwapInDelay int64
+	// Obs, when non-nil, receives job-tagged fault/swap/jobdone events
+	// (T is the global clock) and mix-level metrics. Nil falls back to
+	// DefaultObserver.
+	Obs *obs.Observer
 }
 
 // MultiResult summarizes a multiprogramming run.
@@ -91,13 +96,19 @@ func RunMulti(jobs []*Job, cfg MultiConfig) *MultiResult {
 	if cfg.SwapInDelay <= 0 {
 		cfg.SwapInDelay = policy.FaultService
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = DefaultObserver
+	}
+	if !cfg.Obs.Enabled() {
+		cfg.Obs = nil
+	}
 	for _, j := range jobs {
 		j.Policy.Reset()
 		j.pos = 0
 		j.readyAt = 0
 		j.swappedIn = true
 		j.done = false
-		if cd, ok := j.Policy.(*policy.CD); ok {
+		if cd := policy.AsCD(j.Policy); cd != nil {
 			cd.Avail = func() int { return cfg.Frames - totalResident(jobs) }
 		}
 	}
@@ -127,6 +138,19 @@ func RunMulti(jobs []*Job, cfg MultiConfig) *MultiResult {
 		if j.Finished > res.Makespan {
 			res.Makespan = j.Finished
 		}
+	}
+	if cfg.Obs != nil {
+		faults := 0
+		for _, j := range jobs {
+			faults += j.Faults
+		}
+		if reg := cfg.Obs.Metrics; reg != nil {
+			reg.Counter("multi_faults").Add(int64(faults))
+			reg.Counter("multi_swaps").Add(int64(res.Swaps))
+			reg.Gauge("makespan").Set(float64(res.Makespan))
+			reg.Gauge("idle_ticks").Set(float64(res.IdleTicks))
+		}
+		cfg.Obs.Emit(obs.Event{Kind: obs.KindEnd, T: res.Makespan, Faults: faults})
 	}
 	return res
 }
@@ -159,15 +183,19 @@ func runQuantum(j *Job, jobs []*Job, cfg MultiConfig, clock int64, res *MultiRes
 			if fault {
 				j.Faults++
 				j.readyAt = clock + policy.FaultService
+				if cfg.Obs != nil {
+					cfg.Obs.Emit(obs.Event{Kind: obs.KindFault, T: clock, Job: j.Name,
+						Page: int(e.Arg), Res: j.Policy.Resident()})
+				}
 				return clock // yield: fault service overlaps
 			}
 		case trace.EvAlloc:
 			j.Policy.Alloc(j.Trace.Alloc(e))
-			if cd, ok := j.Policy.(*policy.CD); ok && cd.SwapSignals > j.seenSignals {
+			if cd := policy.AsCD(j.Policy); cd != nil && cd.SwapSignals > j.seenSignals {
 				j.seenSignals = cd.SwapSignals
 				// The job's own PI = 1 request was ungrantable: swap out
 				// this job (the §4 swapping mechanism).
-				swapOut(j, clock, cfg, res)
+				swapOut(j, clock, cfg, res, "signal")
 				return clock
 			}
 		case trace.EvLock:
@@ -180,6 +208,10 @@ func runQuantum(j *Job, jobs []*Job, cfg MultiConfig, clock int64, res *MultiRes
 		j.done = true
 		j.Finished = clock
 		j.Policy.Reset() // release frames
+		if cfg.Obs != nil {
+			cfg.Obs.Emit(obs.Event{Kind: obs.KindJobDone, T: clock, Job: j.Name,
+				Refs: j.Refs, Faults: j.Faults})
+		}
 	}
 	return clock
 }
@@ -197,13 +229,19 @@ func swapOutVictim(jobs []*Job, cur *Job, clock int64, cfg MultiConfig, res *Mul
 		}
 	}
 	if victim != nil && victim.Policy.Resident() > 0 {
-		swapOut(victim, clock, cfg, res)
+		swapOut(victim, clock, cfg, res, "victim")
 	}
 }
 
-// swapOut releases a job's frames and delays it.
-func swapOut(j *Job, clock int64, cfg MultiConfig, res *MultiResult) {
-	if cd, ok := j.Policy.(*policy.CD); ok {
+// swapOut releases a job's frames and delays it. why tags the emitted
+// swap event: "signal" (the job's own PI = 1 swap signal) or "victim"
+// (deactivated under pool overcommitment).
+func swapOut(j *Job, clock int64, cfg MultiConfig, res *MultiResult, why string) {
+	if cfg.Obs != nil {
+		cfg.Obs.Emit(obs.Event{Kind: obs.KindSwap, T: clock, Job: j.Name,
+			Res: j.Policy.Resident(), Why: why})
+	}
+	if cd := policy.AsCD(j.Policy); cd != nil {
 		// Preserve the CD swap-signal count across the reset so repeated
 		// signals keep triggering swaps.
 		signals := cd.SwapSignals

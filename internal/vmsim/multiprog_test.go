@@ -110,3 +110,59 @@ func TestMultiDeterministic(t *testing.T) {
 		t.Errorf("nondeterministic: %v vs %v", r1, r2)
 	}
 }
+
+// TestMultiJobAccountingInvariants checks that per-job accounting is
+// internally consistent across a mixed CD/WS/LRU workload under pool
+// pressure: every reference is served exactly once, memory integrals are
+// sane, and global swap/makespan figures agree with the per-job ones.
+func TestMultiJobAccountingInvariants(t *testing.T) {
+	cdTr := trace.New("cd")
+	cdTr.AddAlloc(&directive.Allocate{Arms: []directive.Arm{{PI: 1, X: 6}}})
+	for r := 0; r < 120; r++ {
+		for i := 0; i < 6; i++ {
+			cdTr.AddRef(mem.Page(i))
+		}
+	}
+	jobs := []*Job{
+		{Name: "cd", Trace: cdTr, Policy: policy.NewCD(policy.SelectLevel(1), 2)},
+		{Name: "ws", Trace: loopTrace("ws", 100, 8, 150), Policy: policy.NewWS(1000)},
+		{Name: "lru", Trace: loopTrace("lru", 200, 8, 150), Policy: policy.NewLRU(6)},
+	}
+	res := RunMulti(jobs, MultiConfig{Frames: 12})
+
+	swaps := 0
+	var lastDone int64
+	for _, j := range jobs {
+		if j.Refs != j.Trace.Refs {
+			t.Errorf("job %s served %d refs, trace has %d", j.Name, j.Refs, j.Trace.Refs)
+		}
+		if j.Faults < j.Trace.Distinct {
+			t.Errorf("job %s faults=%d < distinct pages %d", j.Name, j.Faults, j.Trace.Distinct)
+		}
+		if j.MemSum <= 0 {
+			t.Errorf("job %s MemSum=%g, want > 0", j.Name, j.MemSum)
+		}
+		if mean := j.MEM(); mean < 1 || mean > float64(j.Trace.Distinct) {
+			t.Errorf("job %s mean resident %g outside [1, V=%d]", j.Name, mean, j.Trace.Distinct)
+		}
+		if !jobDone(j) {
+			t.Errorf("job %s never finished", j.Name)
+		}
+		if j.Finished > res.Makespan {
+			t.Errorf("job %s finished at %d after makespan %d", j.Name, j.Finished, res.Makespan)
+		}
+		if j.Finished > lastDone {
+			lastDone = j.Finished
+		}
+		swaps += j.Swaps
+	}
+	if swaps != res.Swaps {
+		t.Errorf("per-job swaps sum to %d, global counter %d", swaps, res.Swaps)
+	}
+	if res.Swaps == 0 {
+		t.Error("workload was sized to force pool pressure but no swaps occurred")
+	}
+	if lastDone != res.Makespan {
+		t.Errorf("last completion %d != makespan %d", lastDone, res.Makespan)
+	}
+}

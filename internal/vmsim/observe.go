@@ -1,0 +1,208 @@
+// Observability integration: RunObserved drives a policy over a trace
+// while emitting structured events (fault/res/alloc/phase/lock/unlock/
+// swap) with virtual-time stamps into an obs.Tracer and updating an
+// obs.Registry. The event stream is exact: obs.Replay over it
+// reconstructs the run's fault count and memory sum bit-for-bit (see
+// TestEventStreamMatchesResult), so a saved JSONL file audits the
+// printed Result.
+package vmsim
+
+import (
+	"cdmm/internal/mem"
+	"cdmm/internal/obs"
+	"cdmm/internal/policy"
+	"cdmm/internal/trace"
+)
+
+// DefaultObserver, when non-nil, observes every simulation that was not
+// handed an explicit observer — Run, the sweeps, and everything layered
+// on top of them (experiments, tables, reports). The CLI sets it for the
+// duration of a command when -events/-metrics are given; it is not safe
+// to change concurrently with running simulations.
+var DefaultObserver *obs.Observer
+
+// RunObserved is Run with an explicit observer. A nil o falls back to
+// DefaultObserver; if that is nil too (or observes nothing) the bare
+// un-instrumented loop runs, so observability-off costs nothing.
+func RunObserved(tr *trace.Trace, pol policy.Policy, o *obs.Observer) Result {
+	if o == nil {
+		o = DefaultObserver
+	}
+	if !o.Enabled() {
+		return runFast(tr, pol)
+	}
+	return runInstrumented(tr, pol, o)
+}
+
+// runInstrumented is the observed simulation loop. It accumulates the
+// exact same Result as runFast (same fault decisions, same space-time
+// charging) while streaming events and metrics.
+func runInstrumented(tr *trace.Trace, pol policy.Policy, o *obs.Observer) Result {
+	pol.Reset()
+	res := Result{Policy: pol.Name(), Refs: tr.Refs}
+
+	var (
+		cRefs, cFaults, cSwapSig, cLockRel *obs.Counter
+		hInter, hRes, hLock                *obs.Histogram
+	)
+	if reg := o.Metrics; reg != nil {
+		cRefs = reg.Counter("refs")
+		cFaults = reg.Counter("faults")
+		cSwapSig = reg.Counter("swap_signals")
+		cLockRel = reg.Counter("lock_releases")
+		hInter = reg.Histogram("fault_interarrival_vtime", obs.ExpBounds(1, 4, 12))
+		hRes = reg.Histogram("resident_pages", obs.LinearBounds(2, 2, 16))
+		hLock = reg.Histogram("lock_hold_vtime", obs.ExpBounds(1, 4, 12))
+	}
+
+	// lockAt tracks when each page was locked (directive-level, virtual
+	// time) to measure lock-hold durations.
+	lockAt := map[mem.Page]int64{}
+	closeHold := func(pg mem.Page) {
+		if t0, ok := lockAt[pg]; ok {
+			if hLock != nil {
+				hLock.Observe(float64(res.VirtualTime - t0))
+			}
+			delete(lockAt, pg)
+		}
+	}
+
+	// CD hook points stamp policy-internal transitions with the exact
+	// virtual time of the directive that caused them.
+	if cd := policy.AsCD(pol); cd != nil {
+		saved := cd.Hooks
+		cd.Hooks = &policy.CDHooks{
+			AllocChange: func(prev, next int) {
+				o.Emit(obs.Event{Kind: obs.KindPhase, T: res.VirtualTime, Prev: prev, Alloc: next})
+			},
+			SwapSignal: func() {
+				if cSwapSig != nil {
+					cSwapSig.Inc()
+				}
+				o.Emit(obs.Event{Kind: obs.KindSwap, T: res.VirtualTime, Why: "signal"})
+			},
+			LockRelease: func(pg mem.Page) {
+				if cLockRel != nil {
+					cLockRel.Inc()
+				}
+				o.Emit(obs.Event{Kind: obs.KindLockRel, T: res.VirtualTime, Page: int(pg)})
+				closeHold(pg)
+			},
+		}
+		defer func() { cd.Hooks = saved }()
+	}
+
+	o.Emit(obs.Event{Kind: obs.KindRun, Label: res.Policy, Refs: tr.Refs})
+
+	var lastFaultVT int64
+	prevCharge := -1
+	refIdx := 0
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.EvRef:
+			fault := pol.Ref(mem.Page(e.Arg))
+			refIdx++
+			dt := int64(1)
+			if fault {
+				res.Faults++
+				dt += policy.FaultService
+			}
+			m := policy.Charge(pol)
+			res.VirtualTime += dt
+			res.SpaceTime += float64(m) * float64(dt)
+			res.MemSum += float64(m)
+			if r := pol.Resident(); r > res.MaxResident {
+				res.MaxResident = r
+			}
+			if cRefs != nil {
+				cRefs.Inc()
+				hRes.Observe(float64(m))
+			}
+			if fault {
+				if cFaults != nil {
+					cFaults.Inc()
+					hInter.Observe(float64(res.VirtualTime - lastFaultVT))
+				}
+				o.Emit(obs.Event{Kind: obs.KindFault, T: res.VirtualTime, I: refIdx, Page: int(e.Arg), Res: m})
+				lastFaultVT = res.VirtualTime
+			}
+			if m != prevCharge {
+				o.Emit(obs.Event{Kind: obs.KindRes, T: res.VirtualTime, I: refIdx, Res: m})
+				prevCharge = m
+			}
+		case trace.EvAlloc:
+			d := tr.Alloc(e)
+			o.Emit(obs.Event{Kind: obs.KindAlloc, T: res.VirtualTime, Label: d.Label})
+			pol.Alloc(d)
+		case trace.EvLock:
+			ls := tr.Lock(e)
+			o.Emit(obs.Event{Kind: obs.KindLock, T: res.VirtualTime, PJ: ls.PJ, Site: ls.Site, Pages: len(ls.Pages)})
+			for _, pg := range ls.Pages {
+				if _, ok := lockAt[pg]; !ok {
+					lockAt[pg] = res.VirtualTime
+				}
+			}
+			pol.Lock(ls)
+		case trace.EvUnlock:
+			pages := tr.Unlock(e)
+			o.Emit(obs.Event{Kind: obs.KindUnlock, T: res.VirtualTime, Pages: len(pages)})
+			for _, pg := range pages {
+				closeHold(pg)
+			}
+			pol.Unlock(pages)
+		}
+	}
+	if cd := policy.AsCD(pol); cd != nil {
+		res.SwapSignals = cd.SwapSignals
+		res.LockReleases = cd.LockReleases
+	}
+	if reg := o.Metrics; reg != nil {
+		reg.Gauge("max_resident").Set(float64(res.MaxResident))
+		reg.Gauge("virtual_time").Set(float64(res.VirtualTime))
+		reg.Gauge("mem_avg").Set(res.MEM())
+	}
+	o.Emit(obs.Event{Kind: obs.KindEnd, T: res.VirtualTime, Refs: res.Refs, Faults: res.Faults, Mem: res.MEM()})
+	return res
+}
+
+// SweepLRUObserved is SweepLRU emitting one summary event and metric
+// point per allocation into the observer (per-reference events would dwarf
+// the trace itself across V runs, so sweep points run un-instrumented).
+func SweepLRUObserved(tr *trace.Trace, maxFrames int, o *obs.Observer) []Result {
+	if o == nil {
+		o = DefaultObserver
+	}
+	refs := tr.StripDirectives()
+	out := make([]Result, maxFrames)
+	for m := 1; m <= maxFrames; m++ {
+		out[m-1] = runFast(refs, policy.NewLRU(m))
+		emitSweepPoint(o, out[m-1])
+	}
+	return out
+}
+
+// SweepWSObserved is SweepWS emitting one summary event and metric point
+// per window size into the observer.
+func SweepWSObserved(tr *trace.Trace, taus []int, o *obs.Observer) []Result {
+	if o == nil {
+		o = DefaultObserver
+	}
+	refs := tr.StripDirectives()
+	out := make([]Result, len(taus))
+	for i, tau := range taus {
+		out[i] = runFast(refs, policy.NewWS(tau))
+		emitSweepPoint(o, out[i])
+	}
+	return out
+}
+
+func emitSweepPoint(o *obs.Observer, r Result) {
+	if !o.Enabled() {
+		return
+	}
+	o.Emit(obs.Event{Kind: obs.KindSweep, Label: r.Policy, Refs: r.Refs, Faults: r.Faults, Mem: r.MEM(), ST: r.ST()})
+	if o.Metrics != nil {
+		o.Metrics.Counter("sweep_points").Inc()
+		o.Metrics.Histogram("sweep_st", obs.ExpBounds(1e3, 8, 12)).Observe(r.ST())
+	}
+}

@@ -1,0 +1,198 @@
+package vmsim
+
+import (
+	"testing"
+
+	"cdmm/internal/directive"
+	"cdmm/internal/mem"
+	"cdmm/internal/obs"
+	"cdmm/internal/policy"
+	"cdmm/internal/trace"
+)
+
+// cdPhaseTrace builds a trace with two ALLOCATE phases, a LOCK/UNLOCK
+// pair, and a locality shift, exercising every event kind CD can emit.
+func cdPhaseTrace() *trace.Trace {
+	tr := trace.New("cdphase")
+	d1 := &directive.Allocate{Arms: []directive.Arm{{PI: 2, X: 8}, {PI: 1, X: 4}}}
+	d2 := &directive.Allocate{Arms: []directive.Arm{{PI: 1, X: 2}}}
+	tr.AddAlloc(d1)
+	for r := 0; r < 10; r++ {
+		for i := 0; i < 8; i++ {
+			tr.AddRef(mem.Page(i))
+		}
+	}
+	tr.AddLock(2, 1, []mem.Page{0, 1})
+	tr.AddAlloc(d2)
+	for r := 0; r < 10; r++ {
+		for i := 8; i < 12; i++ {
+			tr.AddRef(mem.Page(i))
+		}
+	}
+	tr.AddUnlock([]mem.Page{0, 1})
+	for r := 0; r < 5; r++ {
+		for i := 0; i < 4; i++ {
+			tr.AddRef(mem.Page(i))
+		}
+	}
+	return tr
+}
+
+// TestEventStreamMatchesResult is the audit guarantee: replaying the
+// emitted event stream reconstructs the run's fault count and memory sum
+// exactly — bit for bit, not approximately.
+func TestEventStreamMatchesResult(t *testing.T) {
+	cases := []struct {
+		name string
+		tr   *trace.Trace
+		pol  policy.Policy
+	}{
+		{"LRU", randomTrace(7, 5000, 40).StripDirectives(), policy.NewLRU(8)},
+		{"WS", randomTrace(11, 5000, 40).StripDirectives(), policy.NewWS(64)},
+		{"CD", cdPhaseTrace(), policy.NewCD(policy.SelectLevel(2), 2)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			col := &obs.Collector{}
+			reg := obs.NewRegistry()
+			res := RunObserved(tc.tr, tc.pol, &obs.Observer{Tracer: col, Metrics: reg})
+
+			refs, faults, memSum := obs.Replay(col.Events)
+			if refs != res.Refs {
+				t.Errorf("replayed refs = %d, result %d", refs, res.Refs)
+			}
+			if faults != res.Faults {
+				t.Errorf("replayed faults = %d, result %d", faults, res.Faults)
+			}
+			if memSum != res.MemSum {
+				t.Errorf("replayed memSum = %v, result %v", memSum, res.MemSum)
+			}
+			if got := reg.Counter("faults").Value(); got != int64(res.Faults) {
+				t.Errorf("faults counter = %d, result %d", got, res.Faults)
+			}
+			if got := reg.Counter("refs").Value(); got != int64(res.Refs) {
+				t.Errorf("refs counter = %d, result %d", got, res.Refs)
+			}
+			// The resident histogram observes the same per-reference charge
+			// the memory sum accumulates, in the same order.
+			h := reg.Histogram("resident_pages", nil)
+			if h.Sum() != res.MemSum || h.Count() != int64(res.Refs) {
+				t.Errorf("resident histogram sum/count = %v/%d, want %v/%d",
+					h.Sum(), h.Count(), res.MemSum, res.Refs)
+			}
+		})
+	}
+}
+
+// TestObservedMatchesFast verifies instrumentation changes nothing about
+// the simulation itself.
+func TestObservedMatchesFast(t *testing.T) {
+	tr := cdPhaseTrace()
+	fast := Run(tr, policy.NewCD(policy.SelectLevel(2), 2))
+	obsd := RunObserved(tr, policy.NewCD(policy.SelectLevel(2), 2),
+		&obs.Observer{Tracer: &obs.Collector{}, Metrics: obs.NewRegistry()})
+	if fast != obsd {
+		t.Errorf("observed run diverged:\n fast %+v\n obsd %+v", fast, obsd)
+	}
+}
+
+// TestObservedCDEmitsDirectiveEvents checks the CD hook points: phase
+// changes, lock/unlock framing, and run framing all appear in the stream.
+func TestObservedCDEmitsDirectiveEvents(t *testing.T) {
+	col := &obs.Collector{}
+	RunObserved(cdPhaseTrace(), policy.NewCD(policy.SelectLevel(2), 2), &obs.Observer{Tracer: col})
+	kinds := map[string]int{}
+	for _, e := range col.Events {
+		kinds[e.Kind]++
+	}
+	for _, k := range []string{obs.KindRun, obs.KindFault, obs.KindRes, obs.KindAlloc,
+		obs.KindPhase, obs.KindLock, obs.KindUnlock, obs.KindEnd} {
+		if kinds[k] == 0 {
+			t.Errorf("no %q events in stream (kinds: %v)", k, kinds)
+		}
+	}
+	if kinds[obs.KindRun] != 1 || kinds[obs.KindEnd] != 1 {
+		t.Errorf("stream framing: %d run, %d end events", kinds[obs.KindRun], kinds[obs.KindEnd])
+	}
+	last := col.Events[len(col.Events)-1]
+	if last.Kind != obs.KindEnd {
+		t.Errorf("stream does not end with an end event: %+v", last)
+	}
+}
+
+// TestDefaultObserver checks that Run picks up the process-wide observer
+// the CLI installs.
+func TestDefaultObserver(t *testing.T) {
+	col := &obs.Collector{}
+	DefaultObserver = &obs.Observer{Tracer: col}
+	defer func() { DefaultObserver = nil }()
+	res := Run(refTrace(1, 2, 3, 1, 2, 3), policy.NewLRU(2))
+	if len(col.Events) == 0 {
+		t.Fatal("default observer saw no events")
+	}
+	_, faults, _ := obs.Replay(col.Events)
+	if faults != res.Faults {
+		t.Errorf("default-observed faults = %d, want %d", faults, res.Faults)
+	}
+}
+
+// TestSweepObserved checks per-point sweep summaries.
+func TestSweepObserved(t *testing.T) {
+	tr := randomTrace(3, 2000, 20)
+	col := &obs.Collector{}
+	reg := obs.NewRegistry()
+	o := &obs.Observer{Tracer: col, Metrics: reg}
+	lru := SweepLRUObserved(tr, 10, o)
+	ws := SweepWSObserved(tr, []int{10, 100, 1000}, o)
+	points := 0
+	for _, e := range col.Events {
+		if e.Kind != obs.KindSweep {
+			t.Errorf("unexpected %q event in sweep stream", e.Kind)
+			continue
+		}
+		points++
+	}
+	if want := len(lru) + len(ws); points != want {
+		t.Errorf("sweep events = %d, want %d", points, want)
+	}
+	if got := reg.Counter("sweep_points").Value(); got != int64(points) {
+		t.Errorf("sweep_points counter = %d, want %d", got, points)
+	}
+	// Sweep events carry the exact per-point aggregates.
+	if e := col.Events[0]; e.Faults != lru[0].Faults || e.ST != lru[0].ST() {
+		t.Errorf("sweep point 0 = %+v, want PF=%d ST=%g", e, lru[0].Faults, lru[0].ST())
+	}
+}
+
+// TestMultiprogEvents checks job-tagged events from the multiprogramming
+// driver under pool pressure.
+func TestMultiprogEvents(t *testing.T) {
+	col := &obs.Collector{}
+	a := &Job{Name: "a", Trace: loopTrace("a", 0, 8, 200), Policy: policy.NewWS(1000)}
+	b := &Job{Name: "b", Trace: loopTrace("b", 100, 8, 200), Policy: policy.NewWS(1000)}
+	res := RunMulti([]*Job{a, b}, MultiConfig{Frames: 10, Obs: &obs.Observer{Tracer: col}})
+
+	kinds := map[string]int{}
+	jobs := map[string]bool{}
+	for _, e := range col.Events {
+		kinds[e.Kind]++
+		if e.Job != "" {
+			jobs[e.Job] = true
+		}
+		if e.Kind == obs.KindSwap && e.Why == "" {
+			t.Error("swap event without a reason")
+		}
+	}
+	if kinds[obs.KindFault] != a.Faults+b.Faults {
+		t.Errorf("fault events = %d, want %d", kinds[obs.KindFault], a.Faults+b.Faults)
+	}
+	if kinds[obs.KindSwap] != res.Swaps {
+		t.Errorf("swap events = %d, want %d", kinds[obs.KindSwap], res.Swaps)
+	}
+	if kinds[obs.KindJobDone] != 2 || kinds[obs.KindEnd] != 1 {
+		t.Errorf("framing: %v", kinds)
+	}
+	if !jobs["a"] || !jobs["b"] {
+		t.Errorf("events not job-tagged: %v", jobs)
+	}
+}

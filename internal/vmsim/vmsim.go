@@ -57,14 +57,29 @@ func (r Result) FaultRate() float64 {
 	return 1000 * float64(r.Faults) / float64(r.Refs)
 }
 
-// String summarizes the result.
+// String summarizes the result. The CD-specific swap-signal and forced
+// lock-release counters are included when nonzero.
 func (r Result) String() string {
-	return fmt.Sprintf("%s: PF=%d MEM=%.2f ST=%.3g (R=%d)", r.Policy, r.Faults, r.MEM(), r.ST(), r.Refs)
+	s := fmt.Sprintf("%s: PF=%d MEM=%.2f ST=%.3g (R=%d)", r.Policy, r.Faults, r.MEM(), r.ST(), r.Refs)
+	if r.SwapSignals > 0 {
+		s += fmt.Sprintf(" swap-signals=%d", r.SwapSignals)
+	}
+	if r.LockReleases > 0 {
+		s += fmt.Sprintf(" lock-releases=%d", r.LockReleases)
+	}
+	return s
 }
 
 // Run replays the trace under the policy. The policy is Reset first, so a
-// single policy value can be reused across runs.
+// single policy value can be reused across runs. When DefaultObserver is
+// set the run is observed; otherwise this is the bare fast path.
 func Run(tr *trace.Trace, pol policy.Policy) Result {
+	return RunObserved(tr, pol, nil)
+}
+
+// runFast is the un-instrumented simulation loop — the hot path when
+// observability is off.
+func runFast(tr *trace.Trace, pol policy.Policy) Result {
 	pol.Reset()
 	res := Result{Policy: pol.Name(), Refs: tr.Refs}
 	for _, e := range tr.Events {
@@ -91,7 +106,7 @@ func Run(tr *trace.Trace, pol policy.Policy) Result {
 			pol.Unlock(tr.Unlock(e))
 		}
 	}
-	if cd, ok := pol.(*policy.CD); ok {
+	if cd := policy.AsCD(pol); cd != nil {
 		res.SwapSignals = cd.SwapSignals
 		res.LockReleases = cd.LockReleases
 	}
@@ -102,22 +117,12 @@ func Run(tr *trace.Trace, pol policy.Policy) Result {
 // results indexed by allocation-1. The paper varies the LRU allocation
 // between 1 and V.
 func SweepLRU(tr *trace.Trace, maxFrames int) []Result {
-	refs := tr.StripDirectives()
-	out := make([]Result, maxFrames)
-	for m := 1; m <= maxFrames; m++ {
-		out[m-1] = Run(refs, policy.NewLRU(m))
-	}
-	return out
+	return SweepLRUObserved(tr, maxFrames, nil)
 }
 
 // SweepWS runs the Working Set policy at each window size in taus.
 func SweepWS(tr *trace.Trace, taus []int) []Result {
-	refs := tr.StripDirectives()
-	out := make([]Result, len(taus))
-	for i, tau := range taus {
-		out[i] = Run(refs, policy.NewWS(tau))
-	}
-	return out
+	return SweepWSObserved(tr, taus, nil)
 }
 
 // DefaultTaus builds the WS window-size sweep for a trace of length R:
