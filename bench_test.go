@@ -18,6 +18,7 @@ import (
 
 	"cdmm/internal/bli"
 
+	"cdmm/internal/engine"
 	"cdmm/internal/experiments"
 	"cdmm/internal/obs"
 	"cdmm/internal/policy"
@@ -30,7 +31,7 @@ import (
 // directive sets under the CD policy (MAIN x4, FDJAC x2, TQL x2).
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table1()
+		rows, err := experiments.Table1(nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -44,7 +45,7 @@ func BenchmarkTable1(b *testing.B) {
 // LRU and tuned WS versus CD.
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table2()
+		rows, err := experiments.Table2(nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -58,7 +59,7 @@ func BenchmarkTable2(b *testing.B) {
 // average memory.
 func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table3()
+		rows, err := experiments.Table3(nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +73,7 @@ func BenchmarkTable3(b *testing.B) {
 // matching CD's fault count.
 func BenchmarkTable4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table4()
+		rows, err := experiments.Table4(nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -81,6 +82,40 @@ func BenchmarkTable4(b *testing.B) {
 		}
 	}
 }
+
+// benchTables regenerates all four tables on a fresh engine per iteration
+// (so the memoized sweeps and CD runs are recomputed every time — the
+// workload compile cache alone persists, matching a cold `cdmm tables`
+// invocation with warm sources).
+func benchTables(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(workers)
+		if _, err := experiments.Table1(eng); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Table2(eng); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Table3(eng); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Table4(eng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTablesSequential is the engine's overhead guard: one worker
+// degenerates to an inline sequential loop, so this should match the old
+// sequential pipeline within noise.
+func BenchmarkTablesSequential(b *testing.B) { benchTables(b, 1) }
+
+// BenchmarkTablesParallel regenerates all four tables with the worker
+// pool at GOMAXPROCS. On a multi-core machine the table grid's row
+// parallelism plus singleflight sharing of the sweeps gives near-linear
+// speedup over BenchmarkTablesSequential (≥2x expected on 4+ cores).
+func BenchmarkTablesParallel(b *testing.B) { benchTables(b, 0) }
 
 // compiledTrace fetches a workload's cached trace.
 func compiledTrace(b *testing.B, name string) *trace.Trace {
@@ -292,7 +327,7 @@ func BenchmarkCompile(b *testing.B) {
 // WS, Damped WS, Sampled WS, VSWS and PFF — at CD-matched memory scale.
 func BenchmarkPolicyFamily(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.PolicyFamily(nil)
+		rows, err := experiments.PolicyFamily(nil, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -309,7 +344,7 @@ func BenchmarkPageSizeSensitivity(b *testing.B) {
 	sizes := []int{128, 256, 512, 1024}
 	for i := 0; i < b.N; i++ {
 		for _, prog := range []string{"HWSCRT", "MAIN"} {
-			rows, err := experiments.PageSizeSensitivity(prog, sizes)
+			rows, err := experiments.PageSizeSensitivity(nil, prog, sizes)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -363,7 +398,7 @@ func BenchmarkTraceEncode(b *testing.B) {
 // ALLOCATE X scaled by 0.5x to 2x, per canonical program.
 func BenchmarkDetune(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.DetuneStudy(nil, nil)
+		rows, err := experiments.DetuneStudy(nil, nil, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

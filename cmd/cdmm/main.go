@@ -24,6 +24,7 @@ import (
 	"cdmm/internal/advisor"
 	"cdmm/internal/bli"
 	"cdmm/internal/core"
+	"cdmm/internal/engine"
 	"cdmm/internal/experiments"
 	"cdmm/internal/policy"
 	"cdmm/internal/report"
@@ -31,6 +32,20 @@ import (
 	"cdmm/internal/vmsim"
 	"cdmm/internal/workloads"
 )
+
+// registerJFlag adds the shared -j parallelism flag: the bound on
+// concurrent simulations in the run-plan engine.
+func registerJFlag(fs *flag.FlagSet) *int {
+	return fs.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+}
+
+// newEngine builds the command's engine from -j and installs it as the
+// process default so package-level conveniences share its memo store.
+func newEngine(j int) *engine.Engine {
+	e := engine.New(j)
+	engine.SetDefault(e)
+	return e
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -74,8 +89,13 @@ func main() {
 			return nil
 		})
 	case "report":
-		err = withProgram(args, func(p *core.Program, _ []string) error {
-			out, rerr := report.Generate(p, report.Options{})
+		err = withProgram(args, func(p *core.Program, rest []string) error {
+			fs := flag.NewFlagSet("report", flag.ContinueOnError)
+			j := registerJFlag(fs)
+			if perr := fs.Parse(rest); perr != nil {
+				return perr
+			}
+			out, rerr := report.Generate(p, report.Options{Engine: newEngine(*j)})
 			if rerr != nil {
 				return rerr
 			}
@@ -89,30 +109,11 @@ func main() {
 			return nil
 		})
 	case "family":
-		rows, ferr := experiments.PolicyFamily(nil)
-		if ferr != nil {
-			err = ferr
-			break
-		}
-		fmt.Print(experiments.RenderFamily(rows))
+		err = cmdFamily(args)
 	case "detune":
-		rows, derr := experiments.DetuneStudy(nil, nil)
-		if derr != nil {
-			err = derr
-			break
-		}
-		fmt.Print(experiments.RenderDetune(rows))
+		err = cmdDetune(args)
 	case "pagesize":
-		prog := "HWSCRT"
-		if len(args) > 0 {
-			prog = args[0]
-		}
-		rows, perr := experiments.PageSizeSensitivity(prog, []int{128, 256, 512, 1024})
-		if perr != nil {
-			err = perr
-			break
-		}
-		fmt.Print(experiments.RenderPageSize(rows))
+		err = cmdPageSize(args)
 	case "sim":
 		err = cmdSim(args)
 	case "sweep":
@@ -159,6 +160,11 @@ commands:
                             sparklines for CD vs tuned LRU and WS
   table1..table4 | tables   regenerate the paper's tables
 
+parallelism flag (sim, replay, profile, report, family, detune, pagesize, table*):
+  -j N                      run up to N simulations concurrently
+                            (default GOMAXPROCS); tables, reports and event
+                            streams are byte-identical at any -j
+
 observability flags (sim, replay, profile, table*):
   -events f.jsonl           structured event trace (virtual-time stamped JSONL)
   -metrics f.json           metrics snapshot (counters, gauges, histograms)
@@ -203,6 +209,52 @@ func withProgram(args []string, fn func(*core.Program, []string) error) error {
 	return fn(p, args[1:])
 }
 
+func cmdFamily(args []string) error {
+	fs := flag.NewFlagSet("family", flag.ContinueOnError)
+	j := registerJFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := experiments.PolicyFamily(newEngine(*j), nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderFamily(rows))
+	return nil
+}
+
+func cmdDetune(args []string) error {
+	fs := flag.NewFlagSet("detune", flag.ContinueOnError)
+	j := registerJFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := experiments.DetuneStudy(newEngine(*j), nil, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderDetune(rows))
+	return nil
+}
+
+func cmdPageSize(args []string) error {
+	prog := "HWSCRT"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		prog, args = args[0], args[1:]
+	}
+	fs := flag.NewFlagSet("pagesize", flag.ContinueOnError)
+	j := registerJFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := experiments.PageSizeSensitivity(newEngine(*j), prog, []int{128, 256, 512, 1024})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderPageSize(rows))
+	return nil
+}
+
 func cmdSim(args []string) error {
 	return withProgram(args, func(p *core.Program, rest []string) error {
 		fs := flag.NewFlagSet("sim", flag.ContinueOnError)
@@ -210,10 +262,12 @@ func cmdSim(args []string) error {
 		level := fs.Int("level", 1, "CD directive-set stratum")
 		frames := fs.Int("m", 8, "fixed allocation for lru/fifo/opt")
 		tau := fs.Int("tau", 500, "WS window size")
+		j := registerJFlag(fs)
 		of := registerObsFlags(fs)
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
+		newEngine(*j)
 		tr, err := p.Trace()
 		if err != nil {
 			return err
@@ -282,6 +336,7 @@ func cmdSweep(args []string) error {
 
 func cmdTables(which string, args []string) error {
 	fs := flag.NewFlagSet(which, flag.ContinueOnError)
+	j := registerJFlag(fs)
 	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -290,14 +345,14 @@ func cmdTables(which string, args []string) error {
 	if err != nil {
 		return err
 	}
-	err = runTables(which)
+	err = runTables(which, newEngine(*j))
 	if ferr := finish(); err == nil {
 		err = ferr
 	}
 	return err
 }
 
-func runTables(which string) error {
+func runTables(which string, eng *engine.Engine) error {
 	show := func(name string, gen func() (string, error)) error {
 		if which != "tables" && which != name {
 			return nil
@@ -310,7 +365,7 @@ func runTables(which string) error {
 		return nil
 	}
 	if err := show("table1", func() (string, error) {
-		rows, err := experiments.Table1()
+		rows, err := experiments.Table1(eng)
 		if err != nil {
 			return "", err
 		}
@@ -319,7 +374,7 @@ func runTables(which string) error {
 		return err
 	}
 	if err := show("table2", func() (string, error) {
-		rows, err := experiments.Table2()
+		rows, err := experiments.Table2(eng)
 		if err != nil {
 			return "", err
 		}
@@ -328,7 +383,7 @@ func runTables(which string) error {
 		return err
 	}
 	if err := show("table3", func() (string, error) {
-		rows, err := experiments.Table3()
+		rows, err := experiments.Table3(eng)
 		if err != nil {
 			return "", err
 		}
@@ -337,7 +392,7 @@ func runTables(which string) error {
 		return err
 	}
 	return show("table4", func() (string, error) {
-		rows, err := experiments.Table4()
+		rows, err := experiments.Table4(eng)
 		if err != nil {
 			return "", err
 		}
@@ -393,10 +448,12 @@ func cmdReplay(args []string) error {
 	level := fs.Int("level", 1, "CD directive-set stratum")
 	frames := fs.Int("m", 8, "fixed allocation for lru/fifo/opt")
 	tau := fs.Int("tau", 500, "WS window size")
+	j := registerJFlag(fs)
 	of := registerObsFlags(fs)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+	newEngine(*j)
 	return of.withObs(func() error {
 		var res vmsim.Result
 		switch *polName {

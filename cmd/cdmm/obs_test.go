@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -121,5 +122,35 @@ func TestCmdTablesObsFlags(t *testing.T) {
 	}
 	if fi, err := os.Stat(ev); err != nil || fi.Size() == 0 {
 		t.Errorf("table1 event file missing or empty: %v", err)
+	}
+}
+
+// TestCmdTablesEventsDeterministicAcrossJ regenerates Table 1 with the
+// JSONL event trace enabled at -j 1 and -j 8 and requires the two files
+// to be byte-identical: the engine buffers per-run events and merges
+// them in declaration order, so parallelism never reorders the stream.
+func TestCmdTablesEventsDeterministicAcrossJ(t *testing.T) {
+	dir := t.TempDir()
+	seq := filepath.Join(dir, "seq.jsonl")
+	par := filepath.Join(dir, "par.jsonl")
+	if err := cmdTables("table1", []string{"-j", "1", "-events", seq}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTables("table1", []string{"-j", "8", "-events", par}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("no events written")
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("event streams differ between -j 1 (%d bytes) and -j 8 (%d bytes)", len(a), len(b))
 	}
 }

@@ -15,13 +15,15 @@ func cmdProfile(args []string) error {
 	return withProgram(args, func(p *core.Program, rest []string) error {
 		fs := flag.NewFlagSet("profile", flag.ContinueOnError)
 		buckets := fs.Int("buckets", 64, "virtual-time buckets per timeline strip")
+		j := registerJFlag(fs)
 		of := registerObsFlags(fs)
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
+		eng := newEngine(*j)
 		return of.withObs(func() error {
 			fmt.Println(p.Summary())
-			out, err := report.TimelineReport(p, *buckets)
+			out, err := report.TimelineReport(eng, p, *buckets)
 			if err != nil {
 				return err
 			}

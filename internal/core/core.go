@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"cdmm/internal/directive"
 	"cdmm/internal/fortran"
@@ -60,8 +61,10 @@ type Program struct {
 	Analysis *locality.Analysis
 	Plan     *directive.Plan
 
-	opts Options
-	tr   *trace.Trace
+	opts      Options
+	traceOnce sync.Once
+	tr        *trace.Trace
+	traceErr  error
 }
 
 // CompileSource compiles FORTRAN-subset source text with default options.
@@ -107,21 +110,23 @@ func (p *Program) V() int { return p.Layout.TotalPages() }
 func (p *Program) MaxPI() int { return p.Plan.MaxPI }
 
 // Trace executes the program and returns its page-reference trace with
-// directive events. The trace is generated once and cached.
+// directive events. The trace is generated exactly once and cached;
+// concurrent callers (parallel report sections, engine runs sharing one
+// Program) block on the single generation instead of racing.
 func (p *Program) Trace() (*trace.Trace, error) {
-	if p.tr != nil {
-		return p.tr, nil
-	}
-	tr, err := interp.Run(p.Info, interp.Config{
-		Layout:  p.Layout,
-		Plan:    p.Plan,
-		MaxRefs: p.opts.MaxRefs,
+	p.traceOnce.Do(func() {
+		tr, err := interp.Run(p.Info, interp.Config{
+			Layout:  p.Layout,
+			Plan:    p.Plan,
+			MaxRefs: p.opts.MaxRefs,
+		})
+		if err != nil {
+			p.traceErr = fmt.Errorf("core: %s: %w", p.Name, err)
+			return
+		}
+		p.tr = tr
 	})
-	if err != nil {
-		return nil, fmt.Errorf("core: %s: %w", p.Name, err)
-	}
-	p.tr = tr
-	return tr, nil
+	return p.tr, p.traceErr
 }
 
 // MustTrace is Trace but panics on error.

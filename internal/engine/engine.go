@@ -1,0 +1,226 @@
+// Package engine is the concurrent run-plan executor sitting between the
+// simulator core (vmsim, policy, workloads) and everything that drives
+// whole experiment grids (experiments, report, the CLI). Callers declare
+// a set of independent runs — Map over a slice of run descriptors — and
+// the engine executes them on a bounded worker pool, memoizing shared
+// prerequisites (compiled workloads, LRU/WS sweeps, CD policy runs) with
+// singleflight semantics so each expensive artifact is computed exactly
+// once per engine however many runs request it.
+//
+// Determinism is the engine's contract: results are gathered in
+// declaration order, memo keys are composite (program, set, policy,
+// parameters), and observability events are buffered per run and merged
+// in declaration order — so tables, reports and JSONL event streams are
+// byte-identical at any parallelism level, including Workers == 1, which
+// degenerates to a plain sequential loop with no goroutines at all.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cdmm/internal/obs"
+	"cdmm/internal/vmsim"
+)
+
+// Engine executes declared runs on a bounded worker pool and memoizes
+// their shared prerequisites. The zero value is not usable; construct
+// with New. An Engine is safe for concurrent use, but interleaving two
+// simultaneous Map calls with an event tracer attached interleaves their
+// merged streams in completion order; run plans one at a time when the
+// byte layout of the JSONL output matters.
+type Engine struct {
+	workers int
+	// obs, when non-nil, overrides vmsim.DefaultObserver as the base
+	// observer for every run the engine executes.
+	obs *obs.Observer
+
+	memo memo
+
+	// flushMu serializes merged event emission into the base tracer.
+	flushMu sync.Mutex
+}
+
+// New returns an engine running at most workers simulations at once.
+// workers <= 0 means GOMAXPROCS.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers, memo: memo{m: map[Key]*memoEntry{}}}
+}
+
+// WithObserver sets the engine's base observer (overriding
+// vmsim.DefaultObserver) and returns the engine. Call before Map.
+func (e *Engine) WithObserver(o *obs.Observer) *Engine {
+	e.obs = o
+	return e
+}
+
+// Workers returns the worker-pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+var (
+	defaultMu  sync.Mutex
+	defaultEng *Engine
+)
+
+// Default returns the process-wide engine, creating it with GOMAXPROCS
+// workers on first use. Package-level conveniences (experiments.CDRun,
+// the tables with a nil engine) run through it, sharing one memo store —
+// the moral successor of the old global bundle cache, minus the global
+// mutex serialization.
+func Default() *Engine {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if defaultEng == nil {
+		defaultEng = New(0)
+	}
+	return defaultEng
+}
+
+// SetDefault installs e as the process-wide engine (nil resets to a
+// fresh GOMAXPROCS engine on next use). The CLI calls this after parsing
+// -j so nested helpers pick up the requested parallelism.
+func SetDefault(e *Engine) {
+	defaultMu.Lock()
+	defaultEng = e
+	defaultMu.Unlock()
+}
+
+// Or returns e, or the default engine when e is nil.
+func Or(e *Engine) *Engine {
+	if e == nil {
+		return Default()
+	}
+	return e
+}
+
+// RunCtx is handed to every run a Map executes. It carries the run's
+// observer (nil when the engine observes nothing) and records which memo
+// keys the run requested, so the engine can merge memoized runs' event
+// buffers deterministically.
+type RunCtx struct {
+	// Index is the run's position in the declared plan.
+	Index int
+	// Obs is the run's private observer: a per-run event buffer plus the
+	// shared (atomic) metrics registry. Pass it to vmsim.RunObserved and
+	// friends; never write to a shared sink directly from inside a run.
+	Obs *obs.Observer
+
+	eng  *Engine
+	buf  *obs.Collector
+	keys []Key
+}
+
+// baseObserver resolves the observer the engine ultimately feeds:
+// the explicit engine observer, else the process-wide default.
+func (e *Engine) baseObserver() *obs.Observer {
+	if e.obs != nil {
+		return e.obs
+	}
+	return vmsim.DefaultObserver
+}
+
+// newRunCtx builds the per-run context. When the base observer has a
+// tracer, the run gets a private buffer so parallel runs never contend
+// on (or nondeterministically interleave into) the shared sink.
+func (e *Engine) newRunCtx(index int, base *obs.Observer) *RunCtx {
+	rc := &RunCtx{Index: index, eng: e}
+	if !base.Enabled() {
+		return rc
+	}
+	o := &obs.Observer{Metrics: base.Metrics}
+	if base.Tracer != nil {
+		rc.buf = &obs.Collector{}
+		o.Tracer = rc.buf
+	}
+	rc.Obs = o
+	return rc
+}
+
+// Map executes fn over every item on the engine's worker pool and
+// returns the results in declaration order. The first error (by
+// declaration order) is returned; items declared after an observed
+// error may be skipped. With Workers() == 1 the plan runs inline, in
+// order, with no goroutines — the overhead-guard path.
+func Map[T, R any](e *Engine, items []T, fn func(*RunCtx, T) (R, error)) ([]R, error) {
+	e = Or(e)
+	base := e.baseObserver()
+	n := len(items)
+	results := make([]R, n)
+	errs := make([]error, n)
+	ctxs := make([]*RunCtx, n)
+
+	if e.workers <= 1 || n <= 1 {
+		for i, item := range items {
+			ctxs[i] = e.newRunCtx(i, base)
+			results[i], errs[i] = fn(ctxs[i], item)
+			if errs[i] != nil {
+				e.mergeEvents(base, ctxs[:i+1])
+				return nil, errs[i]
+			}
+		}
+		e.mergeEvents(base, ctxs)
+		return results, nil
+	}
+
+	var (
+		wg     sync.WaitGroup
+		sem    = make(chan struct{}, e.workers)
+		failed atomic.Bool
+	)
+	for i := range items {
+		if failed.Load() {
+			break
+		}
+		ctxs[i] = e.newRunCtx(i, base)
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			results[i], errs[i] = fn(ctxs[i], items[i])
+			if errs[i] != nil {
+				failed.Store(true)
+			}
+		}(i)
+	}
+	wg.Wait()
+	e.mergeEvents(base, ctxs)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// mergeEvents flushes buffered events into the base tracer in
+// declaration order: for each run, first the buffers of the memoized
+// computations it was the earliest-declared requester of (in request
+// order — deterministic because run bodies are sequential), then the
+// run's own events. At any parallelism this yields the same stream.
+func (e *Engine) mergeEvents(base *obs.Observer, ctxs []*RunCtx) {
+	if base == nil || base.Tracer == nil {
+		return
+	}
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	for _, rc := range ctxs {
+		if rc == nil {
+			continue
+		}
+		for _, k := range rc.keys {
+			e.memo.flush(k, base.Tracer)
+		}
+		if rc.buf != nil {
+			for _, ev := range rc.buf.Events {
+				base.Tracer.Emit(ev)
+			}
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package engine_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cdmm/internal/engine"
+	"cdmm/internal/obs"
+	"cdmm/internal/workloads"
+)
+
+func TestMapDeclarationOrder(t *testing.T) {
+	items := make([]int, 16)
+	for i := range items {
+		items[i] = i
+	}
+	run := func(workers int) []int {
+		eng := engine.New(workers)
+		out, err := engine.Map(eng, items, func(_ *engine.RunCtx, i int) (int, error) {
+			// Finish in roughly reverse declaration order to catch any
+			// completion-order gathering.
+			time.Sleep(time.Duration(len(items)-i) * time.Millisecond)
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq := run(1)
+	par := run(8)
+	for i := range items {
+		if seq[i] != i*i {
+			t.Fatalf("sequential result[%d] = %d, want %d", i, seq[i], i*i)
+		}
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel results out of declaration order: %v vs %v", par, seq)
+	}
+}
+
+func TestMapRunCtxIndex(t *testing.T) {
+	eng := engine.New(4)
+	idx, err := engine.Map(eng, []string{"a", "b", "c"}, func(rc *engine.RunCtx, _ string) (int, error) {
+		return rc.Index, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(idx, []int{0, 1, 2}) {
+		t.Errorf("RunCtx indexes = %v", idx)
+	}
+}
+
+func TestMemoSingleflight(t *testing.T) {
+	eng := engine.New(8)
+	var computed atomic.Int32
+	k := engine.Key{Kind: "test", Program: "X"}
+	out, err := engine.Map(eng, make([]struct{}, 32), func(rc *engine.RunCtx, _ struct{}) (int, error) {
+		v, err := eng.Memo(rc, k, func(*engine.RunCtx, *obs.Observer) (any, error) {
+			computed.Add(1)
+			time.Sleep(5 * time.Millisecond) // widen the race window
+			return 42, nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		return v.(int), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := computed.Load(); n != 1 {
+		t.Errorf("memoized computation ran %d times, want 1", n)
+	}
+	for i, v := range out {
+		if v != 42 {
+			t.Errorf("requester %d got %d, want 42", i, v)
+		}
+	}
+	// Forget forces a recomputation.
+	eng.Forget(k)
+	if _, err := eng.Memo(nil, k, func(*engine.RunCtx, *obs.Observer) (any, error) {
+		computed.Add(1)
+		return 42, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := computed.Load(); n != 2 {
+		t.Errorf("computation count after Forget = %d, want 2", n)
+	}
+}
+
+func TestMemoErrorShared(t *testing.T) {
+	eng := engine.New(4)
+	boom := errors.New("boom")
+	k := engine.Key{Kind: "test", Program: "ERR"}
+	_, err := engine.Map(eng, make([]struct{}, 8), func(rc *engine.RunCtx, _ struct{}) (int, error) {
+		_, err := eng.Memo(rc, k, func(*engine.RunCtx, *obs.Observer) (any, error) {
+			return nil, boom
+		})
+		return 0, err
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want the memoized error", err)
+	}
+}
+
+func TestMapFirstErrorDeterministic(t *testing.T) {
+	items := make([]int, 12)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 8} {
+		eng := engine.New(workers)
+		_, err := engine.Map(eng, items, func(_ *engine.RunCtx, i int) (int, error) {
+			switch i {
+			case 2:
+				time.Sleep(20 * time.Millisecond) // let a later error finish first
+				return 0, fmt.Errorf("err-%d", i)
+			case 5:
+				return 0, fmt.Errorf("err-%d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "err-2" {
+			t.Errorf("workers=%d: err = %v, want err-2 (first by declaration order)", workers, err)
+		}
+	}
+}
+
+// planEvents executes a fixed run plan with an event collector attached
+// and returns the merged stream. The plan mixes memoized CD runs (with a
+// deliberate duplicate) and a compile prerequisite.
+func planEvents(t *testing.T, workers int) []obs.Event {
+	t.Helper()
+	col := &obs.Collector{}
+	eng := engine.New(workers).WithObserver(&obs.Observer{Tracer: col})
+	type job struct {
+		prog  string
+		level int
+	}
+	jobs := []job{
+		{"MAIN", 1}, {"MAIN", 2}, {"FDJAC", 1}, {"TQL", 1},
+		{"MAIN", 2}, // duplicate: its events must flush exactly once
+		{"FDJAC", 2},
+	}
+	_, err := engine.Map(eng, jobs, func(rc *engine.RunCtx, j job) (int, error) {
+		set := workloads.Set{Name: fmt.Sprintf("L%d", j.level), Level: j.level}
+		r, err := eng.CDRun(rc, j.prog, set, 2)
+		if err != nil {
+			return 0, err
+		}
+		return r.Faults, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col.Events
+}
+
+func TestEventMergeDeterministic(t *testing.T) {
+	want := planEvents(t, 1)
+	if len(want) == 0 {
+		t.Fatal("sequential plan emitted no events")
+	}
+	for try := 0; try < 3; try++ {
+		got := planEvents(t, 8)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("try %d: parallel event stream differs from sequential (%d vs %d events)",
+				try, len(got), len(want))
+		}
+	}
+}
+
+func TestCompiledSharedAcrossRuns(t *testing.T) {
+	eng := engine.New(4)
+	out, err := engine.Map(eng, make([]struct{}, 8), func(rc *engine.RunCtx, _ struct{}) (*workloads.Compiled, error) {
+		return eng.Compiled(rc, "MAIN")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[0] {
+			t.Fatal("Compiled returned different pointers for the same program")
+		}
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if w := engine.New(0).Workers(); w < 1 {
+		t.Errorf("New(0).Workers() = %d", w)
+	}
+	if w := engine.New(3).Workers(); w != 3 {
+		t.Errorf("New(3).Workers() = %d", w)
+	}
+}

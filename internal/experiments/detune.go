@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"cdmm/internal/directive"
+	"cdmm/internal/engine"
 	"cdmm/internal/policy"
 	"cdmm/internal/vmsim"
 )
@@ -39,34 +40,44 @@ type DetuneRow struct {
 	ST      float64
 }
 
+// detuneJob is one (variant, factor) cell of the study grid.
+type detuneJob struct {
+	v Variant
+	f float64
+}
+
 // DetuneStudy runs each variant's canonical CD set with every X scaled by
-// each factor.
-func DetuneStudy(variants []Variant, factors []float64) ([]DetuneRow, error) {
+// each factor. The grid is flattened so every (variant, factor) cell is
+// an independent engine run; a nil engine uses engine.Default().
+func DetuneStudy(eng *engine.Engine, variants []Variant, factors []float64) ([]DetuneRow, error) {
 	if variants == nil {
 		variants = Table2Variants
 	}
 	if factors == nil {
 		factors = []float64{0.5, 0.75, 0.9, 1.0, 1.1, 1.5, 2.0}
 	}
-	var rows []DetuneRow
+	eng = engine.Or(eng)
+	jobs := make([]detuneJob, 0, len(variants)*len(factors))
 	for _, v := range variants {
-		b, err := getBundle(v.Program)
-		if err != nil {
-			return nil, err
-		}
-		set, ok := b.compiled.Program.Set(v.Set)
-		if !ok {
-			return nil, fmt.Errorf("experiments: program %s has no set %q", v.Program, v.Set)
-		}
 		for _, f := range factors {
-			cd := policy.NewCD(Detune(set.Selector(), f), 2)
-			r := vmsim.Run(b.compiled.Trace, cd)
-			rows = append(rows, DetuneRow{
-				Variant: v, Factor: f, PF: r.Faults, MEM: r.MEM(), ST: r.ST(),
-			})
+			jobs = append(jobs, detuneJob{v, f})
 		}
 	}
-	return rows, nil
+	return engine.Map(eng, jobs, func(rc *engine.RunCtx, j detuneJob) (DetuneRow, error) {
+		set, err := variantSet(eng, rc, j.v)
+		if err != nil {
+			return DetuneRow{}, err
+		}
+		c, err := eng.Compiled(rc, j.v.Program)
+		if err != nil {
+			return DetuneRow{}, err
+		}
+		cd := policy.NewCD(Detune(set.Selector(), j.f), cdMinAlloc)
+		r := vmsim.RunObserved(c.Trace, cd, rc.Obs)
+		return DetuneRow{
+			Variant: j.v, Factor: j.f, PF: r.Faults, MEM: r.MEM(), ST: r.ST(),
+		}, nil
+	})
 }
 
 // RenderDetune formats the study with one line per (program, factor).

@@ -8,13 +8,20 @@
 //	ΔPF  = PF(other) − PF(CD)
 //
 // — over the nine-workload suite and its directive-set variants.
+//
+// Every table is an embarrassingly parallel grid of independent strata,
+// so each generator declares its rows as a run plan and executes it
+// through the engine package: rows run concurrently on a bounded worker
+// pool, shared prerequisites (compiled traces, LRU/WS sweeps, CD runs)
+// are memoized with singleflight semantics, and results are gathered in
+// declaration order — the rendered tables are byte-identical at any
+// parallelism level. Passing a nil *engine.Engine uses engine.Default().
 package experiments
 
 import (
 	"fmt"
-	"sync"
 
-	"cdmm/internal/policy"
+	"cdmm/internal/engine"
 	"cdmm/internal/vmsim"
 	"cdmm/internal/workloads"
 )
@@ -50,69 +57,36 @@ var Table34Variants = []Variant{
 	{"TQL", "TQL1"}, {"TQL", "TQL2"}, {"HWSCRT", "HWSCRT"},
 }
 
-// bundle caches everything expensive per program: the compiled trace and
-// the LRU/WS sweeps (which are independent of the directive set).
-type bundle struct {
-	compiled *workloads.Compiled
-	lru      *vmsim.LRUSweep
-	ws       *vmsim.WSSweep
-	cd       map[string]vmsim.Result // per set name
+// cdMinAlloc is the system-default minimum allocation the §5 runs use.
+const cdMinAlloc = 2
+
+// variantSet resolves a variant's directive set from its compiled
+// program.
+func variantSet(eng *engine.Engine, rc *engine.RunCtx, v Variant) (workloads.Set, error) {
+	c, err := eng.Compiled(rc, v.Program)
+	if err != nil {
+		return workloads.Set{}, err
+	}
+	set, ok := c.Program.Set(v.Set)
+	if !ok {
+		return workloads.Set{}, fmt.Errorf("experiments: program %s has no set %q", v.Program, v.Set)
+	}
+	return set, nil
 }
 
-var (
-	cacheMu sync.Mutex
-	cache   = map[string]*bundle{}
-)
-
-func getBundle(program string) (*bundle, error) {
-	cacheMu.Lock()
-	b, ok := cache[program]
-	cacheMu.Unlock()
-	if ok {
-		return b, nil
-	}
-	p, err := workloads.Get(program)
-	if err != nil {
-		return nil, err
-	}
-	c, err := workloads.Compile(p)
-	if err != nil {
-		return nil, err
-	}
-	b = &bundle{
-		compiled: c,
-		lru:      vmsim.NewLRUSweep(c.Trace),
-		ws:       vmsim.NewWSSweep(c.Trace),
-		cd:       map[string]vmsim.Result{},
-	}
-	cacheMu.Lock()
-	cache[program] = b
-	cacheMu.Unlock()
-	return b, nil
-}
-
-// CDRun runs (and caches) the CD policy for one variant.
-func CDRun(v Variant) (vmsim.Result, error) {
-	b, err := getBundle(v.Program)
+// cdRun runs (memoized in eng) the CD policy for one variant.
+func cdRun(eng *engine.Engine, rc *engine.RunCtx, v Variant) (vmsim.Result, error) {
+	set, err := variantSet(eng, rc, v)
 	if err != nil {
 		return vmsim.Result{}, err
 	}
-	cacheMu.Lock()
-	if r, ok := b.cd[v.Set]; ok {
-		cacheMu.Unlock()
-		return r, nil
-	}
-	cacheMu.Unlock()
-	set, ok := b.compiled.Program.Set(v.Set)
-	if !ok {
-		return vmsim.Result{}, fmt.Errorf("experiments: program %s has no set %q", v.Program, v.Set)
-	}
-	cd := policy.NewCD(set.Selector(), 2)
-	r := vmsim.Run(b.compiled.Trace, cd)
-	cacheMu.Lock()
-	b.cd[v.Set] = r
-	cacheMu.Unlock()
-	return r, nil
+	return eng.CDRun(rc, v.Program, set, cdMinAlloc)
+}
+
+// CDRun runs (and memoizes in the default engine) the CD policy for one
+// variant.
+func CDRun(v Variant) (vmsim.Result, error) {
+	return cdRun(engine.Default(), nil, v)
 }
 
 func pct(other, cd float64) float64 {
@@ -131,17 +105,16 @@ type Row1 struct {
 }
 
 // Table1 reproduces Table 1: the effect of executing different directive
-// sets under the CD policy.
-func Table1() ([]Row1, error) {
-	rows := make([]Row1, 0, len(Table1Variants))
-	for _, v := range Table1Variants {
-		r, err := CDRun(v)
+// sets under the CD policy. A nil engine uses engine.Default().
+func Table1(eng *engine.Engine) ([]Row1, error) {
+	eng = engine.Or(eng)
+	return engine.Map(eng, Table1Variants, func(rc *engine.RunCtx, v Variant) (Row1, error) {
+		r, err := cdRun(eng, rc, v)
 		if err != nil {
-			return nil, err
+			return Row1{}, err
 		}
-		rows = append(rows, Row1{Variant: v, MEM: r.MEM(), PF: r.Faults, ST: r.ST()})
-	}
-	return rows, nil
+		return Row1{Variant: v, MEM: r.MEM(), PF: r.Faults, ST: r.ST()}, nil
+	})
 }
 
 // Row2 is one Table 2 row: excess minimum space-time cost of LRU and WS
@@ -162,20 +135,23 @@ type Row2 struct {
 // Table2 reproduces Table 2: minimal space-time cost of LRU and WS versus
 // CD. The LRU minimum is over every allocation 1..V; the WS minimum is
 // over the τ ladder.
-func Table2() ([]Row2, error) {
-	rows := make([]Row2, 0, len(Table2Variants))
-	for _, v := range Table2Variants {
-		b, err := getBundle(v.Program)
+func Table2(eng *engine.Engine) ([]Row2, error) {
+	eng = engine.Or(eng)
+	return engine.Map(eng, Table2Variants, func(rc *engine.RunCtx, v Variant) (Row2, error) {
+		cd, err := cdRun(eng, rc, v)
 		if err != nil {
-			return nil, err
+			return Row2{}, err
 		}
-		cd, err := CDRun(v)
+		lru, err := eng.LRUSweep(rc, v.Program)
 		if err != nil {
-			return nil, err
+			return Row2{}, err
 		}
-		mLRU, stLRU := b.lru.MinST()
-		tauWS, wsRes := b.ws.MinST()
-		rows = append(rows, Row2{
+		mLRU, stLRU := lru.MinST()
+		tauWS, wsRes, err := eng.WSMinST(rc, v.Program)
+		if err != nil {
+			return Row2{}, err
+		}
+		return Row2{
 			Variant:  v,
 			CDST:     cd.ST(),
 			LRUMinST: stLRU,
@@ -184,9 +160,8 @@ func Table2() ([]Row2, error) {
 			PctSTWS:  pct(wsRes.ST(), cd.ST()),
 			LRUAt:    mLRU,
 			WSAt:     tauWS,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Row3 is one Table 3 row: LRU and WS versus CD at equal average memory.
@@ -209,27 +184,34 @@ type Row3 struct {
 // Table3 reproduces Table 3: allocate LRU and WS the same average memory
 // CD used (LRU gets the rounded allocation, WS the window whose mean
 // working-set size is closest) and compare faults and space-time cost.
-func Table3() ([]Row3, error) {
-	rows := make([]Row3, 0, len(Table34Variants))
-	for _, v := range Table34Variants {
-		b, err := getBundle(v.Program)
+func Table3(eng *engine.Engine) ([]Row3, error) {
+	eng = engine.Or(eng)
+	return engine.Map(eng, Table34Variants, func(rc *engine.RunCtx, v Variant) (Row3, error) {
+		cd, err := cdRun(eng, rc, v)
 		if err != nil {
-			return nil, err
+			return Row3{}, err
 		}
-		cd, err := CDRun(v)
+		lruSweep, err := eng.LRUSweep(rc, v.Program)
 		if err != nil {
-			return nil, err
+			return Row3{}, err
 		}
 		m := int(cd.MEM() + 0.5)
 		if m < 1 {
 			m = 1
 		}
-		lru := b.lru.Result(m)
+		lru := lruSweep.Result(m)
 
-		tau := b.ws.TauForMEM(cd.MEM())
-		ws := b.ws.Run(tau)
+		wsSweep, err := eng.WSSweep(rc, v.Program)
+		if err != nil {
+			return Row3{}, err
+		}
+		tau := wsSweep.TauForMEM(cd.MEM())
+		ws, err := eng.WSRun(rc, v.Program, tau)
+		if err != nil {
+			return Row3{}, err
+		}
 
-		rows = append(rows, Row3{
+		return Row3{
 			Variant:    v,
 			CDMEM:      cd.MEM(),
 			CDPF:       cd.Faults,
@@ -241,9 +223,8 @@ func Table3() ([]Row3, error) {
 			WSMEM:      ws.MEM(),
 			DeltaPFWS:  ws.Faults - cd.Faults,
 			PctSTWS:    pct(ws.ST(), cd.ST()),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Row4 is one Table 4 row: the memory and space-time cost LRU and WS need
@@ -268,23 +249,31 @@ type Row4 struct {
 // Table4 reproduces Table 4: the cost of generating at most CD's fault
 // count — the smallest LRU allocation and WS window that do so, compared
 // on memory and space-time cost.
-func Table4() ([]Row4, error) {
-	rows := make([]Row4, 0, len(Table34Variants))
-	for _, v := range Table34Variants {
-		b, err := getBundle(v.Program)
+func Table4(eng *engine.Engine) ([]Row4, error) {
+	eng = engine.Or(eng)
+	return engine.Map(eng, Table34Variants, func(rc *engine.RunCtx, v Variant) (Row4, error) {
+		cd, err := cdRun(eng, rc, v)
 		if err != nil {
-			return nil, err
+			return Row4{}, err
 		}
-		cd, err := CDRun(v)
+		lruSweep, err := eng.LRUSweep(rc, v.Program)
 		if err != nil {
-			return nil, err
+			return Row4{}, err
 		}
-		m, okLRU := b.lru.MinAllocationForFaults(cd.Faults)
-		lru := b.lru.Result(m)
-		tau, okWS := b.ws.MinTauForFaults(cd.Faults)
-		ws := b.ws.Run(tau)
+		m, okLRU := lruSweep.MinAllocationForFaults(cd.Faults)
+		lru := lruSweep.Result(m)
 
-		rows = append(rows, Row4{
+		wsSweep, err := eng.WSSweep(rc, v.Program)
+		if err != nil {
+			return Row4{}, err
+		}
+		tau, okWS := wsSweep.MinTauForFaults(cd.Faults)
+		ws, err := eng.WSRun(rc, v.Program, tau)
+		if err != nil {
+			return Row4{}, err
+		}
+
+		return Row4{
 			Variant:   v,
 			CDMEM:     cd.MEM(),
 			CDPF:      cd.Faults,
@@ -297,7 +286,6 @@ func Table4() ([]Row4, error) {
 			WSOK:      okWS,
 			PctMEMWS:  pct(ws.MEM(), cd.MEM()),
 			PctSTWS:   pct(ws.ST(), cd.ST()),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }

@@ -1,12 +1,16 @@
 package experiments
 
 import (
+	"runtime"
 	"strings"
 	"testing"
+
+	"cdmm/internal/engine"
+	"cdmm/internal/workloads"
 )
 
 func TestTable1ShapeMatchesPaper(t *testing.T) {
-	rows, err := Table1()
+	rows, err := Table1(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +48,7 @@ func TestTable1ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestTable2CDWins(t *testing.T) {
-	rows, err := Table2()
+	rows, err := Table2(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +77,7 @@ func TestTable2CDWins(t *testing.T) {
 }
 
 func TestTable3EqualMemory(t *testing.T) {
-	rows, err := Table3()
+	rows, err := Table3(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +117,7 @@ func TestTable3EqualMemory(t *testing.T) {
 }
 
 func TestTable4EqualFaults(t *testing.T) {
-	rows, err := Table4()
+	rows, err := Table4(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,8 +165,89 @@ func TestCDRunUnknown(t *testing.T) {
 	}
 }
 
+// renderAll regenerates and renders all four tables on a fresh engine
+// with the given worker count.
+func renderAll(t *testing.T, workers int) string {
+	t.Helper()
+	eng := engine.New(workers)
+	var b strings.Builder
+	r1, err := Table1(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(RenderTable1(r1))
+	r2, err := Table2(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(RenderTable2(r2))
+	r3, err := Table3(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(RenderTable3(r3))
+	r4, err := Table4(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(RenderTable4(r4))
+	return b.String()
+}
+
+// TestTablesDeterministicAcrossParallelism is the engine's central
+// guarantee: the rendered tables are byte-identical whether the run plan
+// executes sequentially or on a saturated worker pool.
+func TestTablesDeterministicAcrossParallelism(t *testing.T) {
+	want := renderAll(t, 1)
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		if got := renderAll(t, workers); got != want {
+			t.Errorf("tables differ between -j 1 and -j %d:\n--- j=1\n%s\n--- j=%d\n%s",
+				workers, want, workers, got)
+		}
+	}
+}
+
+// TestMemoCompositeKeys is the regression test for the stale-cache bug
+// the old per-set-name bundle cache had: two Set values sharing a name
+// but selecting different strata must not collide in the memo store.
+func TestMemoCompositeKeys(t *testing.T) {
+	eng := engine.New(1)
+	a := workloads.Set{Name: "SAME", Level: 1}
+	b := workloads.Set{Name: "SAME", Level: 3}
+	ra, err := eng.CDRun(nil, "MAIN", a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := eng.CDRun(nil, "MAIN", b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Faults == rb.Faults && ra.SpaceTime == rb.SpaceTime {
+		t.Errorf("level-1 and level-3 runs under one set name returned the same result (PF=%d ST=%g): memo key ignores the selector",
+			ra.Faults, ra.SpaceTime)
+	}
+	// Same name, same level, different minimum allocation must also miss.
+	rc, err := eng.CDRun(nil, "MAIN", a, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.MemSum == ra.MemSum && rc.Faults == ra.Faults {
+		t.Errorf("min-alloc 2 and 12 runs collided in the memo store (PF=%d)", rc.Faults)
+	}
+	// Same parameterization under a different name keys separately but
+	// must reproduce the identical result (simulations are deterministic).
+	e := workloads.Set{Name: "OTHER", Level: 3}
+	re, err := eng.CDRun(nil, "MAIN", e, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Faults != rb.Faults || re.SpaceTime != rb.SpaceTime {
+		t.Errorf("identical level-3 runs diverged across set names: PF %d vs %d", re.Faults, rb.Faults)
+	}
+}
+
 func TestRendering(t *testing.T) {
-	r1, err := Table1()
+	r1, err := Table1(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,15 +257,15 @@ func TestRendering(t *testing.T) {
 			t.Errorf("Table 1 rendering missing %q", want)
 		}
 	}
-	r2, _ := Table2()
+	r2, _ := Table2(nil)
 	if out := RenderTable2(r2); !strings.Contains(out, "LRU vs. CD") {
 		t.Error("Table 2 rendering missing header")
 	}
-	r3, _ := Table3()
+	r3, _ := Table3(nil)
 	if out := RenderTable3(r3); !strings.Contains(out, "HWSCRT") {
 		t.Error("Table 3 rendering missing HWSCRT row")
 	}
-	r4, _ := Table4()
+	r4, _ := Table4(nil)
 	if out := RenderTable4(r4); !strings.Contains(out, "%MEM-LRU") {
 		t.Error("Table 4 rendering missing header")
 	}

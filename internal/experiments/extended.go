@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"cdmm/internal/core"
+	"cdmm/internal/engine"
 	"cdmm/internal/mem"
 	"cdmm/internal/policy"
 	"cdmm/internal/vmsim"
@@ -30,39 +31,43 @@ type FamilyRow struct {
 }
 
 // PolicyFamily runs the comparison for the given variants (nil means the
-// Table 2 canonical set).
-func PolicyFamily(variants []Variant) ([]FamilyRow, error) {
+// Table 2 canonical set), one engine run per variant. A nil engine uses
+// engine.Default().
+func PolicyFamily(eng *engine.Engine, variants []Variant) ([]FamilyRow, error) {
 	if variants == nil {
 		variants = Table2Variants
 	}
-	rows := make([]FamilyRow, 0, len(variants))
-	for _, v := range variants {
-		b, err := getBundle(v.Program)
+	eng = engine.Or(eng)
+	return engine.Map(eng, variants, func(rc *engine.RunCtx, v Variant) (FamilyRow, error) {
+		cd, err := cdRun(eng, rc, v)
 		if err != nil {
-			return nil, err
+			return FamilyRow{}, err
 		}
-		cd, err := CDRun(v)
+		ws, err := eng.WSSweep(rc, v.Program)
 		if err != nil {
-			return nil, err
+			return FamilyRow{}, err
 		}
-		tau := b.ws.TauForMEM(cd.MEM())
+		tau := ws.TauForMEM(cd.MEM())
 		if tau < 4 {
 			tau = 4
 		}
-		refs := b.compiled.Trace.StripDirectives()
-		row := FamilyRow{
+		c, err := eng.Compiled(rc, v.Program)
+		if err != nil {
+			return FamilyRow{}, err
+		}
+		refs := c.Trace.StripDirectives()
+		o := rc.Obs
+		return FamilyRow{
 			Variant: v,
 			Tau:     tau,
 			CD:      cd,
-			WS:      vmsim.Run(refs, policy.NewWS(tau)),
-			DWS:     vmsim.Run(refs, policy.NewDWS(tau, max(1, tau/8))),
-			SWS:     vmsim.Run(refs, policy.NewSWS(tau)),
-			VSWS:    vmsim.Run(refs, policy.NewVSWS(max(1, tau/4), 2*tau, 4)),
-			PFF:     vmsim.Run(refs, policy.NewPFF(max(1, tau/4))),
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+			WS:      vmsim.RunObserved(refs, policy.NewWS(tau), o),
+			DWS:     vmsim.RunObserved(refs, policy.NewDWS(tau, max(1, tau/8)), o),
+			SWS:     vmsim.RunObserved(refs, policy.NewSWS(tau), o),
+			VSWS:    vmsim.RunObserved(refs, policy.NewVSWS(max(1, tau/4), 2*tau, 4), o),
+			PFF:     vmsim.RunObserved(refs, policy.NewPFF(max(1, tau/4)), o),
+		}, nil
+	})
 }
 
 // RenderFamily formats the policy-family comparison.
@@ -98,31 +103,32 @@ type PageSizeRow struct {
 // PageSizeSensitivity recompiles the named workload at each page size and
 // compares CD (canonical set) against the tuned-LRU minimum. Page size
 // changes everything downstream — AVS/CVS, the directive X values, the
-// trace itself — so the whole pipeline reruns per point.
-func PageSizeSensitivity(program string, pageSizes []int) ([]PageSizeRow, error) {
+// trace itself — so the whole pipeline reruns per point; the points are
+// fully independent and run in parallel on the engine's pool.
+func PageSizeSensitivity(eng *engine.Engine, program string, pageSizes []int) ([]PageSizeRow, error) {
 	w, err := workloads.Get(program)
 	if err != nil {
 		return nil, err
 	}
 	set := w.DefaultSet()
-	rows := make([]PageSizeRow, 0, len(pageSizes))
-	for _, ps := range pageSizes {
+	eng = engine.Or(eng)
+	return engine.Map(eng, pageSizes, func(rc *engine.RunCtx, ps int) (PageSizeRow, error) {
 		prog, err := core.CompileSourceOpts(w.Name, w.Source, core.Options{
 			Geometry: mem.Geometry{PageSize: ps, ElemSize: 4},
 		})
 		if err != nil {
-			return nil, err
+			return PageSizeRow{}, err
 		}
-		cd, err := prog.RunCD(core.CDOptions{Level: set.Level, Overrides: set.Overrides})
+		cd, err := prog.RunCDObserved(core.CDOptions{Level: set.Level, Overrides: set.Overrides}, rc.Obs)
 		if err != nil {
-			return nil, err
+			return PageSizeRow{}, err
 		}
 		lru, err := prog.LRUSweep()
 		if err != nil {
-			return nil, err
+			return PageSizeRow{}, err
 		}
 		_, stLRU := lru.MinST()
-		rows = append(rows, PageSizeRow{
+		return PageSizeRow{
 			Program:  program,
 			PageSize: ps,
 			V:        prog.V(),
@@ -131,9 +137,8 @@ func PageSizeSensitivity(program string, pageSizes []int) ([]PageSizeRow, error)
 			CDST:     cd.ST(),
 			LRUMinST: stLRU,
 			PctSTLRU: pct(stLRU, cd.ST()),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderPageSize formats the sensitivity rows.

@@ -3,10 +3,12 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"cdmm/internal/engine"
 )
 
 func TestPolicyFamilySubset(t *testing.T) {
-	rows, err := PolicyFamily([]Variant{{"MAIN", "MAIN"}, {"TQL", "TQL1"}})
+	rows, err := PolicyFamily(nil, []Variant{{"MAIN", "MAIN"}, {"TQL", "TQL1"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,15 +45,15 @@ func TestPolicyFamilySubset(t *testing.T) {
 
 func cacheVFor(t *testing.T, program string) int {
 	t.Helper()
-	b, err := getBundle(program)
+	c, err := engine.Default().Compiled(nil, program)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return b.compiled.Trace.Distinct
+	return c.Trace.Distinct
 }
 
 func TestPageSizeSensitivity(t *testing.T) {
-	rows, err := PageSizeSensitivity("HWSCRT", []int{128, 256, 512})
+	rows, err := PageSizeSensitivity(nil, "HWSCRT", []int{128, 256, 512})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +75,7 @@ func TestPageSizeSensitivity(t *testing.T) {
 }
 
 func TestPageSizeSensitivityUnknown(t *testing.T) {
-	if _, err := PageSizeSensitivity("NOPE", []int{256}); err == nil {
+	if _, err := PageSizeSensitivity(nil, "NOPE", []int{256}); err == nil {
 		t.Error("expected error for unknown program")
 	}
 }

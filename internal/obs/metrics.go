@@ -7,13 +7,19 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Registry holds a run's named metrics. Registration (Counter, Gauge,
 // Histogram) returns a stable handle that the hot path updates without
-// any map lookup or allocation. The registry is not safe for concurrent
-// use; simulation runs are single-goroutine.
+// any map lookup or allocation. The registry and every handle it returns
+// are safe for concurrent use: the experiment engine shares one registry
+// across parallel simulation runs, so counter and histogram updates are
+// atomic and sum exactly regardless of interleaving. (Gauges are
+// last-write-wins; concurrent writers race by definition of the type.)
 type Registry struct {
+	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -28,44 +34,92 @@ func NewRegistry() *Registry {
 	}
 }
 
-// Counter is a monotonically increasing count.
+// Counter is a monotonically increasing count. Safe for concurrent use.
 type Counter struct {
 	name string
-	n    int64
+	n    atomic.Int64
 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.n++ }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Add adds d.
-func (c *Counter) Add(d int64) { c.n += d }
+func (c *Counter) Add(d int64) { c.n.Add(d) }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 { return c.n }
+func (c *Counter) Value() int64 { return c.n.Load() }
 
-// Gauge is a last-value-wins measurement.
+// Gauge is a last-value-wins measurement. Concurrent Sets are safe (no
+// torn reads) but which value wins is unspecified.
 type Gauge struct {
 	name string
-	v    float64
+	bits atomic.Uint64
 }
 
 // Set records v.
-func (g *Gauge) Set(v float64) { g.v = v }
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Value returns the last recorded value.
-func (g *Gauge) Value() float64 { return g.v }
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// atomicFloat accumulates float64 values with compare-and-swap.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// minTo lowers the stored value to v if v is smaller.
+func (f *atomicFloat) minTo(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// maxTo raises the stored value to v if v is larger.
+func (f *atomicFloat) maxTo(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
 
 // Histogram is a fixed-bucket distribution. Bucket i counts observations
 // v with bounds[i-1] < v <= bounds[i]; one overflow bucket counts
-// v > bounds[len-1]. Observe is allocation-free.
+// v > bounds[len-1]. Observe is allocation-free and safe for concurrent
+// use: bucket counts and the sum are atomic, so totals are exact however
+// observations interleave. (The float sum may differ in the last bits
+// across runs at different parallelism, since float addition is not
+// associative.)
 type Histogram struct {
 	name   string
 	bounds []float64 // ascending upper bounds (inclusive)
-	counts []int64   // len(bounds)+1, last is overflow
-	count  int64
-	sum    float64
-	min    float64
-	max    float64
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomicFloat
+	min    atomicFloat // +Inf until the first observation
+	max    atomicFloat // -Inf until the first observation
 }
 
 // Observe records one value.
@@ -74,38 +128,50 @@ func (h *Histogram) Observe(v float64) {
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
-	h.counts[i]++
-	h.count++
-	h.sum += v
-	if h.count == 1 || v < h.min {
-		h.min = v
-	}
-	if h.count == 1 || v > h.max {
-		h.max = v
-	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+	h.min.minTo(v)
+	h.max.maxTo(v)
 }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() int64 { return h.count }
+func (h *Histogram) Count() int64 { return h.count.Load() }
 
 // Sum returns the sum of observations.
-func (h *Histogram) Sum() float64 { return h.sum }
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// Min returns the smallest observation, or 0 when empty.
+func (h *Histogram) Min() float64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.load()
+}
+
+// Max returns the largest observation, or 0 when empty.
+func (h *Histogram) Max() float64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.max.load()
+}
 
 // Mean returns the average observation, or 0 when empty.
 func (h *Histogram) Mean() float64 {
-	if h.count == 0 {
-		return 0
+	if n := h.count.Load(); n != 0 {
+		return h.sum.load() / float64(n)
 	}
-	return h.sum / float64(h.count)
+	return 0
 }
 
 // Bucket returns the upper bound (math.Inf(1) for the overflow bucket)
 // and count of bucket i.
 func (h *Histogram) Bucket(i int) (float64, int64) {
 	if i == len(h.bounds) {
-		return math.Inf(1), h.counts[i]
+		return math.Inf(1), h.counts[i].Load()
 	}
-	return h.bounds[i], h.counts[i]
+	return h.bounds[i], h.counts[i].Load()
 }
 
 // NumBuckets returns the bucket count including the overflow bucket.
@@ -114,6 +180,8 @@ func (h *Histogram) NumBuckets() int { return len(h.counts) }
 // Counter returns the counter registered under name, creating it on
 // first use.
 func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if c, ok := r.counters[name]; ok {
 		return c
 	}
@@ -124,6 +192,8 @@ func (r *Registry) Counter(name string) *Counter {
 
 // Gauge returns the gauge registered under name, creating it on first use.
 func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if g, ok := r.gauges[name]; ok {
 		return g
 	}
@@ -136,12 +206,16 @@ func (r *Registry) Gauge(name string) *Gauge {
 // the given ascending bucket bounds on first use (later calls reuse the
 // original bounds).
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if h, ok := r.hists[name]; ok {
 		return h
 	}
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)
-	h := &Histogram{name: name, bounds: b, counts: make([]int64, len(b)+1)}
+	h := &Histogram{name: name, bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	h.min.bits.Store(math.Float64bits(math.Inf(1)))
+	h.max.bits.Store(math.Float64bits(math.Inf(-1)))
 	r.hists[name] = h
 	return h
 }
@@ -176,43 +250,64 @@ func sortedKeys[V any](m map[string]V) []string {
 	return keys
 }
 
+// snapshot copies the registry's maps under the lock so rendering does
+// not hold the registration mutex while formatting.
+func (r *Registry) snapshot() (map[string]*Counter, map[string]*Gauge, map[string]*Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cs := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		cs[k] = v
+	}
+	gs := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gs[k] = v
+	}
+	hs := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hs[k] = v
+	}
+	return cs, gs, hs
+}
+
 // WriteJSON writes the registry snapshot as a single JSON object with
 // stable key order, suitable for the CLI's -metrics file.
 func (r *Registry) WriteJSON(w io.Writer) error {
+	counters, gauges, hists := r.snapshot()
 	var b []byte
 	b = append(b, `{"counters":{`...)
-	for i, k := range sortedKeys(r.counters) {
+	for i, k := range sortedKeys(counters) {
 		if i > 0 {
 			b = append(b, ',')
 		}
 		b = strconv.AppendQuote(b, k)
 		b = append(b, ':')
-		b = strconv.AppendInt(b, r.counters[k].n, 10)
+		b = strconv.AppendInt(b, counters[k].Value(), 10)
 	}
 	b = append(b, `},"gauges":{`...)
-	for i, k := range sortedKeys(r.gauges) {
+	for i, k := range sortedKeys(gauges) {
 		if i > 0 {
 			b = append(b, ',')
 		}
 		b = strconv.AppendQuote(b, k)
 		b = append(b, ':')
-		b = appendFloat(b, r.gauges[k].v)
+		b = appendFloat(b, gauges[k].Value())
 	}
 	b = append(b, `},"histograms":{`...)
-	for i, k := range sortedKeys(r.hists) {
-		h := r.hists[k]
+	for i, k := range sortedKeys(hists) {
+		h := hists[k]
 		if i > 0 {
 			b = append(b, ',')
 		}
 		b = strconv.AppendQuote(b, k)
 		b = append(b, `:{"count":`...)
-		b = strconv.AppendInt(b, h.count, 10)
+		b = strconv.AppendInt(b, h.Count(), 10)
 		b = append(b, `,"sum":`...)
-		b = appendFloat(b, h.sum)
+		b = appendFloat(b, h.Sum())
 		b = append(b, `,"min":`...)
-		b = appendFloat(b, h.min)
+		b = appendFloat(b, h.Min())
 		b = append(b, `,"max":`...)
-		b = appendFloat(b, h.max)
+		b = appendFloat(b, h.Max())
 		b = append(b, `,"buckets":[`...)
 		for j := range h.counts {
 			if j > 0 {
@@ -225,7 +320,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				b = appendFloat(b, h.bounds[j])
 			}
 			b = append(b, `,"n":`...)
-			b = strconv.AppendInt(b, h.counts[j], 10)
+			b = strconv.AppendInt(b, h.counts[j].Load(), 10)
 			b = append(b, '}')
 		}
 		b = append(b, `]}`...)
@@ -248,23 +343,25 @@ func appendFloat(b []byte, v float64) []byte {
 // Render returns a human-readable snapshot: counters and gauges aligned,
 // histograms with per-bucket bars.
 func (r *Registry) Render() string {
+	counters, gauges, hists := r.snapshot()
 	var b strings.Builder
-	for _, k := range sortedKeys(r.counters) {
-		fmt.Fprintf(&b, "%-28s %d\n", k, r.counters[k].n)
+	for _, k := range sortedKeys(counters) {
+		fmt.Fprintf(&b, "%-28s %d\n", k, counters[k].Value())
 	}
-	for _, k := range sortedKeys(r.gauges) {
-		fmt.Fprintf(&b, "%-28s %g\n", k, r.gauges[k].v)
+	for _, k := range sortedKeys(gauges) {
+		fmt.Fprintf(&b, "%-28s %g\n", k, gauges[k].Value())
 	}
-	for _, k := range sortedKeys(r.hists) {
-		h := r.hists[k]
-		fmt.Fprintf(&b, "%s: count=%d mean=%.3g min=%g max=%g\n", k, h.count, h.Mean(), h.min, h.max)
+	for _, k := range sortedKeys(hists) {
+		h := hists[k]
+		fmt.Fprintf(&b, "%s: count=%d mean=%.3g min=%g max=%g\n", k, h.Count(), h.Mean(), h.Min(), h.Max())
 		var peak int64
-		for _, c := range h.counts {
-			if c > peak {
+		for j := range h.counts {
+			if c := h.counts[j].Load(); c > peak {
 				peak = c
 			}
 		}
-		for j, c := range h.counts {
+		for j := range h.counts {
+			c := h.counts[j].Load()
 			if c == 0 {
 				continue
 			}

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"math"
 	"reflect"
+	"strings"
+	"sync"
 	"testing"
 )
 
@@ -153,5 +155,75 @@ func TestReplay(t *testing.T) {
 	want := 2.0*3 + 5.0*6 + 3.0*1
 	if memSum != want {
 		t.Errorf("memSum = %g, want %g", memSum, want)
+	}
+}
+
+// TestRegistryConcurrent checks the satellite guarantee: parallel
+// counter and histogram updates through one shared registry sum exactly.
+// Run under -race to exercise the atomic paths.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Registration races with use on purpose: every goroutine
+			// must get the same handles back.
+			c := r.Counter("shared")
+			h := r.Histogram("dist", []float64{10, 100, 1000})
+			g := r.Gauge("last")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(float64(i % 2000))
+				g.Set(float64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	h := r.Histogram("dist", nil)
+	if h.Count() != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	var bucketSum int64
+	for i := 0; i < h.NumBuckets(); i++ {
+		_, n := h.Bucket(i)
+		bucketSum += n
+	}
+	if bucketSum != h.Count() {
+		t.Errorf("bucket sum %d != count %d", bucketSum, h.Count())
+	}
+	// Each worker observes 0..1999 repeatedly, so min/max are exact.
+	if h.Min() != 0 || h.Max() != 1999 {
+		t.Errorf("min/max = %g/%g, want 0/1999", h.Min(), h.Max())
+	}
+	wantSum := float64(workers) * float64(perWorker/2000) * (1999.0 * 2000.0 / 2)
+	if h.Sum() != wantSum {
+		t.Errorf("sum = %g, want %g", h.Sum(), wantSum)
+	}
+	if g := r.Gauge("last").Value(); g < 0 || g >= workers {
+		t.Errorf("gauge = %g, want one of the written values", g)
+	}
+}
+
+// TestHistogramEmptyMinMax pins the empty-histogram rendering contract:
+// Min and Max report 0, not the +/-Inf initialization sentinels.
+func TestHistogramEmptyMinMax(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("empty", []float64{1})
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("empty min/max = %g/%g, want 0/0", h.Min(), h.Max())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s := buf.String(); !strings.Contains(s, `"min":0,"max":0`) {
+		t.Errorf("empty histogram JSON should carry min/max 0: %s", s)
 	}
 }

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"sync"
 	"testing"
 
 	"cdmm/internal/mem"
@@ -98,5 +99,48 @@ func TestInstrumentedBehavesIdentically(t *testing.T) {
 	}
 	if wrapped.Name() != bare.Name() {
 		t.Errorf("wrapper must not change the policy name: %q vs %q", wrapped.Name(), bare.Name())
+	}
+}
+
+// TestInstrumentedConcurrent drives several Instrumented wrappers (each
+// with its own inner policy, sharing one registry and therefore one set
+// of counters) from parallel goroutines and checks the counters sum
+// exactly — the atomic-counter guarantee the engine's parallel runs rely
+// on. Run with -race to also prove the wrapper adds no unsynchronized
+// state.
+func TestInstrumentedConcurrent(t *testing.T) {
+	reg := obs.NewRegistry()
+	const workers = 8
+	const refs = 5000
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := Instrument(NewLRU(4), reg)
+			p.Reset()
+			for i := 0; i < refs; i++ {
+				p.Ref(mem.Page(i % 16))
+			}
+			p.Lock(trace.LockSet{PJ: 1, Site: 1, Pages: []mem.Page{1}})
+			p.Unlock([]mem.Page{1})
+		}()
+	}
+	wg.Wait()
+
+	// Every worker's inner LRU(4) over the 16-page cycle faults on every
+	// reference (distance 16 > 4), so the fault counter is exact too.
+	want := map[string]int64{
+		"policy_lru_m_4_refs":    workers * refs,
+		"policy_lru_m_4_faults":  workers * refs,
+		"policy_lru_m_4_locks":   workers,
+		"policy_lru_m_4_unlocks": workers,
+		"policy_lru_m_4_resets":  workers,
+	}
+	for name, w := range want {
+		if got := reg.Counter(name).Value(); got != w {
+			t.Errorf("%s = %d, want %d", name, got, w)
+		}
 	}
 }

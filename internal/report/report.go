@@ -14,6 +14,7 @@ import (
 	"cdmm/internal/advisor"
 	"cdmm/internal/bli"
 	"cdmm/internal/core"
+	"cdmm/internal/engine"
 	"cdmm/internal/locality"
 	"cdmm/internal/sem"
 )
@@ -28,6 +29,10 @@ type Options struct {
 	// TimelineBuckets sets the virtual-time bucket count of the fault
 	// timeline section; 0 means 64.
 	TimelineBuckets int
+	// Engine executes the simulation sections' runs; nil means
+	// engine.Default(). The report text is byte-identical at any
+	// parallelism level.
+	Engine *engine.Engine
 }
 
 // Generate renders the markdown report for a compiled program.
@@ -65,14 +70,15 @@ func Generate(p *core.Program, opts Options) (string, error) {
 	}
 
 	if !opts.SkipSimulation {
-		if err := writeSimulation(&b, p); err != nil {
+		eng := engine.Or(opts.Engine)
+		if err := writeSimulation(&b, p, eng); err != nil {
 			return "", err
 		}
 		buckets := opts.TimelineBuckets
 		if buckets == 0 {
 			buckets = 64
 		}
-		tl, err := TimelineReport(p, buckets)
+		tl, err := TimelineReport(eng, p, buckets)
 		if err != nil {
 			return "", err
 		}
@@ -128,15 +134,15 @@ func writeAdvisories(b *strings.Builder, p *core.Program) {
 	b.WriteString("```\n")
 }
 
-func writeSimulation(b *strings.Builder, p *core.Program) error {
+func writeSimulation(b *strings.Builder, p *core.Program, eng *engine.Engine) error {
 	b.WriteString("\n## Policy comparison\n\n")
 	fmt.Fprintf(b, "| policy | PF | MEM | ST |\n|---|---|---|---|\n")
-	for lvl := 1; lvl <= p.MaxPI(); lvl++ {
-		res, err := p.RunCD(core.CDOptions{Level: lvl})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(b, "| CD level %d | %d | %.2f | %.4g |\n", lvl, res.Faults, res.MEM(), res.ST())
+	results, err := runCDLevels(eng, p)
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		fmt.Fprintf(b, "| CD level %d | %d | %.2f | %.4g |\n", i+1, res.Faults, res.MEM(), res.ST())
 	}
 	lru, err := p.LRUSweep()
 	if err != nil {

@@ -1,8 +1,11 @@
 package report
 
 import (
+	"runtime"
 	"strings"
 	"testing"
+
+	"cdmm/internal/engine"
 
 	"cdmm/internal/core"
 	"cdmm/internal/workloads"
@@ -94,5 +97,36 @@ END
 	}
 	if !strings.Contains(out, "interchange") {
 		t.Error("advisories missing the interchange finding")
+	}
+}
+
+// TestReportDeterministicAcrossParallelism checks the report satellite of
+// the engine's determinism contract: the full markdown report (policy
+// comparison table, timeline strips) is byte-identical whether its runs
+// execute sequentially or on a saturated worker pool.
+func TestReportDeterministicAcrossParallelism(t *testing.T) {
+	w, err := workloads.Get("HWSCRT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh Program per generation: Summary() mentions the trace length
+	// once the lazy trace exists, so reusing one Program would differ on
+	// the second render independent of parallelism.
+	gen := func(workers int) string {
+		p, err := core.CompileSource(w.Name, w.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Generate(p, Options{SkipBLI: true, Engine: engine.New(workers)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := gen(1)
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		if got := gen(workers); got != want {
+			t.Errorf("report differs between 1 and %d workers", workers)
+		}
 	}
 }

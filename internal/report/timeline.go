@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"cdmm/internal/core"
+	"cdmm/internal/engine"
 	"cdmm/internal/obs"
 	"cdmm/internal/policy"
 	"cdmm/internal/vmsim"
@@ -17,16 +18,33 @@ type timelineRow struct {
 	res  vmsim.Result
 }
 
+// runCDLevels runs CD at every directive stratum 1..Δ on the engine's
+// pool, returning the results indexed by level-1 (declaration order, so
+// the report rows and the best-level choice are deterministic).
+func runCDLevels(eng *engine.Engine, p *core.Program) ([]vmsim.Result, error) {
+	levels := make([]int, p.MaxPI())
+	for i := range levels {
+		levels[i] = i + 1
+	}
+	return engine.Map(eng, levels, func(rc *engine.RunCtx, lvl int) (vmsim.Result, error) {
+		return p.RunCDObserved(core.CDOptions{Level: lvl}, rc.Obs)
+	})
+}
+
 // TimelineReport runs the program under CD (full directive set), the
 // best-space-time LRU and the best-space-time WS, and renders side-by-side
 // fault-timeline and residency sparklines over `buckets` virtual-time
 // buckets — the time-resolved view behind the paper's end-of-run PF/MEM/ST
 // aggregates. Each row is normalized to its own virtual-time span, so the
 // strips show each policy's phase structure rather than a shared clock.
-func TimelineReport(p *core.Program, buckets int) (string, error) {
+// The three rows are independent simulations and run in parallel on the
+// engine's pool (nil means engine.Default()); the rendered text is
+// byte-identical at any parallelism level.
+func TimelineReport(eng *engine.Engine, p *core.Program, buckets int) (string, error) {
 	if buckets < 1 {
 		buckets = 64
 	}
+	eng = engine.Or(eng)
 	tr, err := p.Trace()
 	if err != nil {
 		return "", err
@@ -42,61 +60,57 @@ func TimelineReport(p *core.Program, buckets int) (string, error) {
 	m, _ := lru.MinST()
 	tau, _ := ws.MinST()
 
-	// collect runs one policy with an in-memory collector (forwarding to
-	// any ambient observer so -events files still see these runs).
-	collect := func(label string, run func(o *obs.Observer) (vmsim.Result, error)) (timelineRow, error) {
-		col := &obs.Collector{}
-		o := &obs.Observer{Tracer: col}
-		if d := vmsim.DefaultObserver; d != nil {
-			if d.Tracer != nil {
-				o.Tracer = obs.MultiTracer{col, d.Tracer}
-			}
-			o.Metrics = d.Metrics
-		}
-		res, err := run(o)
-		if err != nil {
-			return timelineRow{}, err
-		}
-		return timelineRow{name: label, tl: obs.NewTimeline(col.Events, buckets), res: res}, nil
-	}
-
 	// The CD row runs the directive stratum with the least space-time
-	// cost — the level the sweep command would crown.
-	cdLevel := 1
-	bestST := 0.0
-	for lvl := 1; lvl <= p.MaxPI(); lvl++ {
-		r, err := p.RunCD(core.CDOptions{Level: lvl})
-		if err != nil {
-			return "", err
-		}
-		if lvl == 1 || r.ST() < bestST {
-			cdLevel, bestST = lvl, r.ST()
+	// cost — the level the sweep command would crown. Ties break toward
+	// the shallower level (strict-less scan in declaration order).
+	levelRes, err := runCDLevels(eng, p)
+	if err != nil {
+		return "", err
+	}
+	cdLevel, bestST := 1, 0.0
+	for i, r := range levelRes {
+		if i == 0 || r.ST() < bestST {
+			cdLevel, bestST = i+1, r.ST()
 		}
 	}
 
 	refs := tr.StripDirectives()
-	rows := make([]timelineRow, 0, 3)
-	row, err := collect(fmt.Sprintf("CD L%d", cdLevel), func(o *obs.Observer) (vmsim.Result, error) {
-		return p.RunCDObserved(core.CDOptions{Level: cdLevel}, o)
+	type rowSpec struct {
+		label string
+		run   func(o *obs.Observer) (vmsim.Result, error)
+	}
+	specs := []rowSpec{
+		{fmt.Sprintf("CD L%d", cdLevel), func(o *obs.Observer) (vmsim.Result, error) {
+			return p.RunCDObserved(core.CDOptions{Level: cdLevel}, o)
+		}},
+		{fmt.Sprintf("LRU m=%d", m), func(o *obs.Observer) (vmsim.Result, error) {
+			return vmsim.RunObserved(refs, policy.NewLRU(m), o), nil
+		}},
+		{fmt.Sprintf("WS tau=%d", tau), func(o *obs.Observer) (vmsim.Result, error) {
+			return vmsim.RunObserved(refs, policy.NewWS(tau), o), nil
+		}},
+	}
+	// Each row collects its own timeline events, forwarding to the run's
+	// engine-provided observer so -events files still see these runs (in
+	// deterministic declaration order, via the engine's merge).
+	rows, err := engine.Map(eng, specs, func(rc *engine.RunCtx, s rowSpec) (timelineRow, error) {
+		col := &obs.Collector{}
+		o := &obs.Observer{Tracer: col}
+		if amb := rc.Obs; amb != nil {
+			if amb.Tracer != nil {
+				o.Tracer = obs.MultiTracer{col, amb.Tracer}
+			}
+			o.Metrics = amb.Metrics
+		}
+		res, err := s.run(o)
+		if err != nil {
+			return timelineRow{}, err
+		}
+		return timelineRow{name: s.label, tl: obs.NewTimeline(col.Events, buckets), res: res}, nil
 	})
 	if err != nil {
 		return "", err
 	}
-	rows = append(rows, row)
-	row, err = collect(fmt.Sprintf("LRU m=%d", m), func(o *obs.Observer) (vmsim.Result, error) {
-		return vmsim.RunObserved(refs, policy.NewLRU(m), o), nil
-	})
-	if err != nil {
-		return "", err
-	}
-	rows = append(rows, row)
-	row, err = collect(fmt.Sprintf("WS tau=%d", tau), func(o *obs.Observer) (vmsim.Result, error) {
-		return vmsim.RunObserved(refs, policy.NewWS(tau), o), nil
-	})
-	if err != nil {
-		return "", err
-	}
-	rows = append(rows, row)
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "\n## Fault timeline (%d virtual-time buckets per policy)\n\n", buckets)

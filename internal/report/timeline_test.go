@@ -17,7 +17,7 @@ func TestTimelineReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := TimelineReport(p, 32)
+	out, err := TimelineReport(nil, p, 32)
 	if err != nil {
 		t.Fatal(err)
 	}

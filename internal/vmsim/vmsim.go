@@ -73,6 +73,14 @@ func (r Result) String() string {
 // Run replays the trace under the policy. The policy is Reset first, so a
 // single policy value can be reused across runs. When DefaultObserver is
 // set the run is observed; otherwise this is the bare fast path.
+//
+// Run and RunObserved are safe for concurrent use with DISTINCT policy
+// values over the same (immutable) trace: the simulation mutates only
+// the policy and its own Result, never the trace. Concurrent runs that
+// share one policy value race on its state; give each goroutine its own.
+// Concurrent runs relying on the DefaultObserver fallback additionally
+// race on its tracer — pass per-run observers (as the engine package
+// does) when observing parallel runs.
 func Run(tr *trace.Trace, pol policy.Policy) Result {
 	return RunObserved(tr, pol, nil)
 }

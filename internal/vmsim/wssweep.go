@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"cdmm/internal/mem"
+	"cdmm/internal/obs"
 	"cdmm/internal/policy"
 	"cdmm/internal/trace"
 )
@@ -121,6 +122,13 @@ func (s *WSSweep) Run(tau int) Result {
 	return Run(s.tr, policy.NewWS(tau))
 }
 
+// RunObserved is Run with an explicit observer, so concurrent callers
+// (the experiment engine) can route events into per-run buffers instead
+// of racing on the process-wide default observer.
+func (s *WSSweep) RunObserved(tau int, o *obs.Observer) Result {
+	return RunObserved(s.tr, policy.NewWS(tau), o)
+}
+
 // TauForMEM returns the window size whose average working-set size is
 // closest to target (MEM is non-decreasing in τ, so binary search).
 func (s *WSSweep) TauForMEM(target float64) int {
@@ -166,9 +174,15 @@ func (s *WSSweep) MinTauForFaults(target int) (int, bool) {
 // cost, replaying the trace only at ladder points. It returns the best τ
 // and its full result.
 func (s *WSSweep) MinST() (int, Result) {
+	return s.MinSTObserved(nil)
+}
+
+// MinSTObserved is MinST with an explicit observer for the ladder-point
+// replays (nil falls back to the default observer, as in RunObserved).
+func (s *WSSweep) MinSTObserved(o *obs.Observer) (int, Result) {
 	taus := DefaultTaus(s.Refs)
 	bestTau := taus[0]
-	best := s.Run(bestTau)
+	best := s.RunObserved(bestTau, o)
 	for _, tau := range taus[1:] {
 		// Histogram lower bound: ST >= MemSum + FaultService * faults * 1;
 		// skip τ whose bound already exceeds the best (cheap pruning).
@@ -176,7 +190,7 @@ func (s *WSSweep) MinST() (int, Result) {
 		if lower >= best.SpaceTime {
 			continue
 		}
-		r := s.Run(tau)
+		r := s.RunObserved(tau, o)
 		if r.SpaceTime < best.SpaceTime {
 			bestTau, best = tau, r
 		}

@@ -134,22 +134,49 @@ type Compiled struct {
 // V returns the program's virtual size in pages.
 func (c *Compiled) V() int { return c.Layout.TotalPages() }
 
+// compileEntry is one singleflight compilation slot: done is closed when
+// c and err are final.
+type compileEntry struct {
+	done chan struct{}
+	c    *Compiled
+	err  error
+}
+
 var (
 	compileMu    sync.Mutex
-	compileCache = map[string]*Compiled{}
+	compileCache = map[string]*compileEntry{}
 )
 
 // Compile parses, analyzes and executes the program with the default
-// geometry, producing its directive plan and trace. Results are cached:
-// traces are deterministic and immutable.
+// geometry, producing its directive plan and trace. Results are cached
+// with singleflight semantics — concurrent callers for the same program
+// block on one compilation instead of duplicating the pipeline; traces
+// are deterministic and immutable, so sharing is safe. A failed
+// compilation is not cached (every caller retries).
 func Compile(p *Program) (*Compiled, error) {
 	compileMu.Lock()
-	if c, ok := compileCache[p.Name]; ok {
-		compileMu.Unlock()
-		return c, nil
+	ent, ok := compileCache[p.Name]
+	if !ok {
+		ent = &compileEntry{done: make(chan struct{})}
+		compileCache[p.Name] = ent
 	}
 	compileMu.Unlock()
+	if ok {
+		<-ent.done
+		return ent.c, ent.err
+	}
+	ent.c, ent.err = compile(p)
+	if ent.err != nil {
+		compileMu.Lock()
+		delete(compileCache, p.Name)
+		compileMu.Unlock()
+	}
+	close(ent.done)
+	return ent.c, ent.err
+}
 
+// compile is the uncached pipeline.
+func compile(p *Program) (*Compiled, error) {
 	ast, err := fortran.Parse(p.Source)
 	if err != nil {
 		return nil, fmt.Errorf("workloads: %s: %w", p.Name, err)
@@ -168,7 +195,7 @@ func Compile(p *Program) (*Compiled, error) {
 	if err != nil {
 		return nil, fmt.Errorf("workloads: %s: %w", p.Name, err)
 	}
-	c := &Compiled{
+	return &Compiled{
 		Program:  p,
 		AST:      ast,
 		Info:     info,
@@ -176,11 +203,7 @@ func Compile(p *Program) (*Compiled, error) {
 		Analysis: analysis,
 		Plan:     plan,
 		Trace:    tr,
-	}
-	compileMu.Lock()
-	compileCache[p.Name] = c
-	compileMu.Unlock()
-	return c, nil
+	}, nil
 }
 
 // MustCompile is Compile but panics on error; for the embedded suite.
