@@ -120,6 +120,8 @@ func main() {
 		err = cmdSweep(args)
 	case "profile":
 		err = cmdProfile(args)
+	case "chaos":
+		err = cmdChaos(args)
 	case "table1", "table2", "table3", "table4", "tables":
 		err = cmdTables(cmd, args)
 	case "help", "-h", "--help":
@@ -158,6 +160,13 @@ commands:
   sweep    <prog|file.f>    CD at every level vs tuned LRU and WS
   profile  <prog|file.f> [-buckets N]   fault-timeline and residency
                             sparklines for CD vs tuned LRU and WS
+  chaos    [flags]          fault-injection matrix: CD with directive
+                            validation + degraded mode under seeded faults
+      -seed N                      injector seed (default 1)
+      -quick                       smoke mode (two programs, one intensity)
+      -progs A,B/set               programs (optionally program/set)
+      -faults a,b -intensity x,y   restrict the matrix
+      -list                        list the registered fault injectors
   table1..table4 | tables   regenerate the paper's tables
 
 parallelism flag (sim, replay, profile, report, family, detune, pagesize, table*):

@@ -30,7 +30,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tr := prog.MustTrace()
+	tr, err := prog.Trace()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println(tr.Summary())
 
 	lru, _ := prog.LRUSweep()

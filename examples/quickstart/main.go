@@ -57,7 +57,10 @@ func main() {
 	fmt.Print(prog.RenderLocalityTree())
 	fmt.Println()
 
-	tr := prog.MustTrace()
+	tr, err := prog.Trace()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("--- simulation:", tr.Summary(), "---")
 
 	// CD honoring the level-2 directive stratum.

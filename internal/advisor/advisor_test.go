@@ -189,7 +189,10 @@ END DO
 END
 `
 	faults := func(src string) int {
-		prog := fortran.MustParse(src)
+		prog, err := fortran.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
 		layout, err := mem.NewLayout(prog, mem.DefaultGeometry)
 		if err != nil {
 			t.Fatal(err)

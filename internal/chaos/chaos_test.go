@@ -1,0 +1,191 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"cdmm/internal/directive"
+	"cdmm/internal/mem"
+	"cdmm/internal/policy"
+	"cdmm/internal/trace"
+)
+
+// testTrace builds a trace with every event kind so each injector has
+// something to perturb.
+func testTrace() *trace.Trace {
+	tr := trace.New("T")
+	tr.AddAlloc(&directive.Allocate{Arms: []directive.Arm{{PI: 3, X: 12}, {PI: 2, X: 6}, {PI: 1, X: 2}}})
+	for i := 0; i < 200; i++ {
+		tr.AddRef(mem.Page(i % 12))
+	}
+	tr.AddLock(2, 0, []mem.Page{0, 1, 2})
+	tr.AddAlloc(&directive.Allocate{Arms: []directive.Arm{{PI: 1, X: 4}}})
+	for i := 0; i < 200; i++ {
+		tr.AddRef(mem.Page(i % 4))
+	}
+	tr.AddUnlock([]mem.Page{0, 1, 2})
+	tr.AddAlloc(&directive.Allocate{Arms: []directive.Arm{{PI: 2, X: 8}, {PI: 1, X: 3}}})
+	for i := 0; i < 100; i++ {
+		tr.AddRef(mem.Page(i % 8))
+	}
+	return tr
+}
+
+// TestDeriveSeedIndependence: distinct cell identities must give distinct
+// streams, identical identities identical ones, and part boundaries must
+// matter.
+func TestDeriveSeedIndependence(t *testing.T) {
+	a := DeriveSeed(1, "MAIN", "drop-directives", "0.4")
+	b := DeriveSeed(1, "MAIN", "drop-directives", "0.4")
+	if a != b {
+		t.Error("same identity, different seeds")
+	}
+	if a == DeriveSeed(2, "MAIN", "drop-directives", "0.4") {
+		t.Error("base seed ignored")
+	}
+	if a == DeriveSeed(1, "MAIN", "drop-directives", "0.1") {
+		t.Error("intensity part ignored")
+	}
+	if DeriveSeed(1, "ab", "c") == DeriveSeed(1, "a", "bc") {
+		t.Error("part boundaries not separated")
+	}
+}
+
+// TestInjectorsDeterministic runs every perturbing fault twice with the
+// same seed and requires bit-identical output, plus a different seed to
+// actually produce a different perturbation at full intensity.
+func TestInjectorsDeterministic(t *testing.T) {
+	base := testTrace()
+	for _, f := range Faults() {
+		if f.Perturb == nil {
+			continue
+		}
+		t.Run(f.Name, func(t *testing.T) {
+			a := f.Perturb(base, NewRand(42), 0.7)
+			b := f.Perturb(base, NewRand(42), 0.7)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatal("same seed produced different perturbations")
+			}
+		})
+	}
+}
+
+// TestInjectorsPreserveInput verifies injectors never mutate the shared
+// compiled trace — the memoization contract.
+func TestInjectorsPreserveInput(t *testing.T) {
+	base := testTrace()
+	want := testTrace() // independent twin for comparison
+	for _, f := range Faults() {
+		if f.Perturb == nil {
+			continue
+		}
+		f.Perturb(base, NewRand(7), 1.0)
+	}
+	if !reflect.DeepEqual(base.Events, want.Events) {
+		t.Error("an injector mutated the input trace's events")
+	}
+	if !reflect.DeepEqual(base.Allocs, want.Allocs) {
+		t.Error("an injector mutated the input trace's alloc table")
+	}
+	if !reflect.DeepEqual(base.LockSets, want.LockSets) {
+		t.Error("an injector mutated the input trace's lock table")
+	}
+	if !reflect.DeepEqual(base.UnlockSets, want.UnlockSets) {
+		t.Error("an injector mutated the input trace's unlock table")
+	}
+}
+
+// TestZeroIntensityIsIdentity: at intensity 0 every injector must return
+// the input stream unchanged (modulo the name suffix) — the guarantee
+// that lets chaos-instrumented paths stay byte-identical when disabled.
+func TestZeroIntensityIsIdentity(t *testing.T) {
+	base := testTrace()
+	for _, f := range Faults() {
+		if f.Perturb == nil {
+			continue
+		}
+		t.Run(f.Name, func(t *testing.T) {
+			got := f.Perturb(base, NewRand(9), 0)
+			if !reflect.DeepEqual(got.Events, base.Events) {
+				t.Error("intensity 0 changed the event stream")
+			}
+			if got.Refs != base.Refs || got.Distinct != base.Distinct {
+				t.Errorf("intensity 0 changed counters: %d/%d vs %d/%d",
+					got.Refs, got.Distinct, base.Refs, base.Distinct)
+			}
+		})
+	}
+}
+
+// TestTruncate checks the one deterministic injector precisely.
+func TestTruncate(t *testing.T) {
+	base := testTrace()
+	half := truncateTrace(base, nil, 0.5)
+	if want := len(base.Events) / 2; len(half.Events) != want {
+		t.Errorf("events after 0.5 truncation = %d, want %d", len(half.Events), want)
+	}
+	all := truncateTrace(base, nil, 1)
+	if len(all.Events) != 0 || all.Refs != 0 || all.Distinct != 0 {
+		t.Errorf("full truncation left %d events, refs=%d", len(all.Events), all.Refs)
+	}
+}
+
+// TestScheduleCap checks spike windows override the total.
+func TestScheduleCap(t *testing.T) {
+	s := &Schedule{Total: 50, Spikes: []Spike{{From: 10, To: 20, Cap: 3}}}
+	if got := s.Cap(5); got != 50 {
+		t.Errorf("Cap(5) = %d, want 50", got)
+	}
+	if got := s.Cap(10); got != 3 {
+		t.Errorf("Cap(10) = %d, want 3", got)
+	}
+	if got := s.Cap(20); got != 50 {
+		t.Errorf("Cap(20) = %d, want 50", got)
+	}
+}
+
+// TestPressuredReclaims drives a CD policy into a capacity spike and
+// checks the wrapper actually claws frames back.
+func TestPressuredReclaims(t *testing.T) {
+	cd := policy.NewCD(policy.SelectLevel(3), 2)
+	sched := &Schedule{Total: 64, Spikes: []Spike{{From: 31, To: 60, Cap: 2}}}
+	p := NewPressured(cd, sched)
+
+	p.Alloc(trace.AllocDirective{Arms: []directive.Arm{{PI: 1, X: 10}}})
+	for i := 0; i < 30; i++ {
+		p.Ref(mem.Page(i % 10))
+	}
+	if cd.Resident() != 10 {
+		t.Fatalf("setup: resident = %d, want 10", cd.Resident())
+	}
+	p.Ref(mem.Page(0)) // clock enters the spike: reclaim to 2, then the ref faults in
+	if cd.Resident() > 3 {
+		t.Errorf("resident during spike = %d, want <= 3", cd.Resident())
+	}
+	// Alloc during the spike cannot be granted above the cap; the PI=1
+	// request is ungrantable, raising the swap signal.
+	p.Alloc(trace.AllocDirective{Arms: []directive.Arm{{PI: 1, X: 10}}})
+	if cd.SwapSignals == 0 {
+		t.Error("ungrantable PI=1 request under pressure did not raise the swap signal")
+	}
+}
+
+// TestMemPressureSchedulesBite verifies generated schedules always carry
+// at least one spike with a cap small enough to press a real CD resident
+// set at every intensity.
+func TestMemPressureSchedulesBite(t *testing.T) {
+	for _, intensity := range []float64{0.1, 0.4, 0.9} {
+		s := memPressure(80, 10000, NewRand(3), intensity)
+		if len(s.Spikes) == 0 {
+			t.Fatalf("intensity %g: no spikes", intensity)
+		}
+		for _, sp := range s.Spikes {
+			if sp.Cap < 1 || sp.Cap > 16 {
+				t.Errorf("intensity %g: spike cap %d outside the biting range [1,16]", intensity, sp.Cap)
+			}
+			if sp.To <= sp.From {
+				t.Errorf("intensity %g: empty spike window [%d,%d)", intensity, sp.From, sp.To)
+			}
+		}
+	}
+}

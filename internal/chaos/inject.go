@@ -1,0 +1,231 @@
+package chaos
+
+import (
+	"cdmm/internal/directive"
+	"cdmm/internal/mem"
+	"cdmm/internal/trace"
+)
+
+// clone returns a copy of tr with private event and side-table slices.
+// Side-table *entries* are still shared with the original (compiled
+// traces are memoized and must never be mutated); injectors that edit an
+// entry must replace it with their own copy.
+func clone(tr *trace.Trace, suffix string) *trace.Trace {
+	return &trace.Trace{
+		Name:       tr.Name + "+" + suffix,
+		Events:     append([]trace.Event(nil), tr.Events...),
+		Allocs:     append([]trace.AllocDirective(nil), tr.Allocs...),
+		LockSets:   append([]trace.LockSet(nil), tr.LockSets...),
+		UnlockSets: append([][]mem.Page(nil), tr.UnlockSets...),
+		Refs:       tr.Refs,
+		Distinct:   tr.Distinct,
+	}
+}
+
+// rebuild recomputes the reference statistics (Refs, Distinct) of a
+// perturbed trace from its event list.
+func rebuild(t *trace.Trace) *trace.Trace {
+	t.Refs = 0
+	seen := map[mem.Page]bool{}
+	for _, e := range t.Events {
+		if e.Kind == trace.EvRef {
+			t.Refs++
+			seen[mem.Page(e.Arg)] = true
+		}
+	}
+	t.Distinct = len(seen)
+	return t
+}
+
+// maxRefPage returns the largest page number the trace references (-1
+// for an empty reference string).
+func maxRefPage(tr *trace.Trace) int {
+	max := -1
+	for _, e := range tr.Events {
+		if e.Kind == trace.EvRef && int(e.Arg) > max {
+			max = int(e.Arg)
+		}
+	}
+	return max
+}
+
+// dropDirectives removes each directive event with probability intensity
+// — the "compiler forgot to emit it" fault. The reference string is
+// untouched, so only CD sees a difference.
+func dropDirectives(tr *trace.Trace, rng *Rand, intensity float64) *trace.Trace {
+	out := clone(tr, "drop")
+	kept := out.Events[:0]
+	for _, e := range out.Events {
+		if e.Kind != trace.EvRef && rng.Bool(intensity) {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	out.Events = kept
+	return rebuild(out)
+}
+
+// dupDirectives emits each directive event twice with probability
+// intensity — re-executed directives must be idempotent for CD.
+func dupDirectives(tr *trace.Trace, rng *Rand, intensity float64) *trace.Trace {
+	out := clone(tr, "dup")
+	events := make([]trace.Event, 0, len(out.Events))
+	for _, e := range out.Events {
+		events = append(events, e)
+		if e.Kind != trace.EvRef && rng.Bool(intensity) {
+			events = append(events, e)
+		}
+	}
+	out.Events = events
+	return rebuild(out)
+}
+
+// reorderDirectives slides each directive event 1-64 positions later
+// with probability intensity, modeling directives arriving after the
+// loop they were meant to precede.
+func reorderDirectives(tr *trace.Trace, rng *Rand, intensity float64) *trace.Trace {
+	out := clone(tr, "reorder")
+	for i := 0; i < len(out.Events); i++ {
+		e := out.Events[i]
+		if e.Kind == trace.EvRef || !rng.Bool(intensity) {
+			continue
+		}
+		to := i + 1 + rng.Intn(64)
+		if to >= len(out.Events) {
+			to = len(out.Events) - 1
+		}
+		copy(out.Events[i:to], out.Events[i+1:to+1])
+		out.Events[to] = e
+		// The slid event is re-visited at its new position; skipping past
+		// it keeps one slide per original event.
+		i = to
+	}
+	return rebuild(out)
+}
+
+// corruptPriorities randomizes ALLOCATE arm priority indexes and LOCK
+// priorities with probability intensity per side-table entry — breaking
+// the strictly-decreasing-PI contract (and sometimes the PJ >= 1 one)
+// that the CD validator checks.
+func corruptPriorities(tr *trace.Trace, rng *Rand, intensity float64) *trace.Trace {
+	out := clone(tr, "badpri")
+	for i, d := range out.Allocs {
+		if !rng.Bool(intensity) {
+			continue
+		}
+		arms := append([]directive.Arm(nil), d.Arms...)
+		arms[rng.Intn(len(arms))].PI = rng.Intn(10) // 0 is an outright violation
+		out.Allocs[i] = trace.AllocDirective{Label: d.Label, Arms: arms}
+	}
+	for i, ls := range out.LockSets {
+		if !rng.Bool(intensity) {
+			continue
+		}
+		out.LockSets[i] = trace.LockSet{PJ: rng.Intn(10), Site: ls.Site, Pages: ls.Pages}
+	}
+	return out
+}
+
+// lockNoUnlock drops each UNLOCK with probability intensity, so locks
+// accumulate until memory pressure forces their release (the §3.2
+// pressure valve) — a liveness fault rather than a contract violation.
+func lockNoUnlock(tr *trace.Trace, rng *Rand, intensity float64) *trace.Trace {
+	out := clone(tr, "nounlock")
+	kept := out.Events[:0]
+	for _, e := range out.Events {
+		if e.Kind == trace.EvUnlock && rng.Bool(intensity) {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	out.Events = kept
+	return rebuild(out)
+}
+
+// unknownSegment redirects LOCK page sets past the program's address
+// space with probability intensity per lock set — the mistargeted-
+// directive fault the validator's range check exists for.
+func unknownSegment(tr *trace.Trace, rng *Rand, intensity float64) *trace.Trace {
+	out := clone(tr, "unkseg")
+	v := maxRefPage(tr) + 1
+	for i, ls := range out.LockSets {
+		if len(ls.Pages) == 0 || !rng.Bool(intensity) {
+			continue
+		}
+		pages := append([]mem.Page(nil), ls.Pages...)
+		pages[rng.Intn(len(pages))] = mem.Page(v + 1 + rng.Intn(1024))
+		out.LockSets[i] = trace.LockSet{PJ: ls.PJ, Site: ls.Site, Pages: pages}
+	}
+	return out
+}
+
+// staleDirectives rescales ALLOCATE requests by a power-of-two factor in
+// [1/4, 8] with probability intensity per directive — locality estimates
+// left stale after the program was re-tuned. Scaling a whole else-chain
+// uniformly preserves the monotonicity contract, so moderate staleness
+// degrades performance silently; a large scale-up can push a request
+// past the address space and trip the validator instead.
+func staleDirectives(tr *trace.Trace, rng *Rand, intensity float64) *trace.Trace {
+	out := clone(tr, "stale")
+	factors := []struct{ num, den int }{{1, 4}, {1, 2}, {2, 1}, {4, 1}, {8, 1}}
+	for i, d := range out.Allocs {
+		if !rng.Bool(intensity) {
+			continue
+		}
+		f := factors[rng.Intn(len(factors))]
+		arms := append([]directive.Arm(nil), d.Arms...)
+		for j := range arms {
+			x := arms[j].X * f.num / f.den
+			if x < 1 {
+				x = 1
+			}
+			arms[j].X = x
+		}
+		out.Allocs[i] = trace.AllocDirective{Label: d.Label, Arms: arms}
+	}
+	return out
+}
+
+// bitflipPages flips one of the low 12 page-number bits per reference
+// with probability intensity/100, modeling soft memory errors in the
+// address path. Flipped pages may land outside the program's real
+// footprint; a robust simulator must treat them as cold pages, not
+// crash.
+func bitflipPages(tr *trace.Trace, rng *Rand, intensity float64) *trace.Trace {
+	out := clone(tr, "bitflip")
+	p := intensity / 100
+	for i, e := range out.Events {
+		if e.Kind == trace.EvRef && rng.Bool(p) {
+			out.Events[i].Arg = e.Arg ^ (1 << rng.Intn(12))
+		}
+	}
+	return rebuild(out)
+}
+
+// truncateTrace cuts the trace to its first (1 - intensity) fraction of
+// events — the program crashed or the trace file was cut short. Every
+// accounting identity must still hold over the prefix.
+func truncateTrace(tr *trace.Trace, _ *Rand, intensity float64) *trace.Trace {
+	out := clone(tr, "trunc")
+	keep := int(float64(len(out.Events)) * (1 - intensity))
+	if keep < 0 {
+		keep = 0
+	}
+	out.Events = out.Events[:keep]
+	return rebuild(out)
+}
+
+// wildPages redirects references far outside the address space with
+// probability intensity/100 per reference — wild pointers rather than
+// single bit flips.
+func wildPages(tr *trace.Trace, rng *Rand, intensity float64) *trace.Trace {
+	out := clone(tr, "wild")
+	v := maxRefPage(tr) + 1
+	p := intensity / 100
+	for i, e := range out.Events {
+		if e.Kind == trace.EvRef && rng.Bool(p) {
+			out.Events[i].Arg = int32(v + 1 + rng.Intn(1<<16))
+		}
+	}
+	return rebuild(out)
+}

@@ -1,0 +1,57 @@
+package chaos
+
+// Rand is a small deterministic PRNG (splitmix64). Every injector gets
+// its own Rand derived from (seed, cell identity) via DeriveSeed, so the
+// fault matrix is reproducible cell by cell and independent of the order
+// or parallelism in which cells execute.
+type Rand struct{ state uint64 }
+
+// NewRand returns a generator seeded with s.
+func NewRand(s uint64) *Rand { return &Rand{state: s} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("chaos: Intn on non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float in [0, 1).
+func (r *Rand) Float64() float64 { return float64(r.Uint64()>>11) / (1 << 53) }
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// DeriveSeed mixes a base seed with identifying strings (FNV-1a over the
+// seed bytes then each part) to give every (program, fault, intensity)
+// cell its own independent, reproducible stream.
+func DeriveSeed(seed uint64, parts ...string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= (seed >> (8 * i)) & 0xff
+		h *= prime
+	}
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= prime
+		}
+		h ^= 0xff // part separator so ("ab","c") != ("a","bc")
+		h *= prime
+	}
+	return h
+}

@@ -129,15 +129,6 @@ func (p *Program) Trace() (*trace.Trace, error) {
 	return p.tr, p.traceErr
 }
 
-// MustTrace is Trace but panics on error.
-func (p *Program) MustTrace() *trace.Trace {
-	tr, err := p.Trace()
-	if err != nil {
-		panic(err)
-	}
-	return tr
-}
-
 // Simulate replays the program's trace under any policy.
 func (p *Program) Simulate(pol policy.Policy) (vmsim.Result, error) {
 	return p.SimulateObserved(pol, nil)

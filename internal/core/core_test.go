@@ -65,7 +65,10 @@ func TestTraceCachedAndSimulate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr2 := p.MustTrace()
+	tr2, err := p.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tr1 != tr2 {
 		t.Error("trace not cached")
 	}
@@ -113,8 +116,12 @@ func TestSweepAccessors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if lru.V != p.MustTrace().Distinct {
-		t.Errorf("sweep V = %d, want %d", lru.V, p.MustTrace().Distinct)
+	tr, err := p.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lru.V != tr.Distinct {
+		t.Errorf("sweep V = %d, want %d", lru.V, tr.Distinct)
 	}
 	ws, err := p.WSSweep()
 	if err != nil {

@@ -1,0 +1,92 @@
+package directive
+
+import "fmt"
+
+// ContractError describes a violation of the §3 directive contract — the
+// shape the compiler promises for every emitted ALLOCATE/LOCK directive.
+// The operating-system side of the policy (policy.CD with a CheckConfig)
+// validates incoming directives against this contract and degrades to a
+// directive-blind fallback when a violation is detected, rather than
+// trusting a corrupted stream.
+type ContractError struct {
+	Directive string // "ALLOCATE", "LOCK" or "UNLOCK"
+	Msg       string
+}
+
+// Error implements error.
+func (e *ContractError) Error() string {
+	return fmt.Sprintf("directive contract: %s: %s", e.Directive, e.Msg)
+}
+
+// ValidateArms checks the ALLOCATE else-chain contract: at least one arm,
+// every priority index and request positive, priority indexes strictly
+// decreasing outermost→innermost, request sizes non-increasing along the
+// chain (outer localities contain inner ones), and — when maxPages > 0 —
+// no request exceeding the program's addressable size (a request for
+// pages the program cannot reference marks a stale or corrupted
+// estimate).
+func ValidateArms(arms []Arm, maxPages int) error {
+	if len(arms) == 0 {
+		return &ContractError{Directive: "ALLOCATE", Msg: "empty else-chain"}
+	}
+	for i, a := range arms {
+		if a.PI < 1 {
+			return &ContractError{Directive: "ALLOCATE",
+				Msg: fmt.Sprintf("arm %d has priority index %d (must be >= 1)", i, a.PI)}
+		}
+		if a.X < 1 {
+			return &ContractError{Directive: "ALLOCATE",
+				Msg: fmt.Sprintf("arm %d requests %d pages (must be >= 1)", i, a.X)}
+		}
+		if maxPages > 0 && a.X > maxPages {
+			return &ContractError{Directive: "ALLOCATE",
+				Msg: fmt.Sprintf("arm %d requests %d pages but the program addresses only %d", i, a.X, maxPages)}
+		}
+		if i > 0 {
+			if a.PI >= arms[i-1].PI {
+				return &ContractError{Directive: "ALLOCATE",
+					Msg: fmt.Sprintf("arm %d priority index %d does not decrease (previous %d)", i, a.PI, arms[i-1].PI)}
+			}
+			if a.X > arms[i-1].X {
+				return &ContractError{Directive: "ALLOCATE",
+					Msg: fmt.Sprintf("arm %d requests %d pages, more than the enclosing arm's %d", i, a.X, arms[i-1].X)}
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateLockSet checks one resolved LOCK execution: a positive lock
+// priority, a non-negative site id, and — when maxPages > 0 — every page
+// within the program's address space ("references to unknown segments"
+// are the signature of a corrupted or mistargeted directive stream).
+func ValidateLockSet(pj, site int, pages []int, maxPages int) error {
+	if pj < 1 {
+		return &ContractError{Directive: "LOCK",
+			Msg: fmt.Sprintf("lock priority %d (must be >= 1)", pj)}
+	}
+	if site < 0 {
+		return &ContractError{Directive: "LOCK",
+			Msg: fmt.Sprintf("negative site id %d", site)}
+	}
+	for _, pg := range pages {
+		if pg < 0 || (maxPages > 0 && pg >= maxPages) {
+			return &ContractError{Directive: "LOCK",
+				Msg: fmt.Sprintf("site %d references unknown page %d (program has %d pages)", site, pg, maxPages)}
+		}
+	}
+	return nil
+}
+
+// ValidateUnlockSet checks one resolved UNLOCK execution's page set
+// against the program's address space (maxPages <= 0 skips the range
+// check).
+func ValidateUnlockSet(pages []int, maxPages int) error {
+	for _, pg := range pages {
+		if pg < 0 || (maxPages > 0 && pg >= maxPages) {
+			return &ContractError{Directive: "UNLOCK",
+				Msg: fmt.Sprintf("references unknown page %d (program has %d pages)", pg, maxPages)}
+		}
+	}
+	return nil
+}

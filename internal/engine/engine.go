@@ -16,9 +16,10 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"cdmm/internal/obs"
 	"cdmm/internal/vmsim"
@@ -40,6 +41,13 @@ type Engine struct {
 
 	// flushMu serializes merged event emission into the base tracer.
 	flushMu sync.Mutex
+
+	// ctx cancels in-flight plans (nil means context.Background()).
+	ctx context.Context
+	// retries and backoff bound the retry loop for transient run
+	// failures (see Transient); zero retries disables it.
+	retries int
+	backoff time.Duration
 }
 
 // New returns an engine running at most workers simulations at once.
@@ -56,6 +64,38 @@ func New(workers int) *Engine {
 func (e *Engine) WithObserver(o *obs.Observer) *Engine {
 	e.obs = o
 	return e
+}
+
+// WithContext attaches a cancellation context to the engine: once ctx is
+// done, runs not yet started fail immediately with ctx.Err() and run
+// bodies can observe the cancellation through RunCtx.Ctx. Call before
+// Map.
+func (e *Engine) WithContext(ctx context.Context) *Engine {
+	e.ctx = ctx
+	return e
+}
+
+// WithRetry makes Map retry a run that fails with a Transient error up
+// to retries additional attempts, sleeping backoff, 2×backoff, 4×backoff…
+// between attempts (exponential backoff; backoff 0 retries immediately).
+// Each attempt runs with a fresh RunCtx, so a failed attempt leaves no
+// events or memo-request records behind. Non-transient errors are never
+// retried. Call before Map.
+func (e *Engine) WithRetry(retries int, backoff time.Duration) *Engine {
+	if retries < 0 {
+		retries = 0
+	}
+	e.retries = retries
+	e.backoff = backoff
+	return e
+}
+
+// context returns the engine's cancellation context.
+func (e *Engine) context() context.Context {
+	if e.ctx != nil {
+		return e.ctx
+	}
+	return context.Background()
 }
 
 // Workers returns the worker-pool bound.
@@ -108,6 +148,9 @@ type RunCtx struct {
 	// shared (atomic) metrics registry. Pass it to vmsim.RunObserved and
 	// friends; never write to a shared sink directly from inside a run.
 	Obs *obs.Observer
+	// Ctx is the engine's cancellation context (never nil inside a Map
+	// run). Long run bodies should poll it between expensive steps.
+	Ctx context.Context
 
 	eng  *Engine
 	buf  *obs.Collector
@@ -127,7 +170,7 @@ func (e *Engine) baseObserver() *obs.Observer {
 // tracer, the run gets a private buffer so parallel runs never contend
 // on (or nondeterministically interleave into) the shared sink.
 func (e *Engine) newRunCtx(index int, base *obs.Observer) *RunCtx {
-	rc := &RunCtx{Index: index, eng: e}
+	rc := &RunCtx{Index: index, Ctx: e.context(), eng: e}
 	if !base.Enabled() {
 		return rc
 	}
@@ -141,9 +184,13 @@ func (e *Engine) newRunCtx(index int, base *obs.Observer) *RunCtx {
 }
 
 // Map executes fn over every item on the engine's worker pool and
-// returns the results in declaration order. The first error (by
-// declaration order) is returned; items declared after an observed
-// error may be skipped. With Workers() == 1 the plan runs inline, in
+// returns the results in declaration order. Every item is attempted —
+// an error in one run never skips another, so the failure set is a
+// function of the plan alone — and all failures are aggregated into a
+// *PlanError ordered by declaration index: the identical error value at
+// any parallelism level. Transient failures are retried per WithRetry
+// before being recorded; a done engine context fails not-yet-started
+// runs with ctx.Err(). With Workers() == 1 the plan runs inline, in
 // order, with no goroutines — the overhead-guard path.
 func Map[T, R any](e *Engine, items []T, fn func(*RunCtx, T) (R, error)) ([]R, error) {
 	e = Or(e)
@@ -155,48 +202,63 @@ func Map[T, R any](e *Engine, items []T, fn func(*RunCtx, T) (R, error)) ([]R, e
 
 	if e.workers <= 1 || n <= 1 {
 		for i, item := range items {
-			ctxs[i] = e.newRunCtx(i, base)
-			results[i], errs[i] = fn(ctxs[i], item)
-			if errs[i] != nil {
-				e.mergeEvents(base, ctxs[:i+1])
-				return nil, errs[i]
-			}
+			results[i], ctxs[i], errs[i] = runOne(e, base, i, item, fn)
 		}
-		e.mergeEvents(base, ctxs)
-		return results, nil
-	}
-
-	var (
-		wg     sync.WaitGroup
-		sem    = make(chan struct{}, e.workers)
-		failed atomic.Bool
-	)
-	for i := range items {
-		if failed.Load() {
-			break
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, e.workers)
+		for i := range items {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer func() {
+					<-sem
+					wg.Done()
+				}()
+				results[i], ctxs[i], errs[i] = runOne(e, base, i, items[i], fn)
+			}(i)
 		}
-		ctxs[i] = e.newRunCtx(i, base)
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer func() {
-				<-sem
-				wg.Done()
-			}()
-			results[i], errs[i] = fn(ctxs[i], items[i])
-			if errs[i] != nil {
-				failed.Store(true)
-			}
-		}(i)
+		wg.Wait()
 	}
-	wg.Wait()
 	e.mergeEvents(base, ctxs)
-	for _, err := range errs {
+
+	var failed []*RunError
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			failed = append(failed, &RunError{Index: i, Err: err})
 		}
+	}
+	if len(failed) > 0 {
+		return nil, &PlanError{Runs: failed}
 	}
 	return results, nil
+}
+
+// runOne executes one run, retrying transient failures with exponential
+// backoff up to the engine's retry budget. Every attempt gets a fresh
+// RunCtx so a failed attempt's buffered events and memo-request records
+// are discarded; the returned RunCtx is the final attempt's.
+func runOne[T, R any](e *Engine, base *obs.Observer, i int, item T, fn func(*RunCtx, T) (R, error)) (R, *RunCtx, error) {
+	ctx := e.context()
+	for attempt := 0; ; attempt++ {
+		rc := e.newRunCtx(i, base)
+		if err := ctx.Err(); err != nil {
+			var zero R
+			return zero, rc, err
+		}
+		res, err := fn(rc, item)
+		if err == nil || attempt >= e.retries || !IsTransient(err) {
+			return res, rc, err
+		}
+		if e.backoff > 0 {
+			t := time.NewTimer(e.backoff << attempt)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+			case <-t.C:
+			}
+		}
+	}
 }
 
 // mergeEvents flushes buffered events into the base tracer in

@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -110,7 +111,7 @@ func TestMemoErrorShared(t *testing.T) {
 	}
 }
 
-func TestMapFirstErrorDeterministic(t *testing.T) {
+func TestMapErrorAggregationDeterministic(t *testing.T) {
 	items := make([]int, 12)
 	for i := range items {
 		items[i] = i
@@ -127,9 +128,97 @@ func TestMapFirstErrorDeterministic(t *testing.T) {
 			}
 			return i, nil
 		})
-		if err == nil || err.Error() != "err-2" {
-			t.Errorf("workers=%d: err = %v, want err-2 (first by declaration order)", workers, err)
+		var plan *engine.PlanError
+		if !errors.As(err, &plan) {
+			t.Fatalf("workers=%d: err = %v (%T), want *engine.PlanError", workers, err, err)
 		}
+		if len(plan.Runs) != 2 || plan.Runs[0].Index != 2 || plan.Runs[1].Index != 5 {
+			t.Errorf("workers=%d: failed runs = %v, want indexes [2 5]", workers, plan.Runs)
+		}
+		if want := "run 2: err-2 (and 1 more failed)"; err.Error() != want {
+			t.Errorf("workers=%d: err = %q, want %q", workers, err, want)
+		}
+	}
+}
+
+func TestMapContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already done: every run must fail with ctx.Err()
+	eng := engine.New(4).WithContext(ctx)
+	var ran atomic.Int32
+	_, err := engine.Map(eng, make([]int, 8), func(rc *engine.RunCtx, _ int) (int, error) {
+		ran.Add(1)
+		return 0, rc.Ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Errorf("%d runs executed under a done context, want 0", n)
+	}
+	var plan *engine.PlanError
+	if !errors.As(err, &plan) || len(plan.Runs) != 8 {
+		t.Errorf("want a PlanError covering all 8 runs, got %v", err)
+	}
+}
+
+func TestMapRetryTransient(t *testing.T) {
+	var attempts atomic.Int32
+	eng := engine.New(1).WithRetry(3, time.Microsecond)
+	out, err := engine.Map(eng, []int{7}, func(_ *engine.RunCtx, v int) (int, error) {
+		if attempts.Add(1) < 3 {
+			return 0, engine.Transient(fmt.Errorf("flaky"))
+		}
+		return v, nil
+	})
+	if err != nil {
+		t.Fatalf("err = %v, want success after retries", err)
+	}
+	if out[0] != 7 || attempts.Load() != 3 {
+		t.Errorf("out=%v attempts=%d, want [7] after 3 attempts", out, attempts.Load())
+	}
+
+	// Non-transient errors must not be retried.
+	attempts.Store(0)
+	_, err = engine.Map(eng, []int{1}, func(_ *engine.RunCtx, _ int) (int, error) {
+		attempts.Add(1)
+		return 0, fmt.Errorf("fatal")
+	})
+	if err == nil || attempts.Load() != 1 {
+		t.Errorf("non-transient error retried: attempts=%d err=%v", attempts.Load(), err)
+	}
+
+	// A transient error that never clears exhausts the budget.
+	attempts.Store(0)
+	_, err = engine.Map(eng, []int{1}, func(_ *engine.RunCtx, _ int) (int, error) {
+		attempts.Add(1)
+		return 0, engine.Transient(fmt.Errorf("always"))
+	})
+	if err == nil || attempts.Load() != 4 {
+		t.Errorf("want 4 attempts (1 + 3 retries) then failure, got attempts=%d err=%v", attempts.Load(), err)
+	}
+	if !engine.IsTransient(err) {
+		t.Errorf("aggregated error should still unwrap to the transient cause: %v", err)
+	}
+}
+
+func TestMapRetryDiscardsFailedAttemptEvents(t *testing.T) {
+	col := &obs.Collector{}
+	eng := engine.New(1).WithObserver(&obs.Observer{Tracer: col}).WithRetry(2, 0)
+	attempt := 0
+	_, err := engine.Map(eng, []int{0}, func(rc *engine.RunCtx, _ int) (int, error) {
+		attempt++
+		rc.Obs.Emit(obs.Event{Kind: "test", Label: fmt.Sprintf("attempt-%d", attempt)})
+		if attempt < 2 {
+			return 0, engine.Transient(fmt.Errorf("flaky"))
+		}
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Events) != 1 || col.Events[0].Label != "attempt-2" {
+		t.Errorf("merged events = %v, want only the final attempt's", col.Events)
 	}
 }
 

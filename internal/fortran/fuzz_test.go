@@ -1,0 +1,26 @@
+package fortran
+
+import "testing"
+
+// FuzzParse throws arbitrary source text at the parser. The contract:
+// Parse never panics, and a nil error always comes with a non-nil
+// program. The seed corpus runs as ordinary unit tests during plain
+// `go test`.
+func FuzzParse(f *testing.F) {
+	f.Add("PROGRAM P\nEND\n")
+	f.Add("PROGRAM P\nDIMENSION A(128,16)\nDO I = 1, 128\n  DO J = 1, 16\n    A(I,J) = 0.0\n  END DO\nEND DO\nEND\n")
+	f.Add("PROGRAM P\nDIMENSION A(10)\nDO 10 I = 1, 10\nA(I) = FLOAT(I)\n10 CONTINUE\nEND\n")
+	f.Add("")
+	f.Add("DO I = 1")
+	f.Add("PROGRAM\n")
+	f.Add("PROGRAM P\nDIMENSION A(0)\nEND\n")
+	f.Add("PROGRAM P\nA(1,2,3,4,5) = 1\nEND\n")
+	f.Add("PROGRAM P\nIF (A .GT. 1) THEN\nEND\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err == nil && prog == nil {
+			t.Fatal("Parse returned nil program with nil error")
+		}
+	})
+}

@@ -15,16 +15,6 @@ func Parse(src string) (*Program, error) {
 	return p.parseProgram()
 }
 
-// MustParse parses src and panics on error; for tests and embedded
-// workload sources that are known-good.
-func MustParse(src string) *Program {
-	prog, err := Parse(src)
-	if err != nil {
-		panic(err)
-	}
-	return prog
-}
-
 type parser struct {
 	toks   []Token
 	pos    int

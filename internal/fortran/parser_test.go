@@ -7,6 +7,17 @@ import (
 	"testing/quick"
 )
 
+// mustParse parses known-good test source, failing the test on error
+// (the library itself no longer offers a panicking parse).
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
 const figure1Src = `
 PROGRAM FIG1
 DIMENSION E(200,100), F(200,100), G(200,10), H(200,10)
@@ -82,7 +93,7 @@ END
 }
 
 func TestParseDoWithStep(t *testing.T) {
-	prog := MustParse("PROGRAM P\nDIMENSION A(100)\nDO 1 I = 1, 99, 2\nA(I) = 0.0\n1 CONTINUE\nEND\n")
+	prog := mustParse(t, "PROGRAM P\nDIMENSION A(100)\nDO 1 I = 1, 99, 2\nA(I) = 0.0\n1 CONTINUE\nEND\n")
 	do := prog.Body[0].(*DoStmt)
 	if do.Step == nil {
 		t.Fatal("step is nil")
@@ -320,7 +331,7 @@ func randomExpr(seed int64, depth int) Expr {
 }
 
 func TestWalkVisitsAll(t *testing.T) {
-	prog := MustParse(figure1Src)
+	prog := mustParse(t, figure1Src)
 	var loops, assigns int
 	Walk(prog.Body, func(s Stmt) bool {
 		switch s.(type) {
@@ -340,7 +351,7 @@ func TestWalkVisitsAll(t *testing.T) {
 }
 
 func TestWalkEarlyStop(t *testing.T) {
-	prog := MustParse(figure1Src)
+	prog := mustParse(t, figure1Src)
 	count := 0
 	Walk(prog.Body, func(s Stmt) bool {
 		count++
@@ -352,7 +363,7 @@ func TestWalkEarlyStop(t *testing.T) {
 }
 
 func TestWalkExprsFindsRefs(t *testing.T) {
-	prog := MustParse("PROGRAM P\nDIMENSION A(5,5), V(9)\nA(1,2) = V(3) * (V(4) + 2.0)\nEND\n")
+	prog := mustParse(t, "PROGRAM P\nDIMENSION A(5,5), V(9)\nA(1,2) = V(3) * (V(4) + 2.0)\nEND\n")
 	var refs []string
 	WalkExprs(prog.Body[0], func(e Expr) {
 		if r, ok := e.(*RefExpr); ok && !r.IsScalar() {

@@ -65,15 +65,6 @@ func Run(info *sem.Info, cfg Config) (*trace.Trace, error) {
 	return ex.tr, nil
 }
 
-// MustRun is Run but panics on error, for known-good workload sources.
-func MustRun(info *sem.Info, cfg Config) *trace.Trace {
-	t, err := Run(info, cfg)
-	if err != nil {
-		panic(err)
-	}
-	return t
-}
-
 // control is the statement-level control-flow outcome.
 type control int
 

@@ -98,6 +98,16 @@ type CD struct {
 	// changes, swap signals and forced lock releases with the exact
 	// virtual time). Reset preserves Hooks.
 	Hooks *CDHooks
+
+	// Check, when non-nil, validates every directive against the §3
+	// contract and degrades the policy to a WS fallback on the first
+	// violation (see cdcheck.go). Reset preserves Check but clears any
+	// degradation, so the policy can replay another trace.
+	Check *CheckConfig
+
+	degraded       bool
+	degradedReason string
+	fallback       *WS // WS policy serving references after degradation
 }
 
 // CDHooks are optional callbacks into CD's internal transitions. Any
@@ -111,6 +121,9 @@ type CDHooks struct {
 	SwapSignal func()
 	// LockRelease fires when the OS force-releases a locked page.
 	LockRelease func(pg mem.Page)
+	// Degrade fires when a directive-contract violation switches the
+	// policy to its WS fallback (at most once per run).
+	Degrade func(reason string)
 }
 
 // NewCD returns a CD policy. The selector chooses ALLOCATE arms (nil
@@ -146,6 +159,15 @@ func (p *CD) Allocation() int { return p.alloc }
 // priority index is 1 raises the swap signal; with PI > 1 the program
 // simply continues under its current allocation until the next directive.
 func (p *CD) Alloc(d trace.AllocDirective) {
+	if p.degraded {
+		return // directives are no longer trusted
+	}
+	if p.Check != nil {
+		if err := p.validateAlloc(d); err != nil {
+			p.degrade(err.Error())
+			return
+		}
+	}
 	arms := d.Arms
 	if len(arms) == 0 {
 		return
@@ -211,6 +233,9 @@ func (p *CD) shrinkTo(n int) {
 
 // Ref implements Policy.
 func (p *CD) Ref(pg mem.Page) bool {
+	if p.degraded {
+		return p.fallback.Ref(pg)
+	}
 	if p.list.contains(pg) {
 		p.list.touch(pg)
 		return false
@@ -252,6 +277,15 @@ func (p *CD) releaseLock(n *lruNode) {
 // later references as usual; LOCK only pins pages already or subsequently
 // resident.
 func (p *CD) Lock(ls trace.LockSet) {
+	if p.degraded {
+		return
+	}
+	if p.Check != nil {
+		if err := p.validateLock(ls); err != nil {
+			p.degrade(err.Error())
+			return
+		}
+	}
 	for _, old := range p.locksBySite[ls.Site] {
 		if n := p.list.get(old); n != nil && n.locked && n.site == ls.Site {
 			n.locked = false
@@ -281,6 +315,15 @@ func (p *CD) Lock(ls trace.LockSet) {
 
 // Unlock implements Policy: release any locks covering the given pages.
 func (p *CD) Unlock(pages []mem.Page) {
+	if p.degraded {
+		return
+	}
+	if p.Check != nil {
+		if err := p.validateUnlock(pages); err != nil {
+			p.degrade(err.Error())
+			return
+		}
+	}
 	for _, pg := range pages {
 		if n := p.list.get(pg); n != nil && n.locked {
 			p.releaseLock(n)
@@ -317,6 +360,29 @@ func (p *CD) ForceRelease(k int) int {
 	return released
 }
 
+// Reclaim makes the operating system take back up to k page frames from
+// the program immediately (a capacity shrink under multiprogramming
+// pressure): unlocked pages are evicted LRU-first, then locked pages are
+// force-released in increasing lock priority. It returns the number of
+// frames actually reclaimed. A degraded policy reclaims nothing — its WS
+// fallback is variable-allocation and sizes itself.
+func (p *CD) Reclaim(k int) int {
+	if p.degraded {
+		return 0
+	}
+	taken := 0
+	for taken < k {
+		if _, ok := p.list.evictLRU(); !ok {
+			break
+		}
+		taken++
+	}
+	if taken < k {
+		taken += p.ForceRelease(k - taken)
+	}
+	return taken
+}
+
 // Resident implements Policy.
 //
 // CD is charged its resident set (the default Charge rule): an ALLOCATE
@@ -325,7 +391,12 @@ func (p *CD) ForceRelease(k int) int {
 // program faults them in and returned as directives shrink the ceiling.
 // This matches the paper's sub-2-page average CD allocations (e.g. MAIN3's
 // MEM of 1.11 pages), which are only possible under demand assignment.
-func (p *CD) Resident() int { return p.list.len() }
+func (p *CD) Resident() int {
+	if p.degraded {
+		return p.fallback.Resident()
+	}
+	return p.list.len()
+}
 
 // Reset implements Policy.
 func (p *CD) Reset() {
@@ -335,6 +406,9 @@ func (p *CD) Reset() {
 	p.locksBySite = map[int][]mem.Page{}
 	p.SwapSignals = 0
 	p.LockReleases = 0
+	p.degraded = false
+	p.degradedReason = ""
+	p.fallback = nil
 }
 
 // LockedPages returns the number of currently locked resident pages.

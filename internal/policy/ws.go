@@ -61,6 +61,27 @@ func (p *WS) Ref(pg mem.Page) bool {
 	return !resident
 }
 
+// Warm seeds the working set with pages treated as referenced at the
+// current virtual time without advancing the clock or counting faults. A
+// degraded CD policy uses it to hand its resident set to the WS fallback
+// so the hand-off itself charges no refault storm. Pages already recorded
+// at the current instant are skipped (a duplicate window record for the
+// same (t, page) pair would double-decrement the resident count when it
+// expires).
+func (p *WS) Warm(pages []mem.Page) {
+	for _, pg := range pages {
+		last, ok := p.lastRef[pg]
+		if ok && last == p.now {
+			continue
+		}
+		if !ok {
+			p.resident++
+		}
+		p.lastRef[pg] = p.now
+		p.window = append(p.window, wsRecord{t: p.now, page: pg})
+	}
+}
+
 // expireTo removes pages whose last reference fell outside the window
 // (x - τ, x].
 func (p *WS) expireTo(x int64) {

@@ -106,7 +106,13 @@ func TimelineReport(eng *engine.Engine, p *core.Program, buckets int) (string, e
 		if err != nil {
 			return timelineRow{}, err
 		}
-		return timelineRow{name: s.label, tl: obs.NewTimeline(col.Events, buckets), res: res}, nil
+		label := s.label
+		if res.Degraded {
+			// A CD run that tripped directive validation finished on its WS
+			// fallback; the row no longer shows pure CD behavior.
+			label += " (degraded)"
+		}
+		return timelineRow{name: label, tl: obs.NewTimeline(col.Events, buckets), res: res}, nil
 	})
 	if err != nil {
 		return "", err

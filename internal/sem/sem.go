@@ -206,15 +206,6 @@ func Analyze(prog *fortran.Program) (*Info, error) {
 	return info, nil
 }
 
-// MustAnalyze is Analyze but panics on error; for known-good sources.
-func MustAnalyze(prog *fortran.Program) *Info {
-	info, err := Analyze(prog)
-	if err != nil {
-		panic(err)
-	}
-	return info
-}
-
 type analyzer struct {
 	info   *Info
 	prog   *fortran.Program

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 
 	"cdmm/internal/directive"
 	"cdmm/internal/mem"
@@ -78,68 +79,122 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, nil
 }
 
-// Read deserializes a trace written by WriteTo.
+// DecodeError describes a structural problem found while decoding a
+// binary trace: truncation, corruption, or values outside the ranges
+// the format can legitimately hold. Section names the part of the
+// stream being read; Index is the entry within it (-1 when not
+// applicable).
+type DecodeError struct {
+	Section string
+	Index   int64
+	Err     error
+}
+
+func (e *DecodeError) Error() string {
+	if e.Index >= 0 {
+		return fmt.Sprintf("trace: decode %s[%d]: %v", e.Section, e.Index, e.Err)
+	}
+	return fmt.Sprintf("trace: decode %s: %v", e.Section, e.Err)
+}
+
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+func decodeErr(section string, index int64, err error) *DecodeError {
+	return &DecodeError{Section: section, Index: index, Err: err}
+}
+
+// Read deserializes a trace written by WriteTo. Any structural defect —
+// truncation, bad magic, out-of-range table indexes, negative pages,
+// values overflowing the on-disk width — is reported as a *DecodeError;
+// Read never panics on corrupt input.
 func Read(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(traceMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+		return nil, decodeErr("magic", -1, err)
 	}
 	if string(magic) != traceMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", magic)
+		return nil, decodeErr("magic", -1, fmt.Errorf("bad magic %q", magic))
 	}
 	cr := &countReader{r: br}
 
 	t := New(cr.str())
+	if cr.err != nil {
+		return nil, decodeErr("name", -1, cr.err)
+	}
 
 	nAllocs := cr.uvarint()
-	for i := uint64(0); i < nAllocs && cr.err == nil; i++ {
+	for i := uint64(0); i < nAllocs; i++ {
 		a := AllocDirective{Label: cr.str()}
 		nArms := cr.uvarint()
 		for k := uint64(0); k < nArms && cr.err == nil; k++ {
-			a.Arms = append(a.Arms, directive.Arm{PI: int(cr.varint()), X: int(cr.varint())})
+			a.Arms = append(a.Arms, directive.Arm{PI: int(cr.varint31()), X: int(cr.varint31())})
+		}
+		if cr.err != nil {
+			return nil, decodeErr("alloc table", int64(i), cr.err)
 		}
 		t.Allocs = append(t.Allocs, a)
 	}
+	if cr.err != nil {
+		return nil, decodeErr("alloc table", -1, cr.err)
+	}
 
 	nLocks := cr.uvarint()
-	for i := uint64(0); i < nLocks && cr.err == nil; i++ {
-		ls := LockSet{PJ: int(cr.varint()), Site: int(cr.varint())}
+	for i := uint64(0); i < nLocks; i++ {
+		ls := LockSet{PJ: int(cr.varint31()), Site: int(cr.varint31())}
 		nPages := cr.uvarint()
 		for k := uint64(0); k < nPages && cr.err == nil; k++ {
-			ls.Pages = append(ls.Pages, mem.Page(cr.varint()))
+			ls.Pages = append(ls.Pages, mem.Page(cr.page()))
+		}
+		if cr.err != nil {
+			return nil, decodeErr("lock table", int64(i), cr.err)
 		}
 		t.LockSets = append(t.LockSets, ls)
 	}
+	if cr.err != nil {
+		return nil, decodeErr("lock table", -1, cr.err)
+	}
 
 	nUnlocks := cr.uvarint()
-	for i := uint64(0); i < nUnlocks && cr.err == nil; i++ {
+	for i := uint64(0); i < nUnlocks; i++ {
 		nPages := cr.uvarint()
 		var ps []mem.Page
 		for k := uint64(0); k < nPages && cr.err == nil; k++ {
-			ps = append(ps, mem.Page(cr.varint()))
+			ps = append(ps, mem.Page(cr.page()))
+		}
+		if cr.err != nil {
+			return nil, decodeErr("unlock table", int64(i), cr.err)
 		}
 		t.UnlockSets = append(t.UnlockSets, ps)
 	}
+	if cr.err != nil {
+		return nil, decodeErr("unlock table", -1, cr.err)
+	}
 
 	nEvents := cr.uvarint()
-	for i := uint64(0); i < nEvents && cr.err == nil; i++ {
+	for i := uint64(0); i < nEvents; i++ {
 		kind := EventKind(cr.byte())
-		arg := int32(cr.varint())
+		arg := cr.varint31()
+		if cr.err != nil {
+			return nil, decodeErr("events", int64(i), cr.err)
+		}
 		switch kind {
 		case EvRef:
+			if arg < 0 {
+				return nil, decodeErr("events", int64(i), fmt.Errorf("negative page %d", arg))
+			}
 			t.AddRef(mem.Page(arg)) // maintains Refs/Distinct counters
 		case EvAlloc, EvLock, EvUnlock:
-			if int(arg) >= sideLen(t, kind) || arg < 0 {
-				return nil, fmt.Errorf("trace: event %d: %v index %d out of range", i, kind, arg)
+			if arg < 0 || int(arg) >= sideLen(t, kind) {
+				return nil, decodeErr("events", int64(i), fmt.Errorf("%v index %d out of range", kind, arg))
 			}
-			t.Events = append(t.Events, Event{Kind: kind, Arg: arg})
+			t.Events = append(t.Events, Event{Kind: kind, Arg: int32(arg)})
 		default:
-			return nil, fmt.Errorf("trace: event %d: unknown kind %d", i, kind)
+			return nil, decodeErr("events", int64(i), fmt.Errorf("unknown kind %d", kind))
 		}
 	}
 	if cr.err != nil {
-		return nil, fmt.Errorf("trace: decode: %w", cr.err)
+		return nil, decodeErr("events", -1, cr.err)
 	}
 	return t, nil
 }
@@ -228,6 +283,26 @@ func (c *countReader) varint() int64 {
 	}
 	v, err := binary.ReadVarint(c.r)
 	c.err = err
+	return v
+}
+
+// varint31 reads a varint and rejects values outside the int32 range,
+// the widest any trace field legitimately uses; the previous silent
+// int32 truncation turned corrupt bytes into plausible-looking values.
+func (c *countReader) varint31() int64 {
+	v := c.varint()
+	if c.err == nil && (v > math.MaxInt32 || v < math.MinInt32) {
+		c.err = fmt.Errorf("value %d overflows int32", v)
+	}
+	return v
+}
+
+// page reads a page number, which must be non-negative.
+func (c *countReader) page() int64 {
+	v := c.varint31()
+	if c.err == nil && v < 0 {
+		c.err = fmt.Errorf("negative page %d", v)
+	}
 	return v
 }
 

@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the binary trace decoder. The
+// contract under fuzzing: Read never panics, every failure is a
+// structured *DecodeError, and anything that decodes successfully
+// round-trips through WriteTo with identical counters. The seed corpus
+// below runs as ordinary unit tests during plain `go test`.
+func FuzzDecode(f *testing.F) {
+	var buf bytes.Buffer
+	if _, err := sampleTrace().WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("NOPE1234"))
+	f.Add([]byte("CDT1"))
+	f.Add([]byte("CDT1\x00\x00\x00\x00\x01"))
+	f.Add([]byte("CDT1\x02AB\x00\x00\x00\x03\x00\x04\x00\x06"))
+	// A name length claiming 2^30 bytes.
+	f.Add([]byte{'C', 'D', 'T', '1', 0x80, 0x80, 0x80, 0x80, 0x04})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("decode failure is not a *DecodeError: %v", err)
+			}
+			return
+		}
+		var out bytes.Buffer
+		if _, err := tr.WriteTo(&out); err != nil {
+			t.Fatalf("re-encode of decoded trace failed: %v", err)
+		}
+		tr2, err := Read(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if tr2.Refs != tr.Refs || tr2.Distinct != tr.Distinct || len(tr2.Events) != len(tr.Events) {
+			t.Fatalf("round-trip mismatch: refs %d/%d distinct %d/%d events %d/%d",
+				tr.Refs, tr2.Refs, tr.Distinct, tr2.Distinct, len(tr.Events), len(tr2.Events))
+		}
+	})
+}

@@ -1,0 +1,158 @@
+package vmsim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cdmm/internal/directive"
+	"cdmm/internal/mem"
+	"cdmm/internal/obs"
+	"cdmm/internal/policy"
+	"cdmm/internal/trace"
+)
+
+// cdTrace builds a small but structurally complete CD trace: directives,
+// locks, and a reference pattern with reuse.
+func cdTrace() *trace.Trace {
+	tr := trace.New("checked")
+	tr.AddAlloc(&directive.Allocate{Arms: []directive.Arm{{PI: 2, X: 6}, {PI: 1, X: 3}}})
+	for i := 0; i < 30; i++ {
+		tr.AddRef(mem.Page(i % 6))
+	}
+	tr.AddLock(1, 0, []mem.Page{0, 1})
+	tr.AddAlloc(&directive.Allocate{Arms: []directive.Arm{{PI: 1, X: 2}}})
+	for i := 0; i < 30; i++ {
+		tr.AddRef(mem.Page(i % 3))
+	}
+	tr.AddUnlock([]mem.Page{0, 1})
+	for i := 0; i < 10; i++ {
+		tr.AddRef(mem.Page(i % 6))
+	}
+	return tr
+}
+
+// TestRunCheckedMatchesRun verifies checking is free of observable
+// effect: same Result as the unchecked run, and no error, for both a
+// fixed-partition and a CD policy.
+func TestRunCheckedMatchesRun(t *testing.T) {
+	tr := cdTrace()
+	pols := map[string]func() policy.Policy{
+		"LRU": func() policy.Policy { return policy.NewLRU(4) },
+		"WS":  func() policy.Policy { return policy.NewWS(50) },
+		"CD":  func() policy.Policy { return policy.NewCD(policy.SelectLevel(2), 2) },
+	}
+	for name, mk := range pols {
+		t.Run(name, func(t *testing.T) {
+			want := Run(tr, mk())
+			got, err := RunChecked(tr, mk(), nil)
+			if err != nil {
+				t.Fatalf("RunChecked error on clean run: %v", err)
+			}
+			if got.Faults != want.Faults || got.Refs != want.Refs ||
+				got.SpaceTime != want.SpaceTime || got.MemSum != want.MemSum {
+				t.Errorf("checked result %+v differs from unchecked %+v", got, want)
+			}
+		})
+	}
+}
+
+// brokenPolicy wraps a real policy but lies about its resident set after
+// enough references — the kind of internal inconsistency the checker
+// exists to catch.
+type brokenPolicy struct {
+	policy.Policy
+	refs int
+}
+
+func (b *brokenPolicy) Ref(pg mem.Page) bool {
+	b.refs++
+	return b.Policy.Ref(pg)
+}
+
+func (b *brokenPolicy) Resident() int {
+	if b.refs > 20 {
+		return -1
+	}
+	return b.Policy.Resident()
+}
+
+func (b *brokenPolicy) Name() string { return "broken" }
+
+// TestRunCheckedCatchesBadResident verifies the resident-bounds
+// invariant trips with a structured error naming the policy and the
+// reference index.
+func TestRunCheckedCatchesBadResident(t *testing.T) {
+	tr := cdTrace()
+	_, err := RunChecked(tr, &brokenPolicy{Policy: policy.NewLRU(4)}, nil)
+	var ie *InvariantError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want *InvariantError", err)
+	}
+	if ie.Invariant != "resident-bounds" {
+		t.Errorf("invariant = %q, want resident-bounds", ie.Invariant)
+	}
+	if ie.Policy != "broken" || ie.I != 21 {
+		t.Errorf("error context = policy %q after %d refs, want broken/21", ie.Policy, ie.I)
+	}
+	if !strings.Contains(ie.Error(), "negative") {
+		t.Errorf("error text %q does not describe the violation", ie.Error())
+	}
+}
+
+// TestRunCheckedDegradedStillConsistent runs a trace whose directives
+// violate the contract under a checking CD: the run must complete, the
+// policy must degrade (not crash), and the checker must find no
+// inconsistency in the degraded execution.
+func TestRunCheckedDegradedStillConsistent(t *testing.T) {
+	tr := trace.New("bad")
+	// Non-decreasing priority chain: a contract violation.
+	tr.AddAlloc(&directive.Allocate{Arms: []directive.Arm{{PI: 1, X: 2}, {PI: 5, X: 8}}})
+	for i := 0; i < 40; i++ {
+		tr.AddRef(mem.Page(i % 5))
+	}
+	cd := policy.NewCD(policy.SelectLevel(2), 2)
+	cd.Check = &policy.CheckConfig{MaxPage: 8}
+	res, err := RunChecked(tr, cd, nil)
+	if err != nil {
+		t.Fatalf("degraded run failed the checker: %v", err)
+	}
+	if !res.Degraded {
+		t.Error("Result does not record the degradation")
+	}
+	if !strings.Contains(res.DegradedReason, "does not decrease") {
+		t.Errorf("degradation reason %q", res.DegradedReason)
+	}
+	if res.Refs != 40 {
+		t.Errorf("refs = %d, want 40 (run must complete)", res.Refs)
+	}
+}
+
+// TestRunCheckedEmitsDegradeEvent verifies the observer sees the
+// degradation as a first-class event with the violation text.
+func TestRunCheckedEmitsDegradeEvent(t *testing.T) {
+	tr := trace.New("bad")
+	tr.AddAlloc(&directive.Allocate{Arms: []directive.Arm{{PI: 1, X: 999}}})
+	for i := 0; i < 10; i++ {
+		tr.AddRef(mem.Page(i % 3))
+	}
+	cd := policy.NewCD(policy.SelectLevel(2), 2)
+	cd.Check = &policy.CheckConfig{MaxPage: 8}
+	col := &obs.Collector{}
+	o := &obs.Observer{Tracer: col}
+	if _, err := RunChecked(tr, cd, o); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range col.Events {
+		if e.Kind == obs.KindDegrade {
+			found = true
+			if !strings.Contains(e.Why, "addresses only") {
+				t.Errorf("degrade event Why = %q", e.Why)
+			}
+		}
+	}
+	if !found {
+		t.Error("no degrade event reached the observer")
+	}
+}

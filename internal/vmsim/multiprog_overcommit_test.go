@@ -1,0 +1,168 @@
+package vmsim
+
+import (
+	"testing"
+
+	"cdmm/internal/directive"
+	"cdmm/internal/mem"
+	"cdmm/internal/obs"
+	"cdmm/internal/policy"
+	"cdmm/internal/trace"
+)
+
+// swapEvents filters a collected event stream down to swap-outs.
+func swapEvents(events []obs.Event) []obs.Event {
+	var out []obs.Event
+	for _, e := range events {
+		if e.Kind == obs.KindSwap {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestMultiOvercommitVictimSelection verifies the suspend path under
+// capacity overcommitment: the driver deactivates the *largest* other
+// job, tagged "victim", and the victim's frames are actually released.
+func TestMultiOvercommitVictimSelection(t *testing.T) {
+	// big grows to 10 resident pages, small to 3; pool of 12 overcommits
+	// once both are warm, and big must be the victim. The traces run long
+	// past warmup (fault service is 2000 ticks per fault) so the jobs
+	// actually coexist fully resident.
+	big := &Job{Name: "big", Trace: loopTrace("big", 0, 10, 3000), Policy: policy.NewWS(100000)}
+	small := &Job{Name: "small", Trace: loopTrace("small", 100, 3, 10000), Policy: policy.NewWS(100000)}
+	col := &obs.Collector{}
+	res := RunMulti([]*Job{big, small}, MultiConfig{Frames: 12, Obs: &obs.Observer{Tracer: col}})
+
+	swaps := swapEvents(col.Events)
+	if len(swaps) == 0 {
+		t.Fatal("overcommitted pool produced no swap events")
+	}
+	for _, e := range swaps {
+		if e.Why != "victim" {
+			t.Errorf("WS-only mix produced a %q swap; only pressure victims expected", e.Why)
+		}
+	}
+	bigSwaps := 0
+	for _, e := range swaps {
+		if e.Job == "big" {
+			bigSwaps++
+			if e.Res <= 3 {
+				t.Errorf("victim swapped out holding only %d frames; selection should pick the largest", e.Res)
+			}
+		}
+	}
+	if bigSwaps == 0 {
+		t.Error("the 10-page job was never the victim")
+	}
+	if !jobDone(big) || !jobDone(small) {
+		t.Error("jobs must run to completion despite overcommitment")
+	}
+	if res.Swaps != len(swaps) {
+		t.Errorf("result counts %d swaps, events show %d", res.Swaps, len(swaps))
+	}
+}
+
+// TestMultiCDSignalPrecedesPressureEviction pins down the ordering
+// contract between CD's own swap signal and the driver's pressure
+// eviction: a CD job whose PI=1 request cannot be granted is swapped by
+// its *own* signal (tagged "signal") at directive-execution time — the
+// driver does not wait for the pool to overcommit and evict it as a
+// generic victim.
+func TestMultiCDSignalPrecedesPressureEviction(t *testing.T) {
+	// The CD job asks for 50 pages at PI=1 against a 16-frame pool: the
+	// grant is impossible, so the Figure 6 path must raise the signal on
+	// the ALLOCATE itself, before any reference faults pile up.
+	cdTr := trace.New("cd")
+	cdTr.AddAlloc(&directive.Allocate{Arms: []directive.Arm{{PI: 1, X: 50}}})
+	for r := 0; r < 5; r++ {
+		for i := 0; i < 12; i++ {
+			cdTr.AddRef(mem.Page(i))
+		}
+	}
+	cd := policy.NewCD(policy.SelectLevel(1), 2)
+	cdJob := &Job{Name: "cd", Trace: cdTr, Policy: cd}
+	ws := &Job{Name: "ws", Trace: loopTrace("ws", 100, 6, 200), Policy: policy.NewWS(2000)}
+	col := &obs.Collector{}
+	RunMulti([]*Job{cdJob, ws}, MultiConfig{Frames: 16, Obs: &obs.Observer{Tracer: col}})
+
+	swaps := swapEvents(col.Events)
+	var first *obs.Event
+	for i := range swaps {
+		if swaps[i].Job == "cd" {
+			first = &swaps[i]
+			break
+		}
+	}
+	if first == nil {
+		t.Fatal("CD job never swapped")
+	}
+	if first.Why != "signal" {
+		t.Errorf("first CD swap tagged %q, want \"signal\" (own PI=1 signal, not pressure)", first.Why)
+	}
+	// The signal fires at directive execution: the job holds no frames yet.
+	if first.Res != 0 {
+		t.Errorf("signal swap with %d resident frames; the ungrantable ALLOCATE precedes any reference", first.Res)
+	}
+	if cdJob.Swaps == 0 {
+		t.Error("job swap counter did not record the signal swap")
+	}
+	if !jobDone(cdJob) || !jobDone(ws) {
+		t.Error("jobs must complete")
+	}
+}
+
+// TestMultiWSJobsNeverSelfSignal is the complementary assertion: WS jobs
+// have no directive machinery, so every WS swap under overcommitment is
+// a pressure victim — the working-set principle evicts pages, and only
+// the driver suspends whole jobs.
+func TestMultiWSJobsNeverSelfSignal(t *testing.T) {
+	jobs := []*Job{
+		{Name: "a", Trace: loopTrace("a", 0, 7, 150), Policy: policy.NewWS(5000)},
+		{Name: "b", Trace: loopTrace("b", 50, 7, 150), Policy: policy.NewWS(5000)},
+		{Name: "c", Trace: loopTrace("c", 90, 7, 150), Policy: policy.NewWS(5000)},
+	}
+	col := &obs.Collector{}
+	res := RunMulti(jobs, MultiConfig{Frames: 15, Obs: &obs.Observer{Tracer: col}})
+	if res.Swaps == 0 {
+		t.Fatal("three 7-page working sets over 15 frames must overcommit")
+	}
+	for _, e := range swapEvents(col.Events) {
+		if e.Why == "signal" {
+			t.Errorf("WS job %s raised a CD swap signal", e.Job)
+		}
+	}
+}
+
+// TestMultiDegradedCDJobCompletes ties the degraded-mode contract into
+// the multiprogramming path: a CD job whose directive stream violates
+// the contract degrades to its WS fallback mid-mix and still runs to
+// completion under pool pressure, with its locks released.
+func TestMultiDegradedCDJobCompletes(t *testing.T) {
+	bad := trace.New("bad")
+	bad.AddAlloc(&directive.Allocate{Arms: []directive.Arm{{PI: 1, X: 6}}})
+	for i := 0; i < 30; i++ {
+		bad.AddRef(mem.Page(i % 6))
+	}
+	bad.AddLock(1, 0, []mem.Page{0, 1})
+	// Contract violation mid-trace: non-decreasing priority chain.
+	bad.AddAlloc(&directive.Allocate{Arms: []directive.Arm{{PI: 2, X: 4}, {PI: 2, X: 4}}})
+	for i := 0; i < 60; i++ {
+		bad.AddRef(mem.Page(i % 6))
+	}
+	cd := policy.NewCD(policy.SelectLevel(2), 2)
+	cd.Check = &policy.CheckConfig{MaxPage: 8, FallbackTau: 50}
+	cdJob := &Job{Name: "bad-cd", Trace: bad, Policy: cd}
+	filler := &Job{Name: "filler", Trace: loopTrace("f", 100, 6, 100), Policy: policy.NewWS(2000)}
+
+	RunMulti([]*Job{cdJob, filler}, MultiConfig{Frames: 10})
+	if !jobDone(cdJob) || !jobDone(filler) {
+		t.Fatal("jobs must complete despite the degraded directive stream")
+	}
+	if cdJob.Refs != bad.Refs {
+		t.Errorf("degraded job served %d of %d refs", cdJob.Refs, bad.Refs)
+	}
+	if cd.LockedPages() != 0 {
+		t.Errorf("%d pages still locked after the run", cd.LockedPages())
+	}
+}

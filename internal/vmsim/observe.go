@@ -88,6 +88,12 @@ func runInstrumented(tr *trace.Trace, pol policy.Policy, o *obs.Observer) Result
 				o.Emit(obs.Event{Kind: obs.KindLockRel, T: res.VirtualTime, Page: int(pg)})
 				closeHold(pg)
 			},
+			Degrade: func(reason string) {
+				if o.Metrics != nil {
+					o.Metrics.Counter("degradations").Inc()
+				}
+				o.Emit(obs.Event{Kind: obs.KindDegrade, T: res.VirtualTime, Why: reason})
+			},
 		}
 		defer func() { cd.Hooks = saved }()
 	}
@@ -155,6 +161,8 @@ func runInstrumented(tr *trace.Trace, pol policy.Policy, o *obs.Observer) Result
 	if cd := policy.AsCD(pol); cd != nil {
 		res.SwapSignals = cd.SwapSignals
 		res.LockReleases = cd.LockReleases
+		res.Degraded = cd.Degraded()
+		res.DegradedReason = cd.DegradedReason()
 	}
 	if reg := o.Metrics; reg != nil {
 		reg.Gauge("max_resident").Set(float64(res.MaxResident))

@@ -35,6 +35,11 @@ type Result struct {
 	LockReleases int
 	// MaxResident is the peak resident-set size.
 	MaxResident int
+	// Degraded reports that a CD policy hit a directive-contract
+	// violation and served the rest of the run from its WS fallback;
+	// DegradedReason is the first violation observed.
+	Degraded       bool
+	DegradedReason string
 }
 
 // MEM returns the average memory allocated, in pages, averaged over
@@ -66,6 +71,9 @@ func (r Result) String() string {
 	}
 	if r.LockReleases > 0 {
 		s += fmt.Sprintf(" lock-releases=%d", r.LockReleases)
+	}
+	if r.Degraded {
+		s += fmt.Sprintf(" DEGRADED(%s)", r.DegradedReason)
 	}
 	return s
 }
@@ -117,6 +125,8 @@ func runFast(tr *trace.Trace, pol policy.Policy) Result {
 	if cd := policy.AsCD(pol); cd != nil {
 		res.SwapSignals = cd.SwapSignals
 		res.LockReleases = cd.LockReleases
+		res.Degraded = cd.Degraded()
+		res.DegradedReason = cd.DegradedReason()
 	}
 	return res
 }
