@@ -131,6 +131,37 @@ func compiledTrace(b *testing.B, name string) *trace.Trace {
 	return c.Trace
 }
 
+// BenchmarkRun measures the vmsim.Run hot path per policy over the
+// CONDUCT trace: the allocation-free dense-page loops the perf harness
+// guards. ns/ref is reported explicitly; steady-state allocs/op must be 0
+// (run with -benchmem). Directive-blind policies replay the shared
+// directive-free view, exactly as the unobserved fast path does.
+func BenchmarkRun(b *testing.B) {
+	tr := compiledTrace(b, "CONDUCT")
+	refs := tr.RefsOnly()
+	w, _ := workloads.Get("CONDUCT")
+
+	bench := func(name string, tr *trace.Trace, p policy.Policy) {
+		b.Run(name, func(b *testing.B) {
+			vmsim.Run(tr, p) // warmup sizes every buffer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vmsim.Run(tr, p)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(tr.Refs), "ns/ref")
+		})
+	}
+	bench("LRU", refs, policy.NewLRU(32))
+	bench("FIFO", refs, policy.NewFIFO(32))
+	bench("WS", refs, policy.NewWS(1000))
+	bench("CD", tr, policy.NewCD(w.DefaultSet().Selector(), 2))
+	bench("PFF", refs, policy.NewPFF(100))
+	bench("SWS", refs, policy.NewSWS(250))
+	bench("VSWS", refs, policy.NewVSWS(50, 500, 4))
+	bench("DWS", refs, policy.NewDWS(1000, 100))
+}
+
 // BenchmarkPolicyReplay measures raw simulation throughput per policy over
 // the CONDUCT trace (the largest workload).
 func BenchmarkPolicyReplay(b *testing.B) {

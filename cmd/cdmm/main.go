@@ -122,6 +122,8 @@ func main() {
 		err = cmdProfile(args)
 	case "chaos":
 		err = cmdChaos(args)
+	case "bench":
+		err = cmdBench(args)
 	case "table1", "table2", "table3", "table4", "tables":
 		err = cmdTables(cmd, args)
 	case "help", "-h", "--help":
@@ -167,6 +169,12 @@ commands:
       -progs A,B/set               programs (optionally program/set)
       -faults a,b -intensity x,y   restrict the matrix
       -list                        list the registered fault injectors
+  bench    [flags]          measure the simulation hot path (ns/ref,
+                            allocs/ref, fault anchors) as JSON baselines
+      -quick                       short windows (CI smoke mode)
+      -o file.json                 write the measured baseline
+      -compare base.json           fail on regressions vs a baseline
+      -threshold 0.25              ns/ref growth fraction that fails
   table1..table4 | tables   regenerate the paper's tables
 
 parallelism flag (sim, replay, profile, report, family, detune, pagesize, table*):
@@ -291,14 +299,14 @@ func cmdSim(args []string) error {
 					return err
 				}
 			case "lru":
-				res = vmsim.Run(tr.StripDirectives(), policy.NewLRU(*frames))
+				res = vmsim.Run(tr.RefsOnly(), policy.NewLRU(*frames))
 			case "fifo":
-				res = vmsim.Run(tr.StripDirectives(), policy.NewFIFO(*frames))
+				res = vmsim.Run(tr.RefsOnly(), policy.NewFIFO(*frames))
 			case "ws":
-				res = vmsim.Run(tr.StripDirectives(), policy.NewWS(*tau))
+				res = vmsim.Run(tr.RefsOnly(), policy.NewWS(*tau))
 			case "opt":
 				refs := tr.Pages()
-				res = vmsim.Run(tr.StripDirectives(), policy.NewOPT(refs, *frames))
+				res = vmsim.Run(tr.RefsOnly(), policy.NewOPT(refs, *frames))
 			default:
 				return fmt.Errorf("unknown policy %q", *polName)
 			}
@@ -469,13 +477,13 @@ func cmdReplay(args []string) error {
 		case "cd":
 			res = vmsim.Run(tr, policy.NewCD(policy.SelectLevel(*level), 2))
 		case "lru":
-			res = vmsim.Run(tr.StripDirectives(), policy.NewLRU(*frames))
+			res = vmsim.Run(tr.RefsOnly(), policy.NewLRU(*frames))
 		case "fifo":
-			res = vmsim.Run(tr.StripDirectives(), policy.NewFIFO(*frames))
+			res = vmsim.Run(tr.RefsOnly(), policy.NewFIFO(*frames))
 		case "ws":
-			res = vmsim.Run(tr.StripDirectives(), policy.NewWS(*tau))
+			res = vmsim.Run(tr.RefsOnly(), policy.NewWS(*tau))
 		case "opt":
-			res = vmsim.Run(tr.StripDirectives(), policy.NewOPT(tr.Pages(), *frames))
+			res = vmsim.Run(tr.RefsOnly(), policy.NewOPT(tr.Pages(), *frames))
 		default:
 			return fmt.Errorf("unknown policy %q", *polName)
 		}

@@ -55,7 +55,7 @@ func PolicyFamily(eng *engine.Engine, variants []Variant) ([]FamilyRow, error) {
 		if err != nil {
 			return FamilyRow{}, err
 		}
-		refs := c.Trace.StripDirectives()
+		refs := c.Trace.RefsOnly()
 		o := rc.Obs
 		return FamilyRow{
 			Variant: v,

@@ -1,0 +1,210 @@
+// Package perf is the machine-readable performance-regression harness:
+// it measures the simulation hot path (vmsim.Run) per policy over the
+// largest workload trace, emits a JSON baseline (ns/ref, allocs/ref, and
+// the fault count as a machine-independent sanity anchor), and compares a
+// fresh measurement against a checked-in baseline, failing on timing
+// regressions beyond a threshold or on any fault-count drift.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"cdmm/internal/policy"
+	"cdmm/internal/vmsim"
+	"cdmm/internal/workloads"
+)
+
+// Case is one measured configuration.
+type Case struct {
+	// Name identifies the policy configuration (stable across runs).
+	Name string `json:"name"`
+	// Workload and Refs describe the trace measured.
+	Workload string `json:"workload"`
+	Refs     int    `json:"refs"`
+	// NsPerRef is wall-clock nanoseconds per reference (machine-local).
+	NsPerRef float64 `json:"ns_per_ref"`
+	// AllocsPerRef is steady-state heap allocations per reference; the
+	// dense hot path pins this to 0.
+	AllocsPerRef float64 `json:"allocs_per_ref"`
+	// Faults anchors correctness: it must match the baseline exactly on
+	// any machine.
+	Faults int `json:"faults"`
+}
+
+// Baseline is the serialized result set of one Collect run.
+type Baseline struct {
+	Schema int    `json:"schema"`
+	Quick  bool   `json:"quick"`
+	GoOS   string `json:"goos"`
+	GoArch string `json:"goarch"`
+	Cases  []Case `json:"cases"`
+}
+
+// Schema is the current baseline file schema version.
+const Schema = 1
+
+// caseSpec defines the measured policy matrix. The CONDUCT trace is the
+// suite's largest (the hot path the tables and sweeps spend their time
+// in); directive-blind policies replay its directive-free view exactly
+// like vmsim's unobserved fast path does.
+type caseSpec struct {
+	name       string
+	workload   string
+	directives bool
+	newPolicy  func(w *workloads.Program) policy.Policy
+}
+
+func specs() []caseSpec {
+	return []caseSpec{
+		{"LRU/m=32", "CONDUCT", false, func(*workloads.Program) policy.Policy { return policy.NewLRU(32) }},
+		{"FIFO/m=32", "CONDUCT", false, func(*workloads.Program) policy.Policy { return policy.NewFIFO(32) }},
+		{"WS/tau=1000", "CONDUCT", false, func(*workloads.Program) policy.Policy { return policy.NewWS(1000) }},
+		{"CD/default", "CONDUCT", true, func(w *workloads.Program) policy.Policy {
+			return policy.NewCD(w.DefaultSet().Selector(), 2)
+		}},
+	}
+}
+
+// Collect measures every case and returns a fresh baseline. Quick mode
+// shortens the per-case measurement window (for CI smoke jobs); the
+// fault anchors are identical either way.
+func Collect(quick bool) (*Baseline, error) {
+	target := time.Second
+	if quick {
+		target = 250 * time.Millisecond
+	}
+	b := &Baseline{Schema: Schema, Quick: quick, GoOS: runtime.GOOS, GoArch: runtime.GOARCH}
+	for _, sp := range specs() {
+		w, err := workloads.Get(sp.workload)
+		if err != nil {
+			return nil, err
+		}
+		c, err := workloads.Compile(w)
+		if err != nil {
+			return nil, err
+		}
+		tr := c.Trace
+		if !sp.directives {
+			tr = tr.RefsOnly()
+		}
+		pol := sp.newPolicy(w)
+		res := vmsim.Run(tr, pol) // warmup: sizes every buffer, anchors PF
+		cs := measure(target, tr.Refs, func() { vmsim.Run(tr, pol) })
+		cs.Name = sp.name
+		cs.Workload = sp.workload
+		cs.Refs = tr.Refs
+		cs.Faults = res.Faults
+		b.Cases = append(b.Cases, cs)
+	}
+	return b, nil
+}
+
+// measure times fn over a wall-clock window and reports per-ref cost and
+// steady-state allocation rate.
+func measure(target time.Duration, refs int, fn func()) Case {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	iters := 0
+	for elapsed := time.Duration(0); elapsed < target || iters < 3; {
+		fn()
+		iters++
+		elapsed = time.Since(start)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	perIter := float64(elapsed.Nanoseconds()) / float64(iters)
+	allocs := float64(after.Mallocs-before.Mallocs) / float64(iters)
+	return Case{
+		NsPerRef:     perIter / float64(refs),
+		AllocsPerRef: allocs / float64(refs),
+	}
+}
+
+// Save writes a baseline as indented JSON.
+func Save(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a baseline file.
+func Load(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Schema != Schema {
+		return nil, fmt.Errorf("%s: baseline schema %d, want %d", path, b.Schema, Schema)
+	}
+	return &b, nil
+}
+
+// Compare renders a benchstat-style old/new table and returns the list of
+// regressions: cases whose ns/ref grew more than threshold (a fraction,
+// e.g. 0.25 for +25%), whose allocs/ref became nonzero, or whose fault
+// anchor drifted. Cases present on only one side are reported but never
+// fail the comparison (the matrix may grow).
+func Compare(baseline, current *Baseline, threshold float64) (string, []string) {
+	var sb strings.Builder
+	var regressions []string
+	base := map[string]Case{}
+	for _, c := range baseline.Cases {
+		base[c.Name] = c
+	}
+	fmt.Fprintf(&sb, "%-14s %12s %12s %8s  %s\n", "case", "old ns/ref", "new ns/ref", "delta", "allocs/ref")
+	names := make([]string, 0, len(current.Cases))
+	seen := map[string]bool{}
+	for _, c := range current.Cases {
+		names = append(names, c.Name)
+		seen[c.Name] = true
+	}
+	for _, c := range current.Cases {
+		old, ok := base[c.Name]
+		if !ok {
+			fmt.Fprintf(&sb, "%-14s %12s %12.2f %8s  %.3f (new case)\n", c.Name, "-", c.NsPerRef, "-", c.AllocsPerRef)
+			continue
+		}
+		delta := (c.NsPerRef - old.NsPerRef) / old.NsPerRef
+		fmt.Fprintf(&sb, "%-14s %12.2f %12.2f %+7.1f%%  %.3f\n",
+			c.Name, old.NsPerRef, c.NsPerRef, 100*delta, c.AllocsPerRef)
+		if delta > threshold {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: ns/ref %.2f -> %.2f (%+.1f%% > +%.0f%%)",
+					c.Name, old.NsPerRef, c.NsPerRef, 100*delta, 100*threshold))
+		}
+		if old.AllocsPerRef == 0 && c.AllocsPerRef > 0.001 {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: allocs/ref %.4f, want 0", c.Name, c.AllocsPerRef))
+		}
+		if c.Faults != old.Faults {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: fault anchor drifted %d -> %d (simulation behavior changed)",
+					c.Name, old.Faults, c.Faults))
+		}
+	}
+	var missing []string
+	for name := range base {
+		if !seen[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(&sb, "%-14s (missing from current run)\n", name)
+	}
+	return sb.String(), regressions
+}

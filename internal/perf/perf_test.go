@@ -1,0 +1,105 @@
+package perf
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkBaseline(cases ...Case) *Baseline {
+	return &Baseline{Schema: Schema, GoOS: "linux", GoArch: "amd64", Cases: cases}
+}
+
+func TestCompareDetectsRegressions(t *testing.T) {
+	old := mkBaseline(
+		Case{Name: "LRU", NsPerRef: 10, AllocsPerRef: 0, Faults: 100},
+		Case{Name: "WS", NsPerRef: 20, AllocsPerRef: 0, Faults: 200},
+		Case{Name: "GONE", NsPerRef: 5, Faults: 7},
+	)
+	cur := mkBaseline(
+		Case{Name: "LRU", NsPerRef: 14, AllocsPerRef: 0, Faults: 100},  // +40% time
+		Case{Name: "WS", NsPerRef: 21, AllocsPerRef: 0.5, Faults: 201}, // allocs + PF drift
+		Case{Name: "NEW", NsPerRef: 3, Faults: 1},
+	)
+	report, regs := Compare(old, cur, 0.25)
+	if len(regs) != 3 {
+		t.Fatalf("want 3 regressions, got %d: %v", len(regs), regs)
+	}
+	wantFrags := []string{"LRU: ns/ref", "WS: allocs/ref", "WS: fault anchor drifted 200 -> 201"}
+	for i, frag := range wantFrags {
+		if !strings.Contains(regs[i], frag) {
+			t.Fatalf("regression %d = %q, want fragment %q", i, regs[i], frag)
+		}
+	}
+	for _, frag := range []string{"new case", "missing from current run", "delta"} {
+		if !strings.Contains(report, frag) {
+			t.Fatalf("report missing %q:\n%s", frag, report)
+		}
+	}
+}
+
+func TestCompareCleanRun(t *testing.T) {
+	old := mkBaseline(Case{Name: "LRU", NsPerRef: 10, AllocsPerRef: 0, Faults: 100})
+	cur := mkBaseline(Case{Name: "LRU", NsPerRef: 11, AllocsPerRef: 0, Faults: 100})
+	if _, regs := Compare(old, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("clean +10%% run flagged: %v", regs)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	b := mkBaseline(Case{Name: "LRU", Workload: "CONDUCT", Refs: 42, NsPerRef: 9.5, Faults: 3})
+	if err := Save(path, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cases) != 1 || got.Cases[0] != b.Cases[0] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	b := mkBaseline()
+	b.Schema = Schema + 1
+	if err := Save(path, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+// TestCollectQuick measures the real matrix once; it anchors that the
+// hot path stays allocation-free and the fault counts are reproducible.
+func TestCollectQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement windows are slow; skipped under -short")
+	}
+	b, err := Collect(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Cases) == 0 {
+		t.Fatal("no cases measured")
+	}
+	for _, c := range b.Cases {
+		if c.NsPerRef <= 0 || c.Refs <= 0 || c.Faults <= 0 {
+			t.Fatalf("%s: implausible measurement %+v", c.Name, c)
+		}
+		if c.AllocsPerRef > 0.001 {
+			t.Fatalf("%s: hot path allocates %.4f allocs/ref, want 0", c.Name, c.AllocsPerRef)
+		}
+	}
+	// A second collection must reproduce the fault anchors exactly.
+	b2, err := Collect(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, regs := Compare(b, b2, 10); len(regs) != 0 { // huge threshold: only anchors can fail
+		t.Fatalf("fault anchors unstable: %v", regs)
+	}
+}

@@ -151,6 +151,9 @@ func (p *CD) Name() string { return "CD" }
 // Allocation returns the current allocation target.
 func (p *CD) Allocation() int { return p.alloc }
 
+// HintPages implements PageHinter.
+func (p *CD) HintPages(maxPage mem.Page, distinct int) { p.list.hint(maxPage, distinct) }
+
 // Alloc implements Policy: process an executed ALLOCATE directive
 // following the Figure 6 flowchart. The selector first narrows the
 // else-chain to the stratum being honored; if memory is bounded (Avail
@@ -236,38 +239,41 @@ func (p *CD) Ref(pg mem.Page) bool {
 	if p.degraded {
 		return p.fallback.Ref(pg)
 	}
-	if p.list.contains(pg) {
-		p.list.touch(pg)
+	if s := p.list.lookupResident(pg); s >= 0 {
+		p.list.touchSlot(s)
 		return false
 	}
 	if p.list.len()-p.locked >= p.alloc {
 		if _, ok := p.list.evictLRU(); !ok {
 			// Every resident page is locked: the OS releases the locked
 			// page with the lowest priority (largest PJ) and replaces it.
-			if n := p.list.lowestPriorityLocked(); n != nil {
-				p.releaseLock(n)
-				p.list.remove(n.page)
+			if s := p.list.lowestPriorityLocked(); s >= 0 {
+				victim := p.list.idx.pageOf(s)
+				p.releaseLock(s)
+				p.list.removeSlot(s)
 				p.LockReleases++
 				if p.Hooks != nil && p.Hooks.LockRelease != nil {
-					p.Hooks.LockRelease(n.page)
+					p.Hooks.LockRelease(victim)
 				}
 			}
 		}
 	}
-	p.list.touch(pg)
+	p.list.insert(pg)
 	return true
 }
 
-// releaseLock clears the lock bookkeeping for a node being force-released.
-func (p *CD) releaseLock(n *lruNode) {
-	pages := p.locksBySite[n.site]
+// releaseLock clears the lock bookkeeping for a slot being force-released.
+func (p *CD) releaseLock(s int32) {
+	site := int(p.list.site[s])
+	page := p.list.idx.pageOf(s)
+	pages := p.locksBySite[site]
 	for i, q := range pages {
-		if q == n.page {
-			p.locksBySite[n.site] = append(pages[:i], pages[i+1:]...)
+		if q == page {
+			p.locksBySite[site] = append(pages[:i], pages[i+1:]...)
 			break
 		}
 	}
-	n.locked = false
+	p.list.locked[s] = false
 	p.locked--
 }
 
@@ -286,16 +292,19 @@ func (p *CD) Lock(ls trace.LockSet) {
 			return
 		}
 	}
-	for _, old := range p.locksBySite[ls.Site] {
-		if n := p.list.get(old); n != nil && n.locked && n.site == ls.Site {
-			n.locked = false
+	prev := p.locksBySite[ls.Site]
+	for _, old := range prev {
+		if s := p.list.lookupResident(old); s >= 0 && p.list.locked[s] && int(p.list.site[s]) == ls.Site {
+			p.list.locked[s] = false
 			p.locked--
 		}
 	}
-	p.locksBySite[ls.Site] = nil
+	// Truncate rather than nil the site's page list so re-executions
+	// append into retained capacity.
+	p.locksBySite[ls.Site] = prev[:0]
 	for _, pg := range ls.Pages {
-		n := p.list.get(pg)
-		if n == nil {
+		s := p.list.lookupResident(pg)
+		if s < 0 {
 			// Pin-on-arrival: remember the page so that when it faults in
 			// it is locked. To keep the model simple (and matching the
 			// paper's "prevent some pages from being paged out"), we lock
@@ -303,12 +312,12 @@ func (p *CD) Lock(ls trace.LockSet) {
 			// its next LOCK execution if still wanted.
 			continue
 		}
-		if !n.locked {
+		if !p.list.locked[s] {
 			p.locked++
 		}
-		n.locked = true
-		n.pj = ls.PJ
-		n.site = ls.Site
+		p.list.locked[s] = true
+		p.list.pj[s] = int32(ls.PJ)
+		p.list.site[s] = int32(ls.Site)
 		p.locksBySite[ls.Site] = append(p.locksBySite[ls.Site], pg)
 	}
 }
@@ -325,14 +334,8 @@ func (p *CD) Unlock(pages []mem.Page) {
 		}
 	}
 	for _, pg := range pages {
-		if n := p.list.get(pg); n != nil && n.locked {
-			p.releaseLock(n)
-		}
-	}
-	// Drop bookkeeping for sites whose pages are all unlocked now.
-	for site, ps := range p.locksBySite {
-		if len(ps) == 0 {
-			delete(p.locksBySite, site)
+		if s := p.list.lookupResident(pg); s >= 0 && p.list.locked[s] {
+			p.releaseLock(s)
 		}
 	}
 }
@@ -345,15 +348,16 @@ func (p *CD) Unlock(pages []mem.Page) {
 func (p *CD) ForceRelease(k int) int {
 	released := 0
 	for released < k {
-		n := p.list.lowestPriorityLocked()
-		if n == nil {
+		s := p.list.lowestPriorityLocked()
+		if s < 0 {
 			break
 		}
-		p.releaseLock(n)
-		p.list.remove(n.page)
+		victim := p.list.idx.pageOf(s)
+		p.releaseLock(s)
+		p.list.removeSlot(s)
 		p.LockReleases++
 		if p.Hooks != nil && p.Hooks.LockRelease != nil {
-			p.Hooks.LockRelease(n.page)
+			p.Hooks.LockRelease(victim)
 		}
 		released++
 	}
@@ -403,7 +407,11 @@ func (p *CD) Reset() {
 	p.alloc = p.minAlloc
 	p.list.reset()
 	p.locked = 0
-	p.locksBySite = map[int][]mem.Page{}
+	// Truncate the per-site lock lists in place so a replay reuses their
+	// backing arrays instead of reallocating them on every run.
+	for site, ps := range p.locksBySite {
+		p.locksBySite[site] = ps[:0]
+	}
 	p.SwapSignals = 0
 	p.LockReleases = 0
 	p.degraded = false

@@ -87,12 +87,14 @@ func (p *CD) degrade(reason string) {
 	p.degraded = true
 	p.degradedReason = reason
 	resident := make([]mem.Page, 0, p.list.len())
-	for n := p.list.tail; n != nil; n = n.prev { // LRU→MRU for a stable seed order
-		n.locked = false
-		resident = append(resident, n.page)
+	for s := p.list.tail; s >= 0; s = p.list.prev[s] { // LRU→MRU for a stable seed order
+		p.list.locked[s] = false
+		resident = append(resident, p.list.idx.pageOf(s))
 	}
 	p.locked = 0
-	p.locksBySite = map[int][]mem.Page{}
+	for site, ps := range p.locksBySite {
+		p.locksBySite[site] = ps[:0]
+	}
 	ws := NewWS(p.Check.tau())
 	ws.Warm(resident)
 	p.fallback = ws
@@ -109,20 +111,21 @@ func (p *CD) degrade(reason string) {
 // runs this after every directive event.
 func (p *CD) AuditLocks() error {
 	locked := 0
-	for _, n := range p.list.nodes {
-		if !n.locked {
+	for s := p.list.head; s >= 0; s = p.list.next[s] {
+		if !p.list.locked[s] {
 			continue
 		}
 		locked++
+		page := p.list.idx.pageOf(s)
 		found := false
-		for _, pg := range p.locksBySite[n.site] {
-			if pg == n.page {
+		for _, pg := range p.locksBySite[int(p.list.site[s])] {
+			if pg == page {
 				found = true
 				break
 			}
 		}
 		if !found {
-			return fmt.Errorf("locked page %d not recorded under site %d", n.page, n.site)
+			return fmt.Errorf("locked page %d not recorded under site %d", page, int(p.list.site[s]))
 		}
 	}
 	if locked != p.locked {

@@ -12,6 +12,7 @@ import (
 type LRU struct {
 	noDirectives
 	frames int
+	name   string
 	list   *lruList
 }
 
@@ -20,25 +21,28 @@ func NewLRU(frames int) *LRU {
 	if frames < 1 {
 		frames = 1
 	}
-	return &LRU{frames: frames, list: newLRUList()}
+	return &LRU{frames: frames, name: fmt.Sprintf("LRU(m=%d)", frames), list: newLRUList()}
 }
 
 // Name implements Policy.
-func (p *LRU) Name() string { return fmt.Sprintf("LRU(m=%d)", p.frames) }
+func (p *LRU) Name() string { return p.name }
 
 // Frames returns the fixed allocation.
 func (p *LRU) Frames() int { return p.frames }
 
+// HintPages implements PageHinter.
+func (p *LRU) HintPages(maxPage mem.Page, distinct int) { p.list.hint(maxPage, distinct) }
+
 // Ref implements Policy.
 func (p *LRU) Ref(pg mem.Page) bool {
-	if p.list.contains(pg) {
-		p.list.touch(pg)
+	if s := p.list.lookupResident(pg); s >= 0 {
+		p.list.touchSlot(s)
 		return false
 	}
 	if p.list.len() >= p.frames {
 		p.list.evictLRU()
 	}
-	p.list.touch(pg)
+	p.list.insert(pg)
 	return true
 }
 
@@ -54,11 +58,17 @@ func (p *LRU) Reset() { p.list.reset() }
 
 // FIFO is fixed-allocation first-in-first-out replacement, an extra
 // baseline (the paper cites FIFO as the other classic static policy).
+// The arrival queue is a ring buffer over dense page slots, so a full
+// partition replaces its oldest page without shifting or reallocating.
 type FIFO struct {
 	noDirectives
 	frames int
-	queue  []mem.Page
-	in     map[mem.Page]bool
+	name   string
+	idx    pageIndex
+	in     []bool  // per slot: currently resident
+	queue  []int32 // ring of slots in arrival order; len is a power of two
+	qhead  int     // index of the oldest entry
+	qlen   int     // occupied entries
 }
 
 // NewFIFO returns a FIFO policy with the given fixed allocation.
@@ -66,35 +76,66 @@ func NewFIFO(frames int) *FIFO {
 	if frames < 1 {
 		frames = 1
 	}
-	return &FIFO{frames: frames, in: map[mem.Page]bool{}}
+	return &FIFO{frames: frames, name: fmt.Sprintf("FIFO(m=%d)", frames)}
 }
 
 // Name implements Policy.
-func (p *FIFO) Name() string { return fmt.Sprintf("FIFO(m=%d)", p.frames) }
+func (p *FIFO) Name() string { return p.name }
+
+// HintPages implements PageHinter.
+func (p *FIFO) HintPages(maxPage mem.Page, distinct int) { p.idx.hint(maxPage, distinct) }
+
+// slotOf returns pg's dense slot, growing the residency array in step
+// with the index.
+func (p *FIFO) slotOf(pg mem.Page) int32 {
+	s := p.idx.slot(pg)
+	if int(s) >= len(p.in) {
+		p.in = append(p.in, false)
+	}
+	return s
+}
+
+// push appends a slot at the ring's tail, doubling the buffer when full.
+func (p *FIFO) push(s int32) {
+	if p.qlen == len(p.queue) {
+		grown := make([]int32, max(2*len(p.queue), 64))
+		for i := 0; i < p.qlen; i++ {
+			grown[i] = p.queue[(p.qhead+i)&(len(p.queue)-1)]
+		}
+		p.queue = grown
+		p.qhead = 0
+	}
+	p.queue[(p.qhead+p.qlen)&(len(p.queue)-1)] = s
+	p.qlen++
+}
 
 // Ref implements Policy.
 func (p *FIFO) Ref(pg mem.Page) bool {
-	if p.in[pg] {
+	s := p.slotOf(pg)
+	if p.in[s] {
 		return false
 	}
-	if len(p.queue) >= p.frames {
-		old := p.queue[0]
-		p.queue = p.queue[1:]
-		delete(p.in, old)
+	if p.qlen >= p.frames {
+		old := p.queue[p.qhead]
+		p.qhead = (p.qhead + 1) & (len(p.queue) - 1)
+		p.qlen--
+		p.in[old] = false
 	}
-	p.queue = append(p.queue, pg)
-	p.in[pg] = true
+	p.push(s)
+	p.in[s] = true
 	return true
 }
 
 // Resident implements Policy.
-func (p *FIFO) Resident() int { return len(p.queue) }
+func (p *FIFO) Resident() int { return p.qlen }
 
 // Charged implements Charger: the whole fixed partition is allocated.
 func (p *FIFO) Charged() int { return p.frames }
 
 // Reset implements Policy.
 func (p *FIFO) Reset() {
-	p.queue = nil
-	p.in = map[mem.Page]bool{}
+	for i := range p.in {
+		p.in[i] = false
+	}
+	p.qhead, p.qlen = 0, 0
 }

@@ -1,0 +1,636 @@
+package policy
+
+import (
+	"fmt"
+
+	"cdmm/internal/mem"
+	"cdmm/internal/trace"
+)
+
+// This file keeps the pre-overhaul map-based policy implementations as
+// oracles and drives them in lockstep with the dense slot-array rewrites
+// over randomized operation streams: every reference must produce the
+// same fault decision, Resident count and Charge, and every directive the
+// same lock bookkeeping, including across Reset reuse and wild sparse
+// page numbers.
+
+// oracleList is the old lruList: a map of heap-allocated nodes.
+type oracleList struct {
+	nodes map[mem.Page]*oracleNode
+	head  *oracleNode
+	tail  *oracleNode
+}
+
+type oracleNode struct {
+	page       mem.Page
+	prev, next *oracleNode
+	locked     bool
+	pj         int
+	site       int
+}
+
+func newOracleList() *oracleList { return &oracleList{nodes: map[mem.Page]*oracleNode{}} }
+
+func (l *oracleList) len() int { return len(l.nodes) }
+
+func (l *oracleList) contains(p mem.Page) bool { _, ok := l.nodes[p]; return ok }
+
+func (l *oracleList) get(p mem.Page) *oracleNode { return l.nodes[p] }
+
+func (l *oracleList) touch(p mem.Page) *oracleNode {
+	n, ok := l.nodes[p]
+	if ok {
+		l.unlink(n)
+	} else {
+		n = &oracleNode{page: p}
+		l.nodes[p] = n
+	}
+	l.pushFront(n)
+	return n
+}
+
+func (l *oracleList) pushFront(n *oracleNode) {
+	n.prev = nil
+	n.next = l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+}
+
+func (l *oracleList) unlink(n *oracleNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (l *oracleList) remove(p mem.Page) {
+	if n, ok := l.nodes[p]; ok {
+		l.unlink(n)
+		delete(l.nodes, p)
+	}
+}
+
+func (l *oracleList) evictLRU() (mem.Page, bool) {
+	for n := l.tail; n != nil; n = n.prev {
+		if !n.locked {
+			l.unlink(n)
+			delete(l.nodes, n.page)
+			return n.page, true
+		}
+	}
+	return 0, false
+}
+
+func (l *oracleList) lowestPriorityLocked() *oracleNode {
+	var best *oracleNode
+	for n := l.tail; n != nil; n = n.prev {
+		if n.locked && (best == nil || n.pj > best.pj) {
+			best = n
+		}
+	}
+	return best
+}
+
+func (l *oracleList) reset() {
+	l.nodes = map[mem.Page]*oracleNode{}
+	l.head, l.tail = nil, nil
+}
+
+// oracleLRU is the old map-based LRU.
+type oracleLRU struct {
+	noDirectives
+	frames int
+	list   *oracleList
+}
+
+func newOracleLRU(frames int) *oracleLRU {
+	if frames < 1 {
+		frames = 1
+	}
+	return &oracleLRU{frames: frames, list: newOracleList()}
+}
+
+func (p *oracleLRU) Name() string { return fmt.Sprintf("LRU(m=%d)", p.frames) }
+
+func (p *oracleLRU) Ref(pg mem.Page) bool {
+	if p.list.contains(pg) {
+		p.list.touch(pg)
+		return false
+	}
+	if p.list.len() >= p.frames {
+		p.list.evictLRU()
+	}
+	p.list.touch(pg)
+	return true
+}
+
+func (p *oracleLRU) Resident() int { return p.list.len() }
+func (p *oracleLRU) Charged() int  { return p.frames }
+func (p *oracleLRU) Reset()        { p.list.reset() }
+
+// oracleFIFO is the old slice-drift FIFO.
+type oracleFIFO struct {
+	noDirectives
+	frames int
+	queue  []mem.Page
+	in     map[mem.Page]bool
+}
+
+func newOracleFIFO(frames int) *oracleFIFO {
+	if frames < 1 {
+		frames = 1
+	}
+	return &oracleFIFO{frames: frames, in: map[mem.Page]bool{}}
+}
+
+func (p *oracleFIFO) Name() string { return fmt.Sprintf("FIFO(m=%d)", p.frames) }
+
+func (p *oracleFIFO) Ref(pg mem.Page) bool {
+	if p.in[pg] {
+		return false
+	}
+	if len(p.queue) >= p.frames {
+		old := p.queue[0]
+		p.queue = p.queue[1:]
+		delete(p.in, old)
+	}
+	p.queue = append(p.queue, pg)
+	p.in[pg] = true
+	return true
+}
+
+func (p *oracleFIFO) Resident() int { return len(p.queue) }
+func (p *oracleFIFO) Charged() int  { return p.frames }
+
+func (p *oracleFIFO) Reset() {
+	p.queue = nil
+	p.in = map[mem.Page]bool{}
+}
+
+// oracleWS is the old map-based Working Set with the slice-drift window.
+type oracleWS struct {
+	noDirectives
+	tau      int64
+	now      int64
+	lastRef  map[mem.Page]int64
+	window   []oracleWSRecord
+	resident int
+	onExpire func(mem.Page)
+}
+
+type oracleWSRecord struct {
+	t    int64
+	page mem.Page
+}
+
+func newOracleWS(tau int) *oracleWS {
+	if tau < 1 {
+		tau = 1
+	}
+	return &oracleWS{tau: int64(tau), lastRef: map[mem.Page]int64{}}
+}
+
+func (p *oracleWS) Name() string { return fmt.Sprintf("WS(tau=%d)", p.tau) }
+
+func (p *oracleWS) Ref(pg mem.Page) bool {
+	p.now++
+	p.expireTo(p.now - 1)
+	_, resident := p.lastRef[pg]
+	if !resident {
+		p.resident++
+	}
+	p.lastRef[pg] = p.now
+	p.window = append(p.window, oracleWSRecord{t: p.now, page: pg})
+	p.expireTo(p.now)
+	return !resident
+}
+
+func (p *oracleWS) Warm(pages []mem.Page) {
+	for _, pg := range pages {
+		last, ok := p.lastRef[pg]
+		if ok && last == p.now {
+			continue
+		}
+		if !ok {
+			p.resident++
+		}
+		p.lastRef[pg] = p.now
+		p.window = append(p.window, oracleWSRecord{t: p.now, page: pg})
+	}
+}
+
+func (p *oracleWS) expireTo(x int64) {
+	cutoff := x - p.tau
+	for len(p.window) > 0 && p.window[0].t <= cutoff {
+		rec := p.window[0]
+		p.window = p.window[1:]
+		if p.lastRef[rec.page] == rec.t {
+			delete(p.lastRef, rec.page)
+			p.resident--
+			if p.onExpire != nil {
+				p.onExpire(rec.page)
+			}
+		}
+	}
+}
+
+func (p *oracleWS) Resident() int { return p.resident }
+
+func (p *oracleWS) Reset() {
+	p.now = 0
+	p.lastRef = map[mem.Page]int64{}
+	p.window = nil
+	p.resident = 0
+}
+
+// oraclePFF is the old map-based PFF.
+type oraclePFF struct {
+	noDirectives
+	threshold int64
+	now       int64
+	lastFault int64
+	resident  map[mem.Page]bool
+	usedSince map[mem.Page]bool
+}
+
+func newOraclePFF(threshold int) *oraclePFF {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &oraclePFF{
+		threshold: int64(threshold),
+		resident:  map[mem.Page]bool{},
+		usedSince: map[mem.Page]bool{},
+	}
+}
+
+func (p *oraclePFF) Name() string { return fmt.Sprintf("PFF(T=%d)", p.threshold) }
+
+func (p *oraclePFF) Ref(pg mem.Page) bool {
+	p.now++
+	if p.resident[pg] {
+		p.usedSince[pg] = true
+		return false
+	}
+	if p.now-p.lastFault >= p.threshold {
+		for q := range p.resident {
+			if !p.usedSince[q] {
+				delete(p.resident, q)
+			}
+		}
+	}
+	p.resident[pg] = true
+	p.usedSince = map[mem.Page]bool{pg: true}
+	p.lastFault = p.now
+	return true
+}
+
+func (p *oraclePFF) Resident() int { return len(p.resident) }
+
+func (p *oraclePFF) Reset() {
+	p.now = 0
+	p.lastFault = 0
+	p.resident = map[mem.Page]bool{}
+	p.usedSince = map[mem.Page]bool{}
+}
+
+// oracleSWS is the old map-based Sampled Working Set.
+type oracleSWS struct {
+	noDirectives
+	sigma    int64
+	now      int64
+	nextSamp int64
+	resident map[mem.Page]bool
+	useBit   map[mem.Page]bool
+}
+
+func newOracleSWS(sigma int) *oracleSWS {
+	if sigma < 1 {
+		sigma = 1
+	}
+	s := &oracleSWS{sigma: int64(sigma)}
+	s.Reset()
+	return s
+}
+
+func (p *oracleSWS) Name() string { return fmt.Sprintf("SWS(sigma=%d)", p.sigma) }
+
+func (p *oracleSWS) Ref(pg mem.Page) bool {
+	p.now++
+	if p.now >= p.nextSamp {
+		p.sample()
+		p.nextSamp = p.now + p.sigma
+	}
+	if p.resident[pg] {
+		p.useBit[pg] = true
+		return false
+	}
+	p.resident[pg] = true
+	p.useBit[pg] = true
+	return true
+}
+
+func (p *oracleSWS) sample() {
+	for q := range p.resident {
+		if !p.useBit[q] {
+			delete(p.resident, q)
+		}
+	}
+	p.useBit = map[mem.Page]bool{}
+}
+
+func (p *oracleSWS) Resident() int { return len(p.resident) }
+
+func (p *oracleSWS) Reset() {
+	p.now = 0
+	p.nextSamp = p.sigma
+	p.resident = map[mem.Page]bool{}
+	p.useBit = map[mem.Page]bool{}
+}
+
+// oracleVSWS is the old map-based Variable-Interval Sampled Working Set.
+type oracleVSWS struct {
+	noDirectives
+	minIS, maxIS int64
+	q            int
+	now          int64
+	lastSample   int64
+	faultsSince  int
+	resident     map[mem.Page]bool
+	useBit       map[mem.Page]bool
+}
+
+func newOracleVSWS(minIS, maxIS, q int) *oracleVSWS {
+	if minIS < 1 {
+		minIS = 1
+	}
+	if maxIS < minIS {
+		maxIS = minIS
+	}
+	if q < 1 {
+		q = 1
+	}
+	v := &oracleVSWS{minIS: int64(minIS), maxIS: int64(maxIS), q: q}
+	v.Reset()
+	return v
+}
+
+func (p *oracleVSWS) Name() string {
+	return fmt.Sprintf("VSWS(min=%d,max=%d,Q=%d)", p.minIS, p.maxIS, p.q)
+}
+
+func (p *oracleVSWS) Ref(pg mem.Page) bool {
+	p.now++
+	elapsed := p.now - p.lastSample
+	if (p.faultsSince >= p.q && elapsed >= p.minIS) || elapsed >= p.maxIS {
+		p.sample()
+	}
+	if p.resident[pg] {
+		p.useBit[pg] = true
+		return false
+	}
+	p.resident[pg] = true
+	p.useBit[pg] = true
+	p.faultsSince++
+	return true
+}
+
+func (p *oracleVSWS) sample() {
+	for q := range p.resident {
+		if !p.useBit[q] {
+			delete(p.resident, q)
+		}
+	}
+	p.useBit = map[mem.Page]bool{}
+	p.lastSample = p.now
+	p.faultsSince = 0
+}
+
+func (p *oracleVSWS) Resident() int { return len(p.resident) }
+
+func (p *oracleVSWS) Reset() {
+	p.now = 0
+	p.lastSample = 0
+	p.faultsSince = 0
+	p.resident = map[mem.Page]bool{}
+	p.useBit = map[mem.Page]bool{}
+}
+
+// oracleDWS is the old map-based Damped Working Set.
+type oracleDWS struct {
+	noDirectives
+	ws       *oracleWS
+	damping  int64
+	lastDrop int64
+	now      int64
+	held     []mem.Page
+	heldSet  map[mem.Page]bool
+}
+
+func newOracleDWS(tau, damping int) *oracleDWS {
+	if damping < 1 {
+		damping = 1
+	}
+	p := &oracleDWS{ws: newOracleWS(tau), damping: int64(damping), heldSet: map[mem.Page]bool{}}
+	p.ws.onExpire = p.hold
+	return p
+}
+
+func (p *oracleDWS) Name() string {
+	return fmt.Sprintf("DWS(tau=%d,d=%d)", p.ws.tau, p.damping)
+}
+
+func (p *oracleDWS) hold(pg mem.Page) {
+	if !p.heldSet[pg] {
+		p.held = append(p.held, pg)
+		p.heldSet[pg] = true
+	}
+}
+
+func (p *oracleDWS) Ref(pg mem.Page) bool {
+	p.now++
+	fault := p.ws.Ref(pg)
+	if p.heldSet[pg] {
+		p.removeHeld(pg)
+		fault = false
+	}
+	if len(p.held) > 0 && p.now-p.lastDrop >= p.damping {
+		drop := p.held[0]
+		p.held = p.held[1:]
+		delete(p.heldSet, drop)
+		p.lastDrop = p.now
+	}
+	return fault
+}
+
+func (p *oracleDWS) removeHeld(pg mem.Page) {
+	delete(p.heldSet, pg)
+	for i, q := range p.held {
+		if q == pg {
+			p.held = append(p.held[:i], p.held[i+1:]...)
+			break
+		}
+	}
+}
+
+func (p *oracleDWS) Resident() int { return p.ws.Resident() + len(p.held) }
+
+func (p *oracleDWS) Reset() {
+	p.ws.Reset()
+	p.now = 0
+	p.lastDrop = 0
+	p.held = nil
+	p.heldSet = map[mem.Page]bool{}
+}
+
+// oracleCD is the old map/node-based CD (trusting, Check-free paths only).
+type oracleCD struct {
+	selector ArmSelector
+	minAlloc int
+
+	alloc        int
+	list         *oracleList
+	locked       int
+	locksBySite  map[int][]mem.Page
+	SwapSignals  int
+	LockReleases int
+}
+
+func newOracleCD(selector ArmSelector, minAlloc int) *oracleCD {
+	if selector == nil {
+		selector = SelectLevel(1)
+	}
+	if minAlloc < 1 {
+		minAlloc = 1
+	}
+	return &oracleCD{
+		selector:    selector,
+		minAlloc:    minAlloc,
+		alloc:       minAlloc,
+		list:        newOracleList(),
+		locksBySite: map[int][]mem.Page{},
+	}
+}
+
+func (p *oracleCD) Name() string { return "CD" }
+
+func (p *oracleCD) Alloc(d trace.AllocDirective) {
+	arms := d.Arms
+	if len(arms) == 0 {
+		return
+	}
+	chosen, ok := p.selector(d.Label, arms)
+	if !ok {
+		return
+	}
+	x := chosen.X
+	if x < p.minAlloc {
+		x = p.minAlloc
+	}
+	p.alloc = x
+	for p.list.len()-p.locked > p.alloc {
+		if _, ok := p.list.evictLRU(); !ok {
+			return
+		}
+	}
+}
+
+func (p *oracleCD) Ref(pg mem.Page) bool {
+	if p.list.contains(pg) {
+		p.list.touch(pg)
+		return false
+	}
+	if p.list.len()-p.locked >= p.alloc {
+		if _, ok := p.list.evictLRU(); !ok {
+			if n := p.list.lowestPriorityLocked(); n != nil {
+				p.releaseLock(n)
+				p.list.remove(n.page)
+				p.LockReleases++
+			}
+		}
+	}
+	p.list.touch(pg)
+	return true
+}
+
+func (p *oracleCD) releaseLock(n *oracleNode) {
+	pages := p.locksBySite[n.site]
+	for i, q := range pages {
+		if q == n.page {
+			p.locksBySite[n.site] = append(pages[:i], pages[i+1:]...)
+			break
+		}
+	}
+	n.locked = false
+	p.locked--
+}
+
+func (p *oracleCD) Lock(ls trace.LockSet) {
+	for _, old := range p.locksBySite[ls.Site] {
+		if n := p.list.get(old); n != nil && n.locked && n.site == ls.Site {
+			n.locked = false
+			p.locked--
+		}
+	}
+	p.locksBySite[ls.Site] = nil
+	for _, pg := range ls.Pages {
+		n := p.list.get(pg)
+		if n == nil {
+			continue
+		}
+		if !n.locked {
+			p.locked++
+		}
+		n.locked = true
+		n.pj = ls.PJ
+		n.site = ls.Site
+		p.locksBySite[ls.Site] = append(p.locksBySite[ls.Site], pg)
+	}
+}
+
+func (p *oracleCD) Unlock(pages []mem.Page) {
+	for _, pg := range pages {
+		if n := p.list.get(pg); n != nil && n.locked {
+			p.releaseLock(n)
+		}
+	}
+	for site, ps := range p.locksBySite {
+		if len(ps) == 0 {
+			delete(p.locksBySite, site)
+		}
+	}
+}
+
+func (p *oracleCD) Resident() int { return p.list.len() }
+
+func (p *oracleCD) Reset() {
+	p.alloc = p.minAlloc
+	p.list.reset()
+	p.locked = 0
+	p.locksBySite = map[int][]mem.Page{}
+	p.SwapSignals = 0
+	p.LockReleases = 0
+}
+
+var (
+	_ Policy = (*oracleLRU)(nil)
+	_ Policy = (*oracleFIFO)(nil)
+	_ Policy = (*oracleWS)(nil)
+	_ Policy = (*oraclePFF)(nil)
+	_ Policy = (*oracleSWS)(nil)
+	_ Policy = (*oracleVSWS)(nil)
+	_ Policy = (*oracleDWS)(nil)
+	_ Policy = (*oracleCD)(nil)
+)

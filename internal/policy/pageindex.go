@@ -1,0 +1,111 @@
+package policy
+
+import "cdmm/internal/mem"
+
+// pageIndex assigns small dense slot ids to pages on first touch so the
+// policies can keep their per-page state in flat arrays instead of maps.
+// Slot assignments are stable for the lifetime of the policy — Reset
+// clears per-run state but keeps the page→slot mapping, so replaying the
+// same trace reuses every allocation.
+//
+// Sparsity guard: the dense lookup table only grows while the page number
+// stays within pageIndexFactor× the number of assigned slots (or
+// pageIndexMinDense, whichever is larger). Pages beyond that window —
+// e.g. chaos wild-pointer injections near 2^30 — take a compact map path
+// instead, so one wild reference can never balloon the table to a
+// MaxPage-sized array.
+type pageIndex struct {
+	dense  []int32            // page -> slot+1; 0 means unassigned
+	sparse map[mem.Page]int32 // out-of-window pages -> slot
+	pages  []mem.Page         // slot -> page
+}
+
+const (
+	// pageIndexMinDense is the dense-table size always considered cheap
+	// (4 KiB of int32s).
+	pageIndexMinDense = 1 << 10
+	// pageIndexFactor bounds how far the dense table may exceed the
+	// number of assigned slots.
+	pageIndexFactor = 8
+)
+
+// size returns the number of assigned slots.
+func (x *pageIndex) size() int { return len(x.pages) }
+
+// pageOf returns the page assigned to slot s.
+func (x *pageIndex) pageOf(s int32) mem.Page { return x.pages[s] }
+
+// lookup returns the slot of p, or -1 when p has never been indexed.
+func (x *pageIndex) lookup(p mem.Page) int32 {
+	if p >= 0 && int(p) < len(x.dense) {
+		return x.dense[p] - 1
+	}
+	if s, ok := x.sparse[p]; ok {
+		return s
+	}
+	return -1
+}
+
+// slot returns the slot of p, assigning the next free one on first use.
+func (x *pageIndex) slot(p mem.Page) int32 {
+	if s := x.lookup(p); s >= 0 {
+		return s
+	}
+	s := int32(len(x.pages))
+	x.pages = append(x.pages, p)
+	if p >= 0 && (int(p) < len(x.dense) || int(p) < x.denseCap()) {
+		if int(p) >= len(x.dense) {
+			x.growDense(int(p) + 1)
+		}
+		x.dense[p] = s + 1
+	} else {
+		if x.sparse == nil {
+			x.sparse = make(map[mem.Page]int32)
+		}
+		x.sparse[p] = s
+	}
+	return s
+}
+
+// denseCap is the largest dense table the current slot population
+// justifies under the sparsity guard.
+func (x *pageIndex) denseCap() int {
+	c := pageIndexFactor * (len(x.pages) + 1)
+	if c < pageIndexMinDense {
+		c = pageIndexMinDense
+	}
+	return c
+}
+
+// growDense widens the dense table to hold at least need entries,
+// doubling to amortize sequential first touches.
+func (x *pageIndex) growDense(need int) {
+	n := 2 * len(x.dense)
+	if n < need {
+		n = need
+	}
+	if n < pageIndexMinDense {
+		n = pageIndexMinDense
+	}
+	nd := make([]int32, n)
+	copy(nd, x.dense)
+	x.dense = nd
+}
+
+// hint pre-sizes the dense table for a trace whose largest page and
+// distinct-page count are known, so the first replay assigns slots
+// without growth reallocations. Hints outside the sparsity guard are
+// ignored — such pages take the map path when they arrive.
+func (x *pageIndex) hint(maxPage mem.Page, distinct int) {
+	if maxPage < 0 || distinct <= 0 {
+		return
+	}
+	need := int(maxPage) + 1
+	limit := pageIndexFactor * distinct
+	if limit < pageIndexMinDense {
+		limit = pageIndexMinDense
+	}
+	if need <= limit && need > len(x.dense) {
+		x.growDense(need)
+	}
+}

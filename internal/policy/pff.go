@@ -13,14 +13,24 @@ import (
 // threshold T the process is faulting too often and the set grows; if the
 // interval is at least T, pages unreferenced since the previous fault are
 // released before the new page is added.
+//
+// Residency and use bits live in dense slot arrays; the "referenced since
+// the last fault" bit is an epoch stamp, so clearing all use bits at a
+// fault is a counter increment instead of a map rebuild.
 type PFF struct {
 	noDirectives
 	threshold int64
+	name      string
 
 	now       int64
 	lastFault int64
-	resident  map[mem.Page]bool
-	usedSince map[mem.Page]bool // referenced since the last fault
+	idx       pageIndex
+	resident  []bool
+	// usedEpoch[s] == epoch means slot s was referenced since the last
+	// fault; epoch increments at each fault.
+	usedEpoch []int64
+	epoch     int64
+	nres      int
 }
 
 // NewPFF returns a PFF policy with inter-fault threshold T in references.
@@ -28,21 +38,32 @@ func NewPFF(threshold int) *PFF {
 	if threshold < 1 {
 		threshold = 1
 	}
-	return &PFF{
-		threshold: int64(threshold),
-		resident:  map[mem.Page]bool{},
-		usedSince: map[mem.Page]bool{},
-	}
+	return &PFF{threshold: int64(threshold), name: fmt.Sprintf("PFF(T=%d)", threshold)}
 }
 
 // Name implements Policy.
-func (p *PFF) Name() string { return fmt.Sprintf("PFF(T=%d)", p.threshold) }
+func (p *PFF) Name() string { return p.name }
+
+// HintPages implements PageHinter.
+func (p *PFF) HintPages(maxPage mem.Page, distinct int) { p.idx.hint(maxPage, distinct) }
+
+// slotOf returns pg's dense slot, growing the state arrays in step with
+// the index.
+func (p *PFF) slotOf(pg mem.Page) int32 {
+	s := p.idx.slot(pg)
+	if int(s) >= len(p.resident) {
+		p.resident = append(p.resident, false)
+		p.usedEpoch = append(p.usedEpoch, -1)
+	}
+	return s
+}
 
 // Ref implements Policy.
 func (p *PFF) Ref(pg mem.Page) bool {
 	p.now++
-	if p.resident[pg] {
-		p.usedSince[pg] = true
+	s := p.slotOf(pg)
+	if p.resident[s] {
+		p.usedEpoch[s] = p.epoch
 		return false
 	}
 	// Fault: apply the PFF rule.
@@ -50,27 +71,34 @@ func (p *PFF) Ref(pg mem.Page) bool {
 		// Faulting slowly: shrink to the pages referenced since the last
 		// fault (they carry the current locality).
 		for q := range p.resident {
-			if !p.usedSince[q] {
-				delete(p.resident, q)
+			if p.resident[q] && p.usedEpoch[q] != p.epoch {
+				p.resident[q] = false
+				p.nres--
 			}
 		}
 	}
 	// Faulting quickly (interval < T): grow without releasing anything.
-	p.resident[pg] = true
-	p.usedSince = map[mem.Page]bool{pg: true}
+	p.epoch++
+	p.resident[s] = true
+	p.usedEpoch[s] = p.epoch
+	p.nres++
 	p.lastFault = p.now
 	return true
 }
 
 // Resident implements Policy.
-func (p *PFF) Resident() int { return len(p.resident) }
+func (p *PFF) Resident() int { return p.nres }
 
 // Reset implements Policy.
 func (p *PFF) Reset() {
 	p.now = 0
 	p.lastFault = 0
-	p.resident = map[mem.Page]bool{}
-	p.usedSince = map[mem.Page]bool{}
+	p.epoch = 0
+	for i := range p.resident {
+		p.resident[i] = false
+		p.usedEpoch[i] = -1
+	}
+	p.nres = 0
 }
 
 var _ Policy = (*PFF)(nil)

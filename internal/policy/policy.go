@@ -80,6 +80,26 @@ func AsCD(p Policy) *CD {
 	return nil
 }
 
+// Stepper is an optional hot-path interface: Step performs Ref and also
+// returns the post-reference Resident and Charge values, so the
+// simulation loop pays one dynamic dispatch per reference instead of
+// three. Step must be exactly equivalent to calling Ref, then Resident,
+// then Charge.
+type Stepper interface {
+	Step(pg mem.Page) (fault bool, resident, charged int)
+}
+
+// PageHinter is implemented by policies whose dense page-indexed state
+// benefits from knowing the trace's page universe before a replay: the
+// simulator calls HintPages once per run so the first pass over a trace
+// assigns page slots without growth reallocations. Hints are advisory —
+// a policy must behave identically without one.
+type PageHinter interface {
+	// HintPages announces the largest page number the coming trace
+	// references and its distinct-page count.
+	HintPages(maxPage mem.Page, distinct int)
+}
+
 // noDirectives provides no-op directive handling for LRU/FIFO/WS/OPT.
 type noDirectives struct{}
 
@@ -87,109 +107,170 @@ func (noDirectives) Alloc(trace.AllocDirective) {}
 func (noDirectives) Lock(trace.LockSet)         {}
 func (noDirectives) Unlock([]mem.Page)          {}
 
-// lruList is an intrusive doubly-linked LRU list over pages with O(1)
-// lookup, used by the LRU and CD policies.
+// lruList is an intrusive doubly-linked LRU list over dense page slots:
+// prev/next are parallel int32 arrays indexed by slot, so a reference
+// costs an array lookup and a few pointer-free writes instead of a map
+// probe and a heap node. Used by the LRU and CD policies. Slot state
+// (lock bit, PJ, site) lives in parallel arrays too; reset() clears
+// per-run state while keeping every allocation for the next replay.
 type lruList struct {
-	nodes map[mem.Page]*lruNode
-	head  *lruNode // most recently used
-	tail  *lruNode // least recently used
+	idx        pageIndex
+	prev, next []int32 // per slot; -1 terminates, prev == notIn marks non-resident
+	locked     []bool
+	pj         []int32 // lock priority (valid while locked)
+	site       []int32 // lock site (valid while locked)
+	head, tail int32   // most/least recently used; -1 when empty
+	n          int     // resident count
 }
 
-type lruNode struct {
-	page       mem.Page
-	prev, next *lruNode
-	locked     bool
-	pj         int // lock priority (valid when locked)
-	site       int // lock site (valid when locked)
-}
+// notIn in prev[s] marks slot s as not resident, so the residency test
+// reads the same cache line the list operations are about to touch.
+const notIn = -2
 
 func newLRUList() *lruList {
-	return &lruList{nodes: map[mem.Page]*lruNode{}}
+	return &lruList{head: -1, tail: -1}
 }
 
-func (l *lruList) len() int { return len(l.nodes) }
-
-func (l *lruList) contains(p mem.Page) bool {
-	_, ok := l.nodes[p]
-	return ok
+// hint pre-sizes the page index (see PageHinter).
+func (l *lruList) hint(maxPage mem.Page, distinct int) {
+	l.idx.hint(maxPage, distinct)
 }
 
-func (l *lruList) get(p mem.Page) *lruNode { return l.nodes[p] }
+// slotOf returns p's dense slot, growing the per-slot arrays when the
+// index assigns a fresh one (slot ids are handed out sequentially).
+func (l *lruList) slotOf(p mem.Page) int32 {
+	s := l.idx.slot(p)
+	if int(s) >= len(l.prev) {
+		l.prev = append(l.prev, notIn)
+		l.next = append(l.next, -1)
+		l.locked = append(l.locked, false)
+		l.pj = append(l.pj, 0)
+		l.site = append(l.site, 0)
+	}
+	return s
+}
 
-// touch moves p to the MRU position, inserting it if absent.
-func (l *lruList) touch(p mem.Page) *lruNode {
-	n, ok := l.nodes[p]
-	if ok {
-		l.unlink(n)
+func (l *lruList) len() int { return l.n }
+
+// lookupResident returns p's slot when p is resident, -1 otherwise.
+func (l *lruList) lookupResident(p mem.Page) int32 {
+	if s := l.idx.lookup(p); s >= 0 && l.prev[s] != notIn {
+		return s
+	}
+	return -1
+}
+
+// touchSlot moves a resident slot to the MRU position.
+func (l *lruList) touchSlot(s int32) {
+	if l.head == s {
+		return
+	}
+	// s is resident but not the head, so it has a predecessor and the
+	// list stays non-empty: the head/tail branches of unlink/pushFront
+	// collapse.
+	prev, next := l.prev, l.next
+	p := prev[s]
+	nx := next[s]
+	next[p] = nx
+	if nx >= 0 {
+		prev[nx] = p
 	} else {
-		n = &lruNode{page: p}
-		l.nodes[p] = n
+		l.tail = p
 	}
-	l.pushFront(n)
-	return n
+	prev[s] = -1
+	next[s] = l.head
+	prev[l.head] = s
+	l.head = s
 }
 
-func (l *lruList) pushFront(n *lruNode) {
-	n.prev = nil
-	n.next = l.head
-	if l.head != nil {
-		l.head.prev = n
+// insert makes p resident at the MRU position with a clean lock state.
+// p must not be resident.
+func (l *lruList) insert(p mem.Page) int32 {
+	s := l.slotOf(p)
+	l.locked[s] = false
+	l.pj[s] = 0
+	l.site[s] = 0
+	l.n++
+	l.pushFront(s)
+	return s
+}
+
+func (l *lruList) pushFront(s int32) {
+	l.prev[s] = -1
+	l.next[s] = l.head
+	if l.head >= 0 {
+		l.prev[l.head] = s
 	}
-	l.head = n
-	if l.tail == nil {
-		l.tail = n
+	l.head = s
+	if l.tail < 0 {
+		l.tail = s
 	}
 }
 
-func (l *lruList) unlink(n *lruNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
+func (l *lruList) unlink(s int32) {
+	if p := l.prev[s]; p >= 0 {
+		l.next[p] = l.next[s]
 	} else {
-		l.head = n.next
+		l.head = l.next[s]
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
+	if nx := l.next[s]; nx >= 0 {
+		l.prev[nx] = l.prev[s]
 	} else {
-		l.tail = n.prev
+		l.tail = l.prev[s]
 	}
-	n.prev, n.next = nil, nil
+	// prev[s]/next[s] are left stale: every caller either relinks the slot
+	// (touchSlot) or marks it non-resident (removeSlot) immediately.
 }
 
-// remove deletes p from the list.
+// removeSlot evicts a resident slot.
+func (l *lruList) removeSlot(s int32) {
+	l.unlink(s)
+	l.prev[s] = notIn
+	l.n--
+}
+
+// remove deletes p from the list if resident.
 func (l *lruList) remove(p mem.Page) {
-	if n, ok := l.nodes[p]; ok {
-		l.unlink(n)
-		delete(l.nodes, p)
+	if s := l.lookupResident(p); s >= 0 {
+		l.removeSlot(s)
 	}
 }
 
 // evictLRU removes and returns the least recently used unlocked page.
 // It returns false if every resident page is locked.
 func (l *lruList) evictLRU() (mem.Page, bool) {
-	for n := l.tail; n != nil; n = n.prev {
-		if !n.locked {
-			l.unlink(n)
-			delete(l.nodes, n.page)
-			return n.page, true
+	for s := l.tail; s >= 0; s = l.prev[s] {
+		if !l.locked[s] {
+			l.removeSlot(s)
+			return l.idx.pageOf(s), true
 		}
 	}
 	return 0, false
 }
 
-// lowestPriorityLocked returns the locked node with the largest PJ
+// lowestPriorityLocked returns the locked slot with the largest PJ
 // ("pages with higher PJ values have lower priority and they are unlocked
-// first by the operating system"), or nil if nothing is locked.
-func (l *lruList) lowestPriorityLocked() *lruNode {
-	var best *lruNode
-	for n := l.tail; n != nil; n = n.prev {
-		if n.locked && (best == nil || n.pj > best.pj) {
-			best = n
+// first by the operating system"), or -1 if nothing is locked. Ties keep
+// the slot closest to the LRU end, matching the historical scan order.
+func (l *lruList) lowestPriorityLocked() int32 {
+	best := int32(-1)
+	for s := l.tail; s >= 0; s = l.prev[s] {
+		if l.locked[s] && (best < 0 || l.pj[s] > l.pj[best]) {
+			best = s
 		}
 	}
 	return best
 }
 
+// reset clears residency and lock state while keeping the page index and
+// array capacity, so replaying another trace allocates nothing.
 func (l *lruList) reset() {
-	l.nodes = map[mem.Page]*lruNode{}
-	l.head, l.tail = nil, nil
+	for i := range l.prev {
+		l.prev[i] = notIn
+	}
+	for i := range l.locked {
+		l.locked[i] = false
+	}
+	l.head, l.tail = -1, -1
+	l.n = 0
 }

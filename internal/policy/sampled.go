@@ -12,14 +12,21 @@ import (
 // At each sampling point, pages whose use bit is clear are released and
 // all use bits are cleared; between samples the resident set only grows
 // (by faults).
+//
+// The use bit of slot s is the epoch stamp useEpoch[s] == epoch, so
+// "clear all use bits" at a sampling point is a counter increment.
 type SWS struct {
 	noDirectives
 	sigma int64
+	name  string
 
 	now      int64
 	nextSamp int64
-	resident map[mem.Page]bool
-	useBit   map[mem.Page]bool
+	idx      pageIndex
+	resident []bool
+	useEpoch []int64
+	epoch    int64
+	nres     int
 }
 
 // NewSWS returns a Sampled WS policy with sampling interval sigma.
@@ -28,12 +35,27 @@ func NewSWS(sigma int) *SWS {
 		sigma = 1
 	}
 	s := &SWS{sigma: int64(sigma)}
+	s.name = fmt.Sprintf("SWS(sigma=%d)", sigma)
 	s.Reset()
 	return s
 }
 
 // Name implements Policy.
-func (p *SWS) Name() string { return fmt.Sprintf("SWS(sigma=%d)", p.sigma) }
+func (p *SWS) Name() string { return p.name }
+
+// HintPages implements PageHinter.
+func (p *SWS) HintPages(maxPage mem.Page, distinct int) { p.idx.hint(maxPage, distinct) }
+
+// slotOf returns pg's dense slot, growing the state arrays in step with
+// the index.
+func (p *SWS) slotOf(pg mem.Page) int32 {
+	s := p.idx.slot(pg)
+	if int(s) >= len(p.resident) {
+		p.resident = append(p.resident, false)
+		p.useEpoch = append(p.useEpoch, -1)
+	}
+	return s
+}
 
 // Ref implements Policy.
 func (p *SWS) Ref(pg mem.Page) bool {
@@ -42,34 +64,41 @@ func (p *SWS) Ref(pg mem.Page) bool {
 		p.sample()
 		p.nextSamp = p.now + p.sigma
 	}
-	if p.resident[pg] {
-		p.useBit[pg] = true
+	s := p.slotOf(pg)
+	if p.resident[s] {
+		p.useEpoch[s] = p.epoch
 		return false
 	}
-	p.resident[pg] = true
-	p.useBit[pg] = true
+	p.resident[s] = true
+	p.useEpoch[s] = p.epoch
+	p.nres++
 	return true
 }
 
 // sample releases unreferenced pages and clears the use bits.
 func (p *SWS) sample() {
-	for q := range p.resident {
-		if !p.useBit[q] {
-			delete(p.resident, q)
+	for s := range p.resident {
+		if p.resident[s] && p.useEpoch[s] != p.epoch {
+			p.resident[s] = false
+			p.nres--
 		}
 	}
-	p.useBit = map[mem.Page]bool{}
+	p.epoch++
 }
 
 // Resident implements Policy.
-func (p *SWS) Resident() int { return len(p.resident) }
+func (p *SWS) Resident() int { return p.nres }
 
 // Reset implements Policy.
 func (p *SWS) Reset() {
 	p.now = 0
 	p.nextSamp = p.sigma
-	p.resident = map[mem.Page]bool{}
-	p.useBit = map[mem.Page]bool{}
+	p.epoch = 0
+	for i := range p.resident {
+		p.resident[i] = false
+		p.useEpoch[i] = -1
+	}
+	p.nres = 0
 }
 
 // VSWS is the Variable-Interval Sampled Working Set policy (Ferrari &
@@ -81,12 +110,16 @@ type VSWS struct {
 	noDirectives
 	minIS, maxIS int64
 	q            int
+	name         string
 
 	now         int64
 	lastSample  int64
 	faultsSince int
-	resident    map[mem.Page]bool
-	useBit      map[mem.Page]bool
+	idx         pageIndex
+	resident    []bool
+	useEpoch    []int64
+	epoch       int64
+	nres        int
 }
 
 // NewVSWS returns a VSWS policy with the (MinIS, MaxIS, Q) parameters.
@@ -101,13 +134,26 @@ func NewVSWS(minIS, maxIS, q int) *VSWS {
 		q = 1
 	}
 	v := &VSWS{minIS: int64(minIS), maxIS: int64(maxIS), q: q}
+	v.name = fmt.Sprintf("VSWS(min=%d,max=%d,Q=%d)", v.minIS, v.maxIS, v.q)
 	v.Reset()
 	return v
 }
 
 // Name implements Policy.
-func (p *VSWS) Name() string {
-	return fmt.Sprintf("VSWS(min=%d,max=%d,Q=%d)", p.minIS, p.maxIS, p.q)
+func (p *VSWS) Name() string { return p.name }
+
+// HintPages implements PageHinter.
+func (p *VSWS) HintPages(maxPage mem.Page, distinct int) { p.idx.hint(maxPage, distinct) }
+
+// slotOf returns pg's dense slot, growing the state arrays in step with
+// the index.
+func (p *VSWS) slotOf(pg mem.Page) int32 {
+	s := p.idx.slot(pg)
+	if int(s) >= len(p.resident) {
+		p.resident = append(p.resident, false)
+		p.useEpoch = append(p.useEpoch, -1)
+	}
+	return s
 }
 
 // Ref implements Policy.
@@ -117,37 +163,44 @@ func (p *VSWS) Ref(pg mem.Page) bool {
 	if (p.faultsSince >= p.q && elapsed >= p.minIS) || elapsed >= p.maxIS {
 		p.sample()
 	}
-	if p.resident[pg] {
-		p.useBit[pg] = true
+	s := p.slotOf(pg)
+	if p.resident[s] {
+		p.useEpoch[s] = p.epoch
 		return false
 	}
-	p.resident[pg] = true
-	p.useBit[pg] = true
+	p.resident[s] = true
+	p.useEpoch[s] = p.epoch
+	p.nres++
 	p.faultsSince++
 	return true
 }
 
 func (p *VSWS) sample() {
-	for q := range p.resident {
-		if !p.useBit[q] {
-			delete(p.resident, q)
+	for s := range p.resident {
+		if p.resident[s] && p.useEpoch[s] != p.epoch {
+			p.resident[s] = false
+			p.nres--
 		}
 	}
-	p.useBit = map[mem.Page]bool{}
+	p.epoch++
 	p.lastSample = p.now
 	p.faultsSince = 0
 }
 
 // Resident implements Policy.
-func (p *VSWS) Resident() int { return len(p.resident) }
+func (p *VSWS) Resident() int { return p.nres }
 
 // Reset implements Policy.
 func (p *VSWS) Reset() {
 	p.now = 0
 	p.lastSample = 0
 	p.faultsSince = 0
-	p.resident = map[mem.Page]bool{}
-	p.useBit = map[mem.Page]bool{}
+	p.epoch = 0
+	for i := range p.resident {
+		p.resident[i] = false
+		p.useEpoch[i] = -1
+	}
+	p.nres = 0
 }
 
 // DWS is the Damped Working Set policy (Smith, 1976), which the paper
@@ -156,17 +209,32 @@ func (p *VSWS) Reset() {
 // from the resident set are rate-limited — at most one page may leave per
 // Damping references — so the set deflates gradually across interlocality
 // transitions instead of collapsing.
+//
+// The damper's held set is a ring buffer of (slot, seq) records over the
+// inner WS's page slots. A record is live iff its slot is currently held
+// AND its seq matches the slot's latest hold; records orphaned by a
+// re-reference (or by hold-release-hold cycles, which would otherwise put
+// a page back at its stale ring position) are skipped as tombstones when
+// the damper releases the oldest held page.
 type DWS struct {
 	noDirectives
 	ws       *WS
 	damping  int64
+	name     string
 	lastDrop int64
 	now      int64
 
-	// held are pages that expired from the true WS but are retained by
-	// the damper, in expiry order.
-	held    []mem.Page
-	heldSet map[mem.Page]bool
+	held              []dwsRecord
+	heldHead, heldLen int
+	heldIn            []bool
+	heldSeq           []int64
+	seq               int64
+	heldCount         int
+}
+
+type dwsRecord struct {
+	slot int32
+	seq  int64
 }
 
 // NewDWS returns a Damped WS with window tau and the given damping
@@ -175,64 +243,99 @@ func NewDWS(tau, damping int) *DWS {
 	if damping < 1 {
 		damping = 1
 	}
-	p := &DWS{ws: NewWS(tau), damping: int64(damping), heldSet: map[mem.Page]bool{}}
+	p := &DWS{ws: NewWS(tau), damping: int64(damping)}
+	p.name = fmt.Sprintf("DWS(tau=%d,d=%d)", p.ws.Tau(), p.damping)
 	p.ws.onExpire = p.hold
 	return p
 }
 
 // Name implements Policy.
-func (p *DWS) Name() string {
-	return fmt.Sprintf("DWS(tau=%d,d=%d)", p.ws.Tau(), p.damping)
+func (p *DWS) Name() string { return p.name }
+
+// HintPages implements PageHinter.
+func (p *DWS) HintPages(maxPage mem.Page, distinct int) { p.ws.HintPages(maxPage, distinct) }
+
+// grow keeps the per-slot held arrays in step with the inner WS's index.
+func (p *DWS) grow(s int32) {
+	for int(s) >= len(p.heldIn) {
+		p.heldIn = append(p.heldIn, false)
+		p.heldSeq = append(p.heldSeq, 0)
+	}
 }
 
-// hold receives pages expiring from the true working set.
-func (p *DWS) hold(pg mem.Page) {
-	if !p.heldSet[pg] {
-		p.held = append(p.held, pg)
-		p.heldSet[pg] = true
+// pushHeld appends a record at the ring's tail, doubling when full.
+func (p *DWS) pushHeld(r dwsRecord) {
+	if p.heldLen == len(p.held) {
+		grown := make([]dwsRecord, max(2*len(p.held), 64))
+		for i := 0; i < p.heldLen; i++ {
+			grown[i] = p.held[(p.heldHead+i)&(len(p.held)-1)]
+		}
+		p.held = grown
+		p.heldHead = 0
 	}
+	p.held[(p.heldHead+p.heldLen)&(len(p.held)-1)] = r
+	p.heldLen++
+}
+
+// hold receives slots expiring from the true working set.
+func (p *DWS) hold(s int32) {
+	p.grow(s)
+	if p.heldIn[s] {
+		return
+	}
+	p.seq++
+	p.heldIn[s] = true
+	p.heldSeq[s] = p.seq
+	p.heldCount++
+	p.pushHeld(dwsRecord{slot: s, seq: p.seq})
 }
 
 // Ref implements Policy.
 func (p *DWS) Ref(pg mem.Page) bool {
 	p.now++
 	fault := p.ws.Ref(pg)
-	if p.heldSet[pg] {
+	s := p.ws.slotOf(pg)
+	p.grow(s)
+	if p.heldIn[s] {
 		// The page expired from the true WS but the damper still holds
-		// it: re-entry is not a real fault.
-		p.removeHeld(pg)
+		// it: re-entry is not a real fault. Its ring record becomes a
+		// tombstone (seq no longer matches on a later re-hold).
+		p.heldIn[s] = false
+		p.heldCount--
 		fault = false
 	}
 	// Damping: release at most one held page per damping interval.
-	if len(p.held) > 0 && p.now-p.lastDrop >= p.damping {
-		drop := p.held[0]
-		p.held = p.held[1:]
-		delete(p.heldSet, drop)
-		p.lastDrop = p.now
+	if p.heldCount > 0 && p.now-p.lastDrop >= p.damping {
+		for p.heldLen > 0 {
+			rec := p.held[p.heldHead]
+			p.heldHead = (p.heldHead + 1) & (len(p.held) - 1)
+			p.heldLen--
+			if p.heldIn[rec.slot] && p.heldSeq[rec.slot] == rec.seq {
+				p.heldIn[rec.slot] = false
+				p.heldCount--
+				p.lastDrop = p.now
+				break
+			}
+		}
 	}
 	return fault
 }
 
-func (p *DWS) removeHeld(pg mem.Page) {
-	delete(p.heldSet, pg)
-	for i, q := range p.held {
-		if q == pg {
-			p.held = append(p.held[:i], p.held[i+1:]...)
-			break
-		}
-	}
-}
-
 // Resident implements Policy.
-func (p *DWS) Resident() int { return p.ws.Resident() + len(p.held) }
+func (p *DWS) Resident() int { return p.ws.Resident() + p.heldCount }
 
 // Reset implements Policy.
 func (p *DWS) Reset() {
 	p.ws.Reset()
 	p.now = 0
 	p.lastDrop = 0
-	p.held = nil
-	p.heldSet = map[mem.Page]bool{}
+	p.heldHead, p.heldLen = 0, 0
+	for i := range p.heldIn {
+		p.heldIn[i] = false
+		p.heldSeq[i] = 0
+	}
+	p.seq = 0
+	p.heldCount = 0
 }
 
 var (

@@ -1,0 +1,74 @@
+package policy
+
+import "cdmm/internal/mem"
+
+// Step implements Stepper. LRU is charged its whole fixed partition.
+func (p *LRU) Step(pg mem.Page) (bool, int, int) {
+	fault := p.Ref(pg)
+	return fault, p.list.n, p.frames
+}
+
+// Step implements Stepper. FIFO is charged its whole fixed partition.
+func (p *FIFO) Step(pg mem.Page) (bool, int, int) {
+	fault := p.Ref(pg)
+	return fault, p.qlen, p.frames
+}
+
+// Step implements Stepper. WS is charged its working set.
+func (p *WS) Step(pg mem.Page) (bool, int, int) {
+	fault := p.Ref(pg)
+	return fault, p.resident, p.resident
+}
+
+// Step implements Stepper. CD is charged its demand-assigned resident set.
+func (p *CD) Step(pg mem.Page) (bool, int, int) {
+	fault := p.Ref(pg)
+	if p.degraded {
+		r := p.fallback.Resident()
+		return fault, r, r
+	}
+	return fault, p.list.n, p.list.n
+}
+
+// Step implements Stepper.
+func (p *PFF) Step(pg mem.Page) (bool, int, int) {
+	fault := p.Ref(pg)
+	return fault, p.nres, p.nres
+}
+
+// Step implements Stepper.
+func (p *SWS) Step(pg mem.Page) (bool, int, int) {
+	fault := p.Ref(pg)
+	return fault, p.nres, p.nres
+}
+
+// Step implements Stepper.
+func (p *VSWS) Step(pg mem.Page) (bool, int, int) {
+	fault := p.Ref(pg)
+	return fault, p.nres, p.nres
+}
+
+// Step implements Stepper.
+func (p *DWS) Step(pg mem.Page) (bool, int, int) {
+	fault := p.Ref(pg)
+	r := p.ws.resident + p.heldCount
+	return fault, r, r
+}
+
+// Step implements Stepper. OPT is charged its whole fixed partition.
+func (p *OPT) Step(pg mem.Page) (bool, int, int) {
+	fault := p.Ref(pg)
+	return fault, len(p.resident), p.frames
+}
+
+var (
+	_ Stepper = (*LRU)(nil)
+	_ Stepper = (*FIFO)(nil)
+	_ Stepper = (*WS)(nil)
+	_ Stepper = (*CD)(nil)
+	_ Stepper = (*PFF)(nil)
+	_ Stepper = (*SWS)(nil)
+	_ Stepper = (*VSWS)(nil)
+	_ Stepper = (*DWS)(nil)
+	_ Stepper = (*OPT)(nil)
+)

@@ -11,24 +11,33 @@ import (
 // virtual time advances one unit per reference. A reference to a page
 // outside the working set faults; pages leave the set when unreferenced
 // for τ time units.
+//
+// Per-page state is kept in dense slot arrays and the expiry window in a
+// ring buffer, so the steady-state reference path touches no maps and
+// allocates nothing.
 type WS struct {
 	noDirectives
-	tau     int64
-	now     int64
-	lastRef map[mem.Page]int64
-	// window is a FIFO of (time, page) reference records used to expire
-	// pages lazily; resident tracks |W(t, τ)| incrementally.
-	window   []wsRecord
-	resident int
+	tau  int64
+	name string
+	now  int64
+	idx  pageIndex
+	// seenAt[s] is 1 + the latest reference time of slot s while its page
+	// is in the working set, 0 when it is not.
+	seenAt []int64
+	// win is a ring buffer of (time, slot) reference records used to
+	// expire pages lazily; resident tracks |W(t, τ)| incrementally.
+	win             []wsRecord
+	winHead, winLen int
+	resident        int
 
-	// onExpire, when set, is called for each page that leaves the working
-	// set (used by the Damped WS wrapper).
-	onExpire func(mem.Page)
+	// onExpire, when set, is called with the slot of each page that
+	// leaves the working set (used by the Damped WS wrapper).
+	onExpire func(int32)
 }
 
 type wsRecord struct {
 	t    int64
-	page mem.Page
+	slot int32
 }
 
 // NewWS returns a Working Set policy with window size tau (in references).
@@ -36,27 +45,59 @@ func NewWS(tau int) *WS {
 	if tau < 1 {
 		tau = 1
 	}
-	return &WS{tau: int64(tau), lastRef: map[mem.Page]int64{}}
+	return &WS{tau: int64(tau), name: fmt.Sprintf("WS(tau=%d)", tau)}
 }
 
 // Name implements Policy.
-func (p *WS) Name() string { return fmt.Sprintf("WS(tau=%d)", p.tau) }
+func (p *WS) Name() string { return p.name }
 
 // Tau returns the window size.
 func (p *WS) Tau() int { return int(p.tau) }
 
+// HintPages implements PageHinter.
+func (p *WS) HintPages(maxPage mem.Page, distinct int) { p.idx.hint(maxPage, distinct) }
+
+// slotOf returns pg's dense slot, growing the state array in step with
+// the index.
+func (p *WS) slotOf(pg mem.Page) int32 {
+	s := p.idx.slot(pg)
+	if int(s) >= len(p.seenAt) {
+		p.seenAt = append(p.seenAt, 0)
+	}
+	return s
+}
+
+// pushWin appends a record at the ring's tail, doubling when full.
+func (p *WS) pushWin(t int64, s int32) {
+	if p.winLen == len(p.win) {
+		grown := make([]wsRecord, max(2*len(p.win), 64))
+		for i := 0; i < p.winLen; i++ {
+			grown[i] = p.win[(p.winHead+i)&(len(p.win)-1)]
+		}
+		p.win = grown
+		p.winHead = 0
+	}
+	p.win[(p.winHead+p.winLen)&(len(p.win)-1)] = wsRecord{t: t, slot: s}
+	p.winLen++
+}
+
 // Ref implements Policy. A reference at time t faults iff its page is not
 // in W(t-1, τ), i.e. iff the backward inter-reference interval exceeds τ
 // (Denning's definition); after the reference, the resident set is W(t, τ).
+//
+// The membership test needs the window expired to time t-1, which the
+// trailing expireTo of the previous reference already established: both
+// use the cutoff (t-1)-τ, and the only records pushed in between (Warm's,
+// stamped at the current instant) can never be that old.
 func (p *WS) Ref(pg mem.Page) bool {
 	p.now++
-	p.expireTo(p.now - 1) // establish W(t-1, τ) for the membership test
-	_, resident := p.lastRef[pg]
+	s := p.slotOf(pg)
+	resident := p.seenAt[s] != 0
 	if !resident {
 		p.resident++
 	}
-	p.lastRef[pg] = p.now
-	p.window = append(p.window, wsRecord{t: p.now, page: pg})
+	p.seenAt[s] = p.now + 1
+	p.pushWin(p.now, s)
 	p.expireTo(p.now) // establish W(t, τ) for Resident()
 	return !resident
 }
@@ -70,15 +111,16 @@ func (p *WS) Ref(pg mem.Page) bool {
 // expires).
 func (p *WS) Warm(pages []mem.Page) {
 	for _, pg := range pages {
-		last, ok := p.lastRef[pg]
-		if ok && last == p.now {
+		s := p.slotOf(pg)
+		v := p.seenAt[s]
+		if v == p.now+1 {
 			continue
 		}
-		if !ok {
+		if v == 0 {
 			p.resident++
 		}
-		p.lastRef[pg] = p.now
-		p.window = append(p.window, wsRecord{t: p.now, page: pg})
+		p.seenAt[s] = p.now + 1
+		p.pushWin(p.now, s)
 	}
 }
 
@@ -86,15 +128,19 @@ func (p *WS) Warm(pages []mem.Page) {
 // (x - τ, x].
 func (p *WS) expireTo(x int64) {
 	cutoff := x - p.tau // records with t <= cutoff are outside the window
-	for len(p.window) > 0 && p.window[0].t <= cutoff {
-		rec := p.window[0]
-		p.window = p.window[1:]
-		if p.lastRef[rec.page] == rec.t {
+	for p.winLen > 0 {
+		rec := p.win[p.winHead]
+		if rec.t > cutoff {
+			break
+		}
+		p.winHead = (p.winHead + 1) & (len(p.win) - 1)
+		p.winLen--
+		if p.seenAt[rec.slot] == rec.t+1 {
 			// No later reference kept the page in the working set.
-			delete(p.lastRef, rec.page)
+			p.seenAt[rec.slot] = 0
 			p.resident--
 			if p.onExpire != nil {
-				p.onExpire(rec.page)
+				p.onExpire(rec.slot)
 			}
 		}
 	}
@@ -106,7 +152,9 @@ func (p *WS) Resident() int { return p.resident }
 // Reset implements Policy.
 func (p *WS) Reset() {
 	p.now = 0
-	p.lastRef = map[mem.Page]int64{}
-	p.window = nil
+	for i := range p.seenAt {
+		p.seenAt[i] = 0
+	}
+	p.winHead, p.winLen = 0, 0
 	p.resident = 0
 }

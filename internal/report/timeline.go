@@ -74,7 +74,7 @@ func TimelineReport(eng *engine.Engine, p *core.Program, buckets int) (string, e
 		}
 	}
 
-	refs := tr.StripDirectives()
+	refs := tr.RefsOnly()
 	type rowSpec struct {
 		label string
 		run   func(o *obs.Observer) (vmsim.Result, error)

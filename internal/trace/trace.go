@@ -8,6 +8,7 @@ package trace
 
 import (
 	"fmt"
+	"sync"
 
 	"cdmm/internal/directive"
 	"cdmm/internal/mem"
@@ -67,6 +68,37 @@ type Trace struct {
 
 	allocIndex map[*directive.Allocate]int32
 	seen       map[mem.Page]bool
+
+	// mu guards the memoized views derived from Events (reference string,
+	// page universe, directive-free trace). The caches key on len(Events),
+	// so appending events invalidates them; editing events in place after a
+	// view has been requested is not supported.
+	mu    sync.Mutex
+	views *derived
+}
+
+// derived holds the memoized views of one event-stream snapshot.
+type derived struct {
+	events   int        // len(t.Events) when built
+	pages    []mem.Page // the reference string, in order
+	maxPage  mem.Page   // largest referenced page; -1 when there are none
+	uni      *Universe  // dense-id view, built on first Universe call
+	refsOnly *Trace     // directive-free view, built on first RefsOnly call
+}
+
+// Universe is the dense page-id view of a trace's reference string: every
+// distinct page is assigned a contiguous id in first-appearance order, so
+// analyses can replace per-page hash lookups with array indexing. All
+// slices are shared and read-only.
+type Universe struct {
+	// NumPages is the number of distinct pages (the id space size, V).
+	NumPages int
+	// MaxPage is the largest referenced page number, -1 when no refs.
+	MaxPage mem.Page
+	// IDs holds the dense id of each reference, parallel to Pages().
+	IDs []int32
+	// ByID maps a dense id back to its page number.
+	ByID []mem.Page
 }
 
 // New returns an empty trace.
@@ -133,15 +165,102 @@ func (t *Trace) Lock(e Event) LockSet { return t.LockSets[e.Arg] }
 // Unlock returns the page set of an EvUnlock event.
 func (t *Trace) Unlock(e Event) []mem.Page { return t.UnlockSets[e.Arg] }
 
-// Pages returns only the reference string (no directive events).
-func (t *Trace) Pages() []mem.Page {
-	out := make([]mem.Page, 0, t.Refs)
-	for _, e := range t.Events {
-		if e.Kind == EvRef {
-			out = append(out, mem.Page(e.Arg))
+// view returns the memoized derived views, rebuilding them when the event
+// count has changed since they were computed. Callers must hold t.mu.
+func (t *Trace) view() *derived {
+	if t.views == nil || t.views.events != len(t.Events) {
+		d := &derived{events: len(t.Events), maxPage: -1}
+		d.pages = make([]mem.Page, 0, t.Refs)
+		for _, e := range t.Events {
+			if e.Kind == EvRef {
+				pg := mem.Page(e.Arg)
+				d.pages = append(d.pages, pg)
+				if pg > d.maxPage {
+					d.maxPage = pg
+				}
+			}
 		}
+		t.views = d
 	}
-	return out
+	return t.views
+}
+
+// Pages returns the reference string (no directive events). The slice is
+// computed once and shared across calls — callers must treat it as
+// read-only. Appending further events invalidates the memo.
+func (t *Trace) Pages() []mem.Page {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.view().pages
+}
+
+// MaxPage returns the largest page number the trace references, or -1 for
+// an empty reference string.
+func (t *Trace) MaxPage() mem.Page {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.view().maxPage
+}
+
+// Universe returns the memoized dense page-id view of the reference
+// string. The returned struct and its slices are shared and read-only.
+func (t *Trace) Universe() *Universe {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.universeLocked(t.view())
+}
+
+// universeLocked builds d's universe memo. Callers must hold t.mu.
+func (t *Trace) universeLocked(d *derived) *Universe {
+	if d.uni == nil {
+		u := &Universe{MaxPage: d.maxPage, IDs: make([]int32, len(d.pages))}
+		idOf := make(map[mem.Page]int32, t.Distinct)
+		for i, pg := range d.pages {
+			id, ok := idOf[pg]
+			if !ok {
+				id = int32(len(u.ByID))
+				idOf[pg] = id
+				u.ByID = append(u.ByID, pg)
+			}
+			u.IDs[i] = id
+		}
+		u.NumPages = len(u.ByID)
+		d.uni = u
+	}
+	return d.uni
+}
+
+// RefsOnly returns the directive-free view of the trace: the same
+// reference string with no ALLOCATE/LOCK/UNLOCK events, memoized and
+// shared across calls. A trace with no directive events returns itself.
+// The returned trace is read-only; use StripDirectives for a private
+// mutable copy.
+func (t *Trace) RefsOnly() *Trace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := t.view()
+	if d.refsOnly == nil {
+		if len(d.pages) == len(t.Events) {
+			d.refsOnly = t // already directive-free
+			return d.refsOnly
+		}
+		events := make([]Event, len(d.pages))
+		for i, pg := range d.pages {
+			events[i] = Event{Kind: EvRef, Arg: int32(pg)}
+		}
+		ro := &Trace{
+			Name:     t.Name,
+			Events:   events,
+			Refs:     len(d.pages),
+			Distinct: t.Distinct,
+		}
+		// The view shares the parent's reference string and universe
+		// (built now if needed — it is O(R), like this view itself).
+		ro.views = &derived{events: len(events), pages: d.pages, maxPage: d.maxPage, uni: t.universeLocked(d)}
+		ro.views.refsOnly = ro
+		d.refsOnly = ro
+	}
+	return d.refsOnly
 }
 
 // StripDirectives returns a copy of the trace with directive events

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"testing"
+
+	"cdmm/internal/directive"
+	"cdmm/internal/mem"
+)
+
+func buildMixedTrace() *Trace {
+	tr := New("mixed")
+	d := &directive.Allocate{Arms: []directive.Arm{{PI: 1, X: 3}}}
+	tr.AddRef(5)
+	tr.AddRef(2)
+	tr.AddAlloc(d)
+	tr.AddRef(5)
+	tr.AddLock(1, 0, []mem.Page{5})
+	tr.AddRef(9)
+	tr.AddUnlock([]mem.Page{5})
+	tr.AddRef(2)
+	return tr
+}
+
+// TestPagesMemoized: repeated Pages() calls return the identical shared
+// slice, and appending an event invalidates the memo.
+func TestPagesMemoized(t *testing.T) {
+	tr := buildMixedTrace()
+	p1 := tr.Pages()
+	p2 := tr.Pages()
+	if len(p1) != 5 {
+		t.Fatalf("Pages len=%d, want 5", len(p1))
+	}
+	if &p1[0] != &p2[0] {
+		t.Fatal("Pages() returned distinct slices across calls")
+	}
+	if tr.MaxPage() != 9 {
+		t.Fatalf("MaxPage=%d, want 9", tr.MaxPage())
+	}
+
+	tr.AddRef(11)
+	p3 := tr.Pages()
+	if len(p3) != 6 || p3[5] != 11 {
+		t.Fatalf("Pages after AddRef = %v, want trailing 11", p3)
+	}
+	if tr.MaxPage() != 11 {
+		t.Fatalf("MaxPage after AddRef=%d, want 11", tr.MaxPage())
+	}
+}
+
+// TestUniverse checks the dense-id view: IDs parallel to the reference
+// string, ByID in first-appearance order.
+func TestUniverse(t *testing.T) {
+	tr := buildMixedTrace()
+	u := tr.Universe()
+	if u.NumPages != 3 {
+		t.Fatalf("NumPages=%d, want 3", u.NumPages)
+	}
+	if u.MaxPage != 9 {
+		t.Fatalf("Universe MaxPage=%d, want 9", u.MaxPage)
+	}
+	wantByID := []mem.Page{5, 2, 9}
+	for i, pg := range wantByID {
+		if u.ByID[i] != pg {
+			t.Fatalf("ByID=%v, want %v", u.ByID, wantByID)
+		}
+	}
+	wantIDs := []int32{0, 1, 0, 2, 1}
+	for i, id := range wantIDs {
+		if u.IDs[i] != id {
+			t.Fatalf("IDs=%v, want %v", u.IDs, wantIDs)
+		}
+	}
+	if u2 := tr.Universe(); u2 != u {
+		t.Fatal("Universe() not memoized")
+	}
+}
+
+// TestRefsOnly: a trace with directives yields a shared directive-free
+// view; a directive-free trace returns itself; the view shares the
+// parent's memoized reference string.
+func TestRefsOnly(t *testing.T) {
+	tr := buildMixedTrace()
+	ro := tr.RefsOnly()
+	if ro == tr {
+		t.Fatal("RefsOnly returned the original trace despite directives")
+	}
+	if ro.Refs != 5 || len(ro.Events) != 5 {
+		t.Fatalf("RefsOnly Refs=%d events=%d, want 5/5", ro.Refs, len(ro.Events))
+	}
+	for _, e := range ro.Events {
+		if e.Kind != EvRef {
+			t.Fatalf("RefsOnly kept a directive event: %v", e)
+		}
+	}
+	if ro.Distinct != tr.Distinct {
+		t.Fatalf("RefsOnly Distinct=%d, want %d", ro.Distinct, tr.Distinct)
+	}
+	if ro2 := tr.RefsOnly(); ro2 != ro {
+		t.Fatal("RefsOnly() not memoized")
+	}
+	// The child's view shares the parent's pages slice and universe.
+	pp, cp := tr.Pages(), ro.Pages()
+	if &pp[0] != &cp[0] {
+		t.Fatal("RefsOnly view does not share the parent reference string")
+	}
+	if tr.Universe() != ro.Universe() {
+		t.Fatal("RefsOnly view does not share the parent universe")
+	}
+	if ro.RefsOnly() != ro {
+		t.Fatal("RefsOnly of a refs-only view should return itself")
+	}
+
+	pure := New("pure")
+	pure.AddRef(1)
+	pure.AddRef(2)
+	if pure.RefsOnly() != pure {
+		t.Fatal("directive-free trace should return itself from RefsOnly")
+	}
+}
+
+// TestRefsOnlyMatchesStripDirectives pins the fast shared view to the
+// slow private copy.
+func TestRefsOnlyMatchesStripDirectives(t *testing.T) {
+	tr := buildMixedTrace()
+	ro, st := tr.RefsOnly(), tr.StripDirectives()
+	if ro.Refs != st.Refs || ro.Distinct != st.Distinct {
+		t.Fatalf("RefsOnly (R=%d V=%d) != StripDirectives (R=%d V=%d)",
+			ro.Refs, ro.Distinct, st.Refs, st.Distinct)
+	}
+	for i := range st.Events {
+		if ro.Events[i] != st.Events[i] {
+			t.Fatalf("event %d: RefsOnly %v != StripDirectives %v", i, ro.Events[i], st.Events[i])
+		}
+	}
+}
+
+// TestViewsConcurrent hammers the memoized views from multiple goroutines
+// (run under -race).
+func TestViewsConcurrent(t *testing.T) {
+	tr := buildMixedTrace()
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				_ = tr.Pages()
+				_ = tr.MaxPage()
+				_ = tr.Universe()
+				_ = tr.RefsOnly()
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+}

@@ -1,7 +1,6 @@
 package vmsim
 
 import (
-	"cdmm/internal/mem"
 	"cdmm/internal/policy"
 	"cdmm/internal/trace"
 )
@@ -24,40 +23,35 @@ type LRUSweep struct {
 
 // NewLRUSweep analyzes the trace's reference string.
 func NewLRUSweep(tr *trace.Trace) *LRUSweep {
-	refs := tr.Pages()
-	s := &LRUSweep{Refs: len(refs)}
+	uni := tr.Universe()
+	refs := uni.IDs
+	s := &LRUSweep{Refs: len(refs), V: uni.NumPages}
 
-	// Single pass: the LRU stack distance of every reference.
+	// Single pass: the LRU stack distance of every reference. Pages are
+	// addressed by their dense universe id, so the per-page bookkeeping is
+	// array indexing instead of hashing.
 	bit := newFenwick(len(refs) + 1)
-	lastPos := map[mem.Page]int{} // page -> 1-based time of latest ref
-	distHist := map[int]int{}     // stack distance -> count (finite only)
-	distinct := 0
+	lastPos := make([]int, uni.NumPages) // id -> 1-based time of latest ref; 0 = unseen
+	distSuffix := make([]int, s.V+2)     // stack distance -> count, then suffix sums
 
-	for i, pg := range refs {
+	for i, id := range refs {
 		t := i + 1
-		if prev, ok := lastPos[pg]; ok {
+		if prev := lastPos[id]; prev != 0 {
 			// Distinct pages referenced strictly after prev: set bits in
 			// (prev, t).
-			k := bit.sum(t-1) - bit.sum(prev)
-			distHist[k+1]++
+			d := bit.sum(t-1) - bit.sum(prev) + 1
+			if d > s.V {
+				d = s.V + 1 // cannot exceed V, defensive
+			}
+			distSuffix[d]++
 			bit.add(prev, -1)
-		} else {
-			distinct++
 		}
 		bit.add(t, 1)
-		lastPos[pg] = t
+		lastPos[id] = t
 	}
-	s.V = distinct
 
 	// Faults(m) = first touches (V) + #refs with stack distance > m.
 	s.faults = make([]int, s.V+1)
-	distSuffix := make([]int, s.V+2)
-	for d, c := range distHist {
-		if d > s.V {
-			d = s.V + 1 // cannot exceed V, defensive
-		}
-		distSuffix[d] += c
-	}
 	for d := s.V; d >= 1; d-- {
 		distSuffix[d] += distSuffix[d+1]
 	}

@@ -39,7 +39,9 @@ func RunObserved(tr *trace.Trace, pol policy.Policy, o *obs.Observer) Result {
 // charging) while streaming events and metrics.
 func runInstrumented(tr *trace.Trace, pol policy.Policy, o *obs.Observer) Result {
 	pol.Reset()
+	hintPages(tr, pol)
 	res := Result{Policy: pol.Name(), Refs: tr.Refs}
+	charger, _ := pol.(policy.Charger) // hoisted from policy.Charge
 
 	var (
 		cRefs, cFaults, cSwapSig, cLockRel *obs.Counter
@@ -113,7 +115,12 @@ func runInstrumented(tr *trace.Trace, pol policy.Policy, o *obs.Observer) Result
 				res.Faults++
 				dt += policy.FaultService
 			}
-			m := policy.Charge(pol)
+			var m int
+			if charger != nil {
+				m = charger.Charged()
+			} else {
+				m = pol.Resident()
+			}
 			res.VirtualTime += dt
 			res.SpaceTime += float64(m) * float64(dt)
 			res.MemSum += float64(m)
@@ -180,7 +187,7 @@ func SweepLRUObserved(tr *trace.Trace, maxFrames int, o *obs.Observer) []Result 
 	if o == nil {
 		o = DefaultObserver
 	}
-	refs := tr.StripDirectives()
+	refs := tr.RefsOnly()
 	out := make([]Result, maxFrames)
 	for m := 1; m <= maxFrames; m++ {
 		out[m-1] = runFast(refs, policy.NewLRU(m))
@@ -195,7 +202,7 @@ func SweepWSObserved(tr *trace.Trace, taus []int, o *obs.Observer) []Result {
 	if o == nil {
 		o = DefaultObserver
 	}
-	refs := tr.StripDirectives()
+	refs := tr.RefsOnly()
 	out := make([]Result, len(taus))
 	for i, tau := range taus {
 		out[i] = runFast(refs, policy.NewWS(tau))

@@ -93,35 +93,95 @@ func Run(tr *trace.Trace, pol policy.Policy) Result {
 	return RunObserved(tr, pol, nil)
 }
 
+// hintPages pre-sizes a policy's dense page-indexed state from the
+// trace's page universe, seeing through Unwrap wrappers, so the first
+// replay assigns page slots without growth reallocations.
+func hintPages(tr *trace.Trace, pol policy.Policy) {
+	for p := pol; p != nil; {
+		if h, ok := p.(policy.PageHinter); ok {
+			h.HintPages(tr.MaxPage(), tr.Distinct)
+			return
+		}
+		u, ok := p.(interface{ Unwrap() policy.Policy })
+		if !ok {
+			return
+		}
+		p = u.Unwrap()
+	}
+}
+
 // runFast is the un-instrumented simulation loop — the hot path when
-// observability is off.
+// observability is off. The indexes accumulate in int64: every charge and
+// time step is an integer, so the sums are exact (the float64 Result
+// fields would start rounding past 2^53).
 func runFast(tr *trace.Trace, pol policy.Policy) Result {
 	pol.Reset()
+	hintPages(tr, pol)
 	res := Result{Policy: pol.Name(), Refs: tr.Refs}
-	for _, e := range tr.Events {
-		switch e.Kind {
-		case trace.EvRef:
-			fault := pol.Ref(mem.Page(e.Arg))
-			dt := int64(1)
-			if fault {
-				res.Faults++
-				dt += policy.FaultService
+	charger, _ := pol.(policy.Charger) // hoisted from policy.Charge
+	var (
+		faults, maxRes        int
+		vt, spaceTime, memSum int64
+	)
+	if st, ok := pol.(policy.Stepper); ok {
+		// One dynamic dispatch per reference instead of three.
+		for _, e := range tr.Events {
+			switch e.Kind {
+			case trace.EvRef:
+				fault, r, m := st.Step(mem.Page(e.Arg))
+				dt := int64(1)
+				if fault {
+					faults++
+					dt += policy.FaultService
+				}
+				if r > maxRes {
+					maxRes = r
+				}
+				vt += dt
+				spaceTime += int64(m) * dt
+				memSum += int64(m)
+			case trace.EvAlloc:
+				pol.Alloc(tr.Alloc(e))
+			case trace.EvLock:
+				pol.Lock(tr.Lock(e))
+			case trace.EvUnlock:
+				pol.Unlock(tr.Unlock(e))
 			}
-			m := policy.Charge(pol)
-			res.VirtualTime += dt
-			res.SpaceTime += float64(m) * float64(dt)
-			res.MemSum += float64(m)
-			if r := pol.Resident(); r > res.MaxResident {
-				res.MaxResident = r
+		}
+	} else {
+		for _, e := range tr.Events {
+			switch e.Kind {
+			case trace.EvRef:
+				fault := pol.Ref(mem.Page(e.Arg))
+				dt := int64(1)
+				if fault {
+					faults++
+					dt += policy.FaultService
+				}
+				m := pol.Resident()
+				if m > maxRes {
+					maxRes = m
+				}
+				if charger != nil {
+					m = charger.Charged()
+				}
+				vt += dt
+				spaceTime += int64(m) * dt
+				memSum += int64(m)
+			case trace.EvAlloc:
+				pol.Alloc(tr.Alloc(e))
+			case trace.EvLock:
+				pol.Lock(tr.Lock(e))
+			case trace.EvUnlock:
+				pol.Unlock(tr.Unlock(e))
 			}
-		case trace.EvAlloc:
-			pol.Alloc(tr.Alloc(e))
-		case trace.EvLock:
-			pol.Lock(tr.Lock(e))
-		case trace.EvUnlock:
-			pol.Unlock(tr.Unlock(e))
 		}
 	}
+	res.Faults = faults
+	res.MaxResident = maxRes
+	res.VirtualTime = vt
+	res.SpaceTime = float64(spaceTime)
+	res.MemSum = float64(memSum)
 	if cd := policy.AsCD(pol); cd != nil {
 		res.SwapSignals = cd.SwapSignals
 		res.LockReleases = cd.LockReleases

@@ -3,7 +3,6 @@ package vmsim
 import (
 	"sort"
 
-	"cdmm/internal/mem"
 	"cdmm/internal/obs"
 	"cdmm/internal/policy"
 	"cdmm/internal/trace"
@@ -39,27 +38,30 @@ type WSSweep struct {
 
 // NewWSSweep analyzes the trace's reference string.
 func NewWSSweep(tr *trace.Trace) *WSSweep {
-	refs := tr.Pages()
+	uni := tr.Universe()
+	refs := uni.IDs
 	n := len(refs)
 	s := &WSSweep{Refs: n, tr: tr}
 
-	last := map[mem.Page]int{}
-	intervals := make([]int, 0, n) // backward intervals; n+1 encodes "first ref"
+	// Pages are addressed by their dense universe id, so the per-page
+	// last/next bookkeeping is array indexing instead of hashing.
+	last := make([]int, uni.NumPages) // id -> 1-based time of latest ref; 0 = unseen
 	fwd := make([]int, n)
-	nextOfSame := map[mem.Page]int{}
+	nextOfSame := make([]int, uni.NumPages)
 
-	for i, pg := range refs {
+	s.faultsGE = make([]int, n+3)
+	for i, id := range refs {
 		t := i + 1
-		if prev, ok := last[pg]; ok {
-			intervals = append(intervals, t-prev)
+		if prev := last[id]; prev != 0 {
+			s.faultsGE[t-prev]++ // backward interval; always <= n
 		} else {
-			intervals = append(intervals, n+1)
+			s.faultsGE[n+1]++ // first ref
 		}
-		last[pg] = t
+		last[id] = t
 	}
 	for i := n - 1; i >= 0; i-- {
 		t := i + 1
-		if nxt, ok := nextOfSame[refs[i]]; ok {
+		if nxt := nextOfSame[refs[i]]; nxt != 0 {
 			fwd[i] = nxt - t
 		} else {
 			fwd[i] = n - t + 1
@@ -67,13 +69,6 @@ func NewWSSweep(tr *trace.Trace) *WSSweep {
 		nextOfSame[refs[i]] = t
 	}
 
-	s.faultsGE = make([]int, n+3)
-	for _, iv := range intervals {
-		if iv > n+1 {
-			iv = n + 1
-		}
-		s.faultsGE[iv]++
-	}
 	for k := n + 1; k >= 1; k-- {
 		s.faultsGE[k] += s.faultsGE[k+1]
 	}
@@ -119,14 +114,23 @@ func (s *WSSweep) MEM(tau int) float64 {
 
 // Run replays the trace under WS(τ) for the exact result including ST.
 func (s *WSSweep) Run(tau int) Result {
-	return Run(s.tr, policy.NewWS(tau))
+	return s.RunObserved(tau, nil)
 }
 
 // RunObserved is Run with an explicit observer, so concurrent callers
 // (the experiment engine) can route events into per-run buffers instead
-// of racing on the process-wide default observer.
+// of racing on the process-wide default observer. Unobserved replays run
+// over the memoized directive-free view (WS ignores directives, so the
+// result is identical); observed replays keep the full trace so the
+// directive events still reach the event stream.
 func (s *WSSweep) RunObserved(tau int, o *obs.Observer) Result {
-	return RunObserved(s.tr, policy.NewWS(tau), o)
+	if o == nil {
+		o = DefaultObserver
+	}
+	if !o.Enabled() {
+		return runFast(s.tr.RefsOnly(), policy.NewWS(tau))
+	}
+	return runInstrumented(s.tr, policy.NewWS(tau), o)
 }
 
 // TauForMEM returns the window size whose average working-set size is
