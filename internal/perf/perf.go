@@ -166,10 +166,8 @@ func Compare(baseline, current *Baseline, threshold float64) (string, []string) 
 		base[c.Name] = c
 	}
 	fmt.Fprintf(&sb, "%-14s %12s %12s %8s  %s\n", "case", "old ns/ref", "new ns/ref", "delta", "allocs/ref")
-	names := make([]string, 0, len(current.Cases))
 	seen := map[string]bool{}
 	for _, c := range current.Cases {
-		names = append(names, c.Name)
 		seen[c.Name] = true
 	}
 	for _, c := range current.Cases {

@@ -269,6 +269,123 @@ func TestPageIndexWildSparsity(t *testing.T) {
 	}
 }
 
+// TestPageIndexSparseThenDenseGrowth reproduces the duplicate-slot
+// hazard: a page first assigned via the sparse path (out of the window at
+// the time) must keep its slot after growDense's doubling extends the
+// dense table past it.
+func TestPageIndexSparseThenDenseGrowth(t *testing.T) {
+	var idx pageIndex
+	s2000 := idx.slot(2000) // beyond pageIndexMinDense -> sparse path
+	for p := 0; p <= 999; p++ {
+		idx.slot(mem.Page(p)) // dense table settles at 1024
+	}
+	idx.slot(1500) // in window now -> doubling grows dense over page 2000
+	if len(idx.dense) < 2001 {
+		t.Fatalf("dense table is %d entries, expected growth past page 2000", len(idx.dense))
+	}
+	if got := idx.slot(2000); got != s2000 {
+		t.Fatalf("page 2000 re-assigned slot %d after dense growth, want original %d", got, s2000)
+	}
+	if idx.size() != 1002 {
+		t.Fatalf("size=%d, want 1002 distinct pages", idx.size())
+	}
+	for s, pg := range idx.pages {
+		if got := idx.lookup(pg); got != int32(s) {
+			t.Fatalf("lookup(%d)=%d, want %d", pg, got, s)
+		}
+	}
+}
+
+// TestPageIndexHintAfterSparse covers Reset-style reuse: a page assigned
+// sparsely in one run must survive a later HintPages-driven growth that
+// covers it densely.
+func TestPageIndexHintAfterSparse(t *testing.T) {
+	var idx pageIndex
+	s2000 := idx.slot(2000)
+	s5 := idx.slot(5)
+	idx.hint(4096, 600) // next trace's universe covers page 2000 in-window
+	if len(idx.dense) < 2001 {
+		t.Fatalf("dense table is %d entries, expected hint growth past page 2000", len(idx.dense))
+	}
+	if got := idx.slot(2000); got != s2000 {
+		t.Fatalf("page 2000 re-assigned slot %d after hint, want original %d", got, s2000)
+	}
+	if got := idx.slot(5); got != s5 {
+		t.Fatalf("page 5 slot drifted to %d after hint, want %d", got, s5)
+	}
+	if idx.size() != 2 {
+		t.Fatalf("size=%d, want 2", idx.size())
+	}
+}
+
+// overlapOps builds a stream that walks straight through the
+// sparse-then-dense overlap window: mid-range pages (a few x the initial
+// dense table, well inside what growth can reach) are touched first and
+// take the sparse path, then a sequential sweep of low pages doubles the
+// dense table across them, then the mid-range pages are revisited while
+// still resident, and a random tail mixes the full universe.
+func overlapOps(r *rand.Rand, withDirectives bool) []diffOp {
+	midPages := []mem.Page{1500, 2000, 3000, 4090}
+	var ops []diffOp
+	for _, pg := range midPages {
+		ops = append(ops, diffOp{kind: opRef, page: pg})
+	}
+	for p := 0; p < 1200; p++ {
+		ops = append(ops, diffOp{kind: opRef, page: mem.Page(p)})
+	}
+	for _, pg := range midPages {
+		ops = append(ops, diffOp{kind: opRef, page: pg})
+	}
+	all := append([]mem.Page{0, 1, 5, 700, 1100}, midPages...)
+	return append(ops, genOps(r, 2000, all, withDirectives)...)
+}
+
+// TestPolicySparseDenseOverlap is the policy-level differential for the
+// overlap window. Capacities are sized so the mid-range pages are still
+// resident when revisited after the growth — a duplicate slot then shows
+// up as a spurious fault or a Resident drift against the oracle.
+func TestPolicySparseDenseOverlap(t *testing.T) {
+	cases := []diffCase{
+		{"LRU/m=4000", func() Policy { return NewLRU(4000) }, func() Policy { return newOracleLRU(4000) }, false},
+		{"FIFO/m=4000", func() Policy { return NewFIFO(4000) }, func() Policy { return newOracleFIFO(4000) }, false},
+		{"WS/tau=100000", func() Policy { return NewWS(100000) }, func() Policy { return newOracleWS(100000) }, false},
+		{"PFF/T=100000", func() Policy { return NewPFF(100000) }, func() Policy { return newOraclePFF(100000) }, false},
+		{"SWS/sigma=100000", func() Policy { return NewSWS(100000) }, func() Policy { return newOracleSWS(100000) }, false},
+		{"CD/level=2", func() Policy { return NewCD(SelectLevel(2), 2) }, func() Policy { return newOracleCD(SelectLevel(2), 2) }, true},
+	}
+	cases = append(cases, diffCases()...)
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(23))
+			ops := overlapOps(r, tc.directives)
+			runDiff(t, tc.dense(), tc.oracle(), ops, false, "overlap/Ref")
+			runDiff(t, tc.dense(), tc.oracle(), overlapOps(r, tc.directives), true, "overlap/Step")
+		})
+	}
+}
+
+// TestPolicyHintAfterSparseReuse drives a policy through a run small
+// enough to leave its mid-range pages on the sparse path, Resets it,
+// hints a universe that covers those pages densely, and replays against
+// a fresh oracle — the engine's Reset-reuse pattern.
+func TestPolicyHintAfterSparseReuse(t *testing.T) {
+	universe := []mem.Page{0, 1, 2, 5, 9, 1500, 2000, 3000, 4090}
+	for _, tc := range diffCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(31))
+			dense := tc.dense()
+			runDiff(t, dense, tc.oracle(), genOps(r, 1500, universe, tc.directives), false, "pre-hint")
+			dense.Reset()
+			if h, ok := dense.(PageHinter); ok {
+				h.HintPages(4096, 600)
+			}
+			runDiff(t, dense, tc.oracle(), overlapOps(r, tc.directives), false, "post-hint")
+		})
+	}
+}
+
 // TestPolicyWildPages drives each dense policy over a stream dominated by
 // wild sparse pages and checks behavior still matches the oracle — the
 // sparsity fallback must be semantically invisible.

@@ -36,9 +36,15 @@ func (x *pageIndex) size() int { return len(x.pages) }
 func (x *pageIndex) pageOf(s int32) mem.Page { return x.pages[s] }
 
 // lookup returns the slot of p, or -1 when p has never been indexed.
+// A page covered by the dense table but unassigned there may still hold
+// a sparse slot: it was first touched while outside the sparsity window,
+// before growth extended the table past it. growDense migrates such
+// entries, but the fallthrough keeps lookup correct on its own.
 func (x *pageIndex) lookup(p mem.Page) int32 {
 	if p >= 0 && int(p) < len(x.dense) {
-		return x.dense[p] - 1
+		if v := x.dense[p]; v != 0 {
+			return v - 1
+		}
 	}
 	if s, ok := x.sparse[p]; ok {
 		return s
@@ -90,6 +96,14 @@ func (x *pageIndex) growDense(need int) {
 	nd := make([]int32, n)
 	copy(nd, x.dense)
 	x.dense = nd
+	// Migrate sparse entries the wider table now covers, so pages that
+	// arrived ahead of the growth keep taking the array path afterwards.
+	for p, s := range x.sparse {
+		if p >= 0 && int(p) < len(x.dense) {
+			x.dense[p] = s + 1
+			delete(x.sparse, p)
+		}
+	}
 }
 
 // hint pre-sizes the dense table for a trace whose largest page and
