@@ -27,6 +27,7 @@ func cmdBench(args []string) error {
 		fmt.Printf("%-14s %-8s refs=%-7d %8.2f ns/ref  %.3f allocs/ref  PF=%d\n",
 			c.Name, c.Workload, c.Refs, c.NsPerRef, c.AllocsPerRef, c.Faults)
 	}
+	fmt.Printf("serve overhead (no client attached): %+.2f%%\n", 100*cur.ServeOverhead)
 	if *out != "" {
 		if err := perf.Save(*out, cur); err != nil {
 			return err

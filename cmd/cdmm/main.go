@@ -41,8 +41,16 @@ func registerJFlag(fs *flag.FlagSet) *int {
 
 // newEngine builds the command's engine from -j and installs it as the
 // process default so package-level conveniences share its memo store.
+// When a telemetry server is live (cdmm serve, or the -serve flag) the
+// engine also reports plan/run lifecycle into its tracker and logger.
 func newEngine(j int) *engine.Engine {
 	e := engine.New(j)
+	if serveProgress != nil {
+		e.WithProgress(serveProgress)
+	}
+	if serveLogger != nil {
+		e.WithLogger(serveLogger)
+	}
 	engine.SetDefault(e)
 	return e
 }
@@ -53,6 +61,20 @@ func main() {
 		os.Exit(2)
 	}
 	cmd, args := os.Args[1], os.Args[2:]
+	if cmd == "help" || cmd == "-h" || cmd == "--help" {
+		usage()
+		return
+	}
+	if err := runCommand(cmd, args); err != nil {
+		fmt.Fprintln(os.Stderr, "cdmm:", err)
+		os.Exit(1)
+	}
+}
+
+// runCommand dispatches one subcommand. It is the reentrant core of
+// main: `cdmm serve -- <cmd> ...` routes the nested command through it
+// with telemetry attached.
+func runCommand(cmd string, args []string) error {
 	var err error
 	switch cmd {
 	case "list":
@@ -124,19 +146,16 @@ func main() {
 		err = cmdChaos(args)
 	case "bench":
 		err = cmdBench(args)
+	case "serve":
+		err = cmdServe(args)
 	case "table1", "table2", "table3", "table4", "tables":
 		err = cmdTables(cmd, args)
-	case "help", "-h", "--help":
-		usage()
 	default:
 		fmt.Fprintf(os.Stderr, "cdmm: unknown command %q\n\n", cmd)
 		usage()
 		os.Exit(2)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cdmm:", err)
-		os.Exit(1)
-	}
+	return err
 }
 
 func usage() {
@@ -175,6 +194,14 @@ commands:
       -o file.json                 write the measured baseline
       -compare base.json           fail on regressions vs a baseline
       -threshold 0.25              ns/ref growth fraction that fails
+  serve    [flags] [-- cmd ...]   live telemetry daemon: Prometheus
+                            /metrics, /progress + /runs/{id} lifecycle,
+                            /events SSE stream, /healthz
+      -addr host:port              listen address (default 127.0.0.1:8377)
+      -pprof                       expose /debug/pprof/
+      -linger 30s                  keep serving after the nested command
+      -sse-buffer N                per-subscriber event buffer (default 256)
+      -- table1 -j 8               nested command to run with telemetry
   table1..table4 | tables   regenerate the paper's tables
 
 parallelism flag (sim, replay, profile, report, family, detune, pagesize, table*):
@@ -185,6 +212,10 @@ parallelism flag (sim, replay, profile, report, family, detune, pagesize, table*
 observability flags (sim, replay, profile, table*):
   -events f.jsonl           structured event trace (virtual-time stamped JSONL)
   -metrics f.json           metrics snapshot (counters, gauges, histograms)
+  -serve host:port          expose live telemetry for this command (same
+                            endpoints as the serve daemon; with -events or
+                            -metrics instrumentation stays always-on and the
+                            registry is shared with the JSON snapshot)
   -cpuprofile f.pprof       pprof CPU profile of the command
   -memprofile f.pprof       pprof heap profile of the command
 `)
@@ -284,12 +315,12 @@ func cmdSim(args []string) error {
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
-		newEngine(*j)
 		tr, err := p.Trace()
 		if err != nil {
 			return err
 		}
 		return of.withObs(func() error {
+			newEngine(*j) // after activate: a -serve tracker attaches here
 			var res vmsim.Result
 			var err error
 			switch *polName {
@@ -470,8 +501,8 @@ func cmdReplay(args []string) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	newEngine(*j)
 	return of.withObs(func() error {
+		newEngine(*j) // after activate: a -serve tracker attaches here
 		var res vmsim.Result
 		switch *polName {
 		case "cd":

@@ -1,43 +1,51 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"cdmm/internal/obs"
+	"cdmm/internal/serve"
 	"cdmm/internal/vmsim"
 )
 
 // obsFlags holds the observability flags shared by sim, replay, profile
 // and the table commands: structured event tracing, a metrics snapshot,
-// and pprof CPU/heap profiles.
+// a live telemetry server, and pprof CPU/heap profiles.
 type obsFlags struct {
 	events     *string
 	metrics    *string
+	serveAddr  *string
 	cpuprofile *string
 	memprofile *string
 
 	sink *obs.JSONLSink
 	reg  *obs.Registry
+	srv  *serve.Server
 	cpu  *os.File
 }
 
-// registerObsFlags adds the four flags to fs.
+// registerObsFlags adds the flags to fs.
 func registerObsFlags(fs *flag.FlagSet) *obsFlags {
 	f := &obsFlags{}
 	f.events = fs.String("events", "", "write a JSONL structured event trace to this file")
 	f.metrics = fs.String("metrics", "", "write a JSON metrics snapshot to this file")
+	f.serveAddr = fs.String("serve", "", "expose live telemetry (/metrics, /progress, /events) at this host:port for the command's duration")
 	f.cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	f.memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file")
 	return f
 }
 
 // activate opens the requested sinks, installs the process-wide run
-// observer and starts CPU profiling. The returned finish func must be
-// called exactly once after the command's work to flush and close
-// everything; its error must be propagated.
+// observer and starts CPU profiling. Call it before newEngine: a -serve
+// telemetry server attaches its progress tracker to every engine built
+// afterwards. The returned finish func must be called exactly once
+// after the command's work to flush and close everything; its error
+// must be propagated.
 func (f *obsFlags) activate() (func() error, error) {
 	var o obs.Observer
 	if *f.events != "" {
@@ -52,7 +60,35 @@ func (f *obsFlags) activate() (func() error, error) {
 		f.reg = obs.NewRegistry()
 		o.Metrics = f.reg
 	}
-	if o.Enabled() {
+	if *f.serveAddr != "" {
+		logger := newServeLogger()
+		// Share the -metrics registry with the scrape endpoint when both
+		// are requested, so the JSON snapshot and Prometheus agree.
+		f.srv = serve.New(serve.Options{Registry: f.reg, Log: logger})
+		if err := f.srv.Start(*f.serveAddr); err != nil {
+			if f.sink != nil {
+				f.sink.Close()
+			}
+			return nil, err
+		}
+		so := f.srv.Observer()
+		if o.Tracer != nil {
+			o.Tracer = obs.MultiTracer{o.Tracer, so.Tracer}
+		} else {
+			o.Tracer = so.Tracer
+		}
+		o.Metrics = so.Metrics
+		f.reg = so.Metrics
+		if *f.events == "" && *f.metrics == "" {
+			// Telemetry only: gate on actual clients so unwatched runs
+			// keep the un-instrumented fast path. Explicit file sinks
+			// bypass the gate — they must capture everything.
+			o.Gate = f.srv
+		}
+		serveProgress = f.srv.Progress()
+		serveLogger = logger
+	}
+	if o.Tracer != nil || o.Metrics != nil {
 		vmsim.DefaultObserver = &o
 	}
 	if *f.cpuprofile != "" {
@@ -77,6 +113,13 @@ func (f *obsFlags) finish() error {
 		}
 	}
 	vmsim.DefaultObserver = nil
+	if f.srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		keep(f.srv.Shutdown(ctx))
+		cancel()
+		serveProgress = nil
+		serveLogger = nil
+	}
 	if f.cpu != nil {
 		pprof.StopCPUProfile()
 		keep(f.cpu.Close())
@@ -94,7 +137,7 @@ func (f *obsFlags) finish() error {
 	if f.sink != nil {
 		keep(f.sink.Close())
 	}
-	if f.reg != nil {
+	if *f.metrics != "" && f.reg != nil {
 		file, err := os.Create(*f.metrics)
 		if err != nil {
 			keep(err)

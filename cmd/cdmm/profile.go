@@ -20,8 +20,8 @@ func cmdProfile(args []string) error {
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
-		eng := newEngine(*j)
 		return of.withObs(func() error {
+			eng := newEngine(*j) // after activate: a -serve tracker attaches here
 			fmt.Println(p.Summary())
 			out, err := report.TimelineReport(eng, p, *buckets)
 			if err != nil {

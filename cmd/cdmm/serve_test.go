@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+
+	"cdmm/internal/serve"
+)
+
+// captureStdout runs fn with os.Stdout redirected into a buffer and
+// returns everything the command printed. Command output is the
+// determinism contract under test: a run with a telemetry server
+// attached must print exactly what a serverless run prints.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	var buf bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		io.Copy(&buf, r)
+		close(done)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	<-done
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return buf.String()
+}
+
+// httpGetBody fetches a URL and returns the body.
+func httpGetBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s read: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d, body %s", url, resp.StatusCode, b)
+	}
+	return string(b)
+}
+
+// TestServeOutputByteIdenticalToServerless is the acceptance check that
+// attaching the telemetry daemon changes nothing about results: the
+// nested command's stdout under `cdmm serve -- ...` (at a different -j)
+// is byte-identical to a plain serverless run.
+func TestServeOutputByteIdenticalToServerless(t *testing.T) {
+	plain := captureStdout(t, func() error {
+		return runCommand("table1", []string{"-j", "1"})
+	})
+	served := captureStdout(t, func() error {
+		return runCommand("serve", []string{"-addr", "127.0.0.1:0", "--", "table1", "-j", "8"})
+	})
+	if plain != served {
+		t.Errorf("served table1 output differs from serverless run:\n--- serverless ---\n%s\n--- served ---\n%s", plain, served)
+	}
+	if !strings.Contains(plain, "MAIN") {
+		t.Fatalf("table1 output looks empty:\n%s", plain)
+	}
+}
+
+// TestServeEndpointsAfterNestedRun runs a nested table1 under the serve
+// command and, via serveTestHook (which fires after the nested command
+// but before shutdown), checks that the live endpoints saw the run.
+func TestServeEndpointsAfterNestedRun(t *testing.T) {
+	var hookRan bool
+	serveTestHook = func(srv *serve.Server) {
+		hookRan = true
+		base := srv.URL()
+
+		health := httpGetBody(t, base+"/healthz")
+		if !strings.Contains(health, `"status": "ok"`) {
+			t.Errorf("healthz missing ok status: %s", health)
+		}
+
+		var snap struct {
+			Idle   bool           `json:"idle"`
+			Counts map[string]int `json:"counts"`
+			Plans  []struct {
+				Label    string `json:"label"`
+				Finished bool   `json:"finished"`
+			} `json:"plans"`
+			Runs []struct {
+				ID     int    `json:"id"`
+				State  string `json:"state"`
+				Label  string `json:"label"`
+				Policy string `json:"policy"`
+				Faults int    `json:"pf"`
+			} `json:"runs"`
+		}
+		if err := json.Unmarshal([]byte(httpGetBody(t, base+"/progress")), &snap); err != nil {
+			t.Fatalf("progress decode: %v", err)
+		}
+		if !snap.Idle {
+			t.Error("progress not idle after nested command finished")
+		}
+		var sawTable1 bool
+		for _, p := range snap.Plans {
+			if p.Label == "table1" {
+				sawTable1 = true
+				if !p.Finished {
+					t.Error("table1 plan not marked finished")
+				}
+			}
+		}
+		if !sawTable1 {
+			t.Errorf("no table1 plan in progress snapshot: %+v", snap.Plans)
+		}
+		if len(snap.Runs) == 0 {
+			t.Fatal("no runs tracked")
+		}
+		var sawLabeled bool
+		for _, r := range snap.Runs {
+			if r.State != "done" {
+				t.Errorf("run %d state = %q, want done", r.ID, r.State)
+			}
+			if r.Label == "MAIN/MAIN" && r.Policy == "CD" && r.Faults > 0 {
+				sawLabeled = true
+			}
+		}
+		if !sawLabeled {
+			t.Error("no run described as MAIN/MAIN CD with a fault count")
+		}
+		if snap.Counts["done"] != len(snap.Runs) {
+			t.Errorf("counts = %v, want all %d done", snap.Counts, len(snap.Runs))
+		}
+
+		run0 := httpGetBody(t, base+"/runs/0")
+		if !strings.Contains(run0, `"state": "done"`) {
+			t.Errorf("runs/0 not done: %s", run0)
+		}
+
+		metrics := httpGetBody(t, base+"/metrics")
+		if !strings.Contains(metrics, "cdmm_serve_runs{state=\"done\"}") {
+			t.Errorf("metrics missing run-state gauge:\n%s", metrics)
+		}
+	}
+	defer func() { serveTestHook = nil }()
+
+	out := captureStdout(t, func() error {
+		return runCommand("serve", []string{"-addr", "127.0.0.1:0", "--", "table1", "-j", "4"})
+	})
+	if !hookRan {
+		t.Fatal("serveTestHook did not run")
+	}
+	if !strings.Contains(out, "MAIN") {
+		t.Fatalf("nested table1 printed nothing:\n%s", out)
+	}
+}

@@ -17,6 +17,7 @@ package engine
 
 import (
 	"context"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
@@ -27,10 +28,13 @@ import (
 
 // Engine executes declared runs on a bounded worker pool and memoizes
 // their shared prerequisites. The zero value is not usable; construct
-// with New. An Engine is safe for concurrent use, but interleaving two
-// simultaneous Map calls with an event tracer attached interleaves their
-// merged streams in completion order; run plans one at a time when the
-// byte layout of the JSONL output matters.
+// with New. An Engine is safe for concurrent use; when an event tracer
+// is attached, whole Map plans are additionally serialized (planMu) so
+// two simultaneous plans can never interleave their merged streams or
+// race over which plan a shared memoized computation's events flush
+// into — the stream layout is a function of the plans alone. The cost
+// is that a run body must not call Map on its own engine (it would
+// self-deadlock); nest through Memo instead.
 type Engine struct {
 	workers int
 	// obs, when non-nil, overrides vmsim.DefaultObserver as the base
@@ -41,6 +45,18 @@ type Engine struct {
 
 	// flushMu serializes merged event emission into the base tracer.
 	flushMu sync.Mutex
+	// planMu serializes entire Map plans while a tracer is attached,
+	// keeping each plan's merged stream contiguous and memo flushes
+	// deterministic (see the type comment).
+	planMu sync.Mutex
+
+	// progress, when non-nil, tracks plan and run lifecycle for live
+	// status endpoints (/progress); it costs one lock-free callback per
+	// progressChunk simulated events while runs are in flight.
+	progress *Progress
+	// log, when non-nil, receives structured lifecycle records (plan
+	// start/end, retries, failures).
+	log *slog.Logger
 
 	// ctx cancels in-flight plans (nil means context.Background()).
 	ctx context.Context
@@ -72,6 +88,25 @@ func (e *Engine) WithObserver(o *obs.Observer) *Engine {
 // Map.
 func (e *Engine) WithContext(ctx context.Context) *Engine {
 	e.ctx = ctx
+	return e
+}
+
+// WithProgress attaches a lifecycle tracker: every Map plan and run the
+// engine executes is registered with p, including live in-run trace
+// position via the simulator's chunked progress callbacks. One tracker
+// may be shared by several engines. Call before Map.
+func (e *Engine) WithProgress(p *Progress) *Engine {
+	e.progress = p
+	return e
+}
+
+// Progress returns the attached lifecycle tracker (nil when none).
+func (e *Engine) Progress() *Progress { return e.progress }
+
+// WithLogger attaches a structured logger for plan/run lifecycle
+// records; nil (the default) logs nothing. Call before Map.
+func (e *Engine) WithLogger(l *slog.Logger) *Engine {
+	e.log = l
 	return e
 }
 
@@ -152,9 +187,34 @@ type RunCtx struct {
 	// run). Long run bodies should poll it between expensive steps.
 	Ctx context.Context
 
-	eng  *Engine
-	buf  *obs.Collector
-	keys []Key
+	eng *Engine
+	buf *obs.Collector
+	// progressID is the run's id in the engine's Progress tracker, -1
+	// when untracked (no tracker attached, or a Memo computation ctx).
+	progressID int
+	keys       []Key
+}
+
+// Describe attaches a human-readable label and policy name to the run's
+// entry in the engine's Progress tracker, so live status endpoints show
+// "table1/CONDUCT CD" rather than a bare plan index. No-op when the
+// engine tracks nothing.
+func (rc *RunCtx) Describe(label, policyName string) {
+	if rc == nil || rc.eng == nil || rc.eng.progress == nil || rc.progressID < 0 {
+		return
+	}
+	rc.eng.progress.describe(rc.progressID, label, policyName)
+}
+
+// Report stores a simulation result on the run's Progress entry ahead of
+// plan completion. Run bodies whose return type is not vmsim.Result
+// (table cells, comparison rows) call this so drill-down endpoints still
+// see PF/MEM/ST. No-op when the engine tracks nothing.
+func (rc *RunCtx) Report(res vmsim.Result) {
+	if rc == nil || rc.eng == nil || rc.eng.progress == nil || rc.progressID < 0 {
+		return
+	}
+	rc.eng.progress.report(rc.progressID, res)
 }
 
 // baseObserver resolves the observer the engine ultimately feeds:
@@ -168,13 +228,24 @@ func (e *Engine) baseObserver() *obs.Observer {
 
 // newRunCtx builds the per-run context. When the base observer has a
 // tracer, the run gets a private buffer so parallel runs never contend
-// on (or nondeterministically interleave into) the shared sink.
-func (e *Engine) newRunCtx(index int, base *obs.Observer) *RunCtx {
-	rc := &RunCtx{Index: index, Ctx: e.context(), eng: e}
+// on (or nondeterministically interleave into) the shared sink. runID is
+// the run's Progress id (-1 when untracked); a tracked run always
+// carries a progress callback, even when the base observer is disabled —
+// that combination is the gated fast path with live position updates.
+func (e *Engine) newRunCtx(index int, base *obs.Observer, runID int) *RunCtx {
+	rc := &RunCtx{Index: index, Ctx: e.context(), eng: e, progressID: -1}
+	var prog obs.ProgressFunc
+	if e.progress != nil && runID >= 0 {
+		prog = e.progress.runProgressFn(runID)
+		rc.progressID = runID
+	}
 	if !base.Enabled() {
+		if prog != nil {
+			rc.Obs = &obs.Observer{Progress: prog}
+		}
 		return rc
 	}
-	o := &obs.Observer{Metrics: base.Metrics}
+	o := &obs.Observer{Metrics: base.Metrics, Progress: prog}
 	if base.Tracer != nil {
 		rc.buf = &obs.Collector{}
 		o.Tracer = rc.buf
@@ -192,17 +263,53 @@ func (e *Engine) newRunCtx(index int, base *obs.Observer) *RunCtx {
 // before being recorded; a done engine context fails not-yet-started
 // runs with ctx.Err(). With Workers() == 1 the plan runs inline, in
 // order, with no goroutines — the overhead-guard path.
+//
+// Map is MapNamed with an auto-generated plan label.
 func Map[T, R any](e *Engine, items []T, fn func(*RunCtx, T) (R, error)) ([]R, error) {
+	return MapNamed(e, "", items, fn)
+}
+
+// MapNamed is Map with an explicit plan label for the engine's Progress
+// tracker and logs ("table1", "chaos", ...). While an event tracer is
+// attached the whole plan additionally holds the engine's plan lock, so
+// simultaneous plans produce contiguous, deterministically ordered
+// merged streams (and must not nest — see the Engine doc).
+func MapNamed[T, R any](e *Engine, label string, items []T, fn func(*RunCtx, T) (R, error)) ([]R, error) {
 	e = Or(e)
 	base := e.baseObserver()
+	if base != nil && base.Tracer != nil {
+		e.planMu.Lock()
+		defer e.planMu.Unlock()
+	}
 	n := len(items)
+
+	baseRunID := -1
+	if e.progress != nil {
+		var planID int
+		planID, baseRunID = e.progress.startPlan(label, n)
+		defer e.progress.finishPlan(planID)
+	}
+	if e.log != nil {
+		e.log.Info("plan start", "plan", label, "runs", n, "workers", e.workers)
+		start := time.Now()
+		defer func() {
+			e.log.Info("plan done", "plan", label, "runs", n, "wall", time.Since(start))
+		}()
+	}
+	runID := func(i int) int {
+		if baseRunID < 0 {
+			return -1
+		}
+		return baseRunID + i
+	}
+
 	results := make([]R, n)
 	errs := make([]error, n)
 	ctxs := make([]*RunCtx, n)
 
 	if e.workers <= 1 || n <= 1 {
 		for i, item := range items {
-			results[i], ctxs[i], errs[i] = runOne(e, base, i, item, fn)
+			results[i], ctxs[i], errs[i] = runOne(e, base, i, runID(i), item, fn)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -215,7 +322,7 @@ func Map[T, R any](e *Engine, items []T, fn func(*RunCtx, T) (R, error)) ([]R, e
 					<-sem
 					wg.Done()
 				}()
-				results[i], ctxs[i], errs[i] = runOne(e, base, i, items[i], fn)
+				results[i], ctxs[i], errs[i] = runOne(e, base, i, runID(i), items[i], fn)
 			}(i)
 		}
 		wg.Wait()
@@ -229,6 +336,9 @@ func Map[T, R any](e *Engine, items []T, fn func(*RunCtx, T) (R, error)) ([]R, e
 		}
 	}
 	if len(failed) > 0 {
+		if e.log != nil {
+			e.log.Error("plan failed", "plan", label, "failed", len(failed), "of", n)
+		}
 		return nil, &PlanError{Runs: failed}
 	}
 	return results, nil
@@ -237,18 +347,43 @@ func Map[T, R any](e *Engine, items []T, fn func(*RunCtx, T) (R, error)) ([]R, e
 // runOne executes one run, retrying transient failures with exponential
 // backoff up to the engine's retry budget. Every attempt gets a fresh
 // RunCtx so a failed attempt's buffered events and memo-request records
-// are discarded; the returned RunCtx is the final attempt's.
-func runOne[T, R any](e *Engine, base *obs.Observer, i int, item T, fn func(*RunCtx, T) (R, error)) (R, *RunCtx, error) {
+// are discarded; the returned RunCtx is the final attempt's. Lifecycle
+// transitions (running/retrying/terminal) are mirrored into the
+// engine's Progress tracker under runID when one is attached.
+func runOne[T, R any](e *Engine, base *obs.Observer, i, runID int, item T, fn func(*RunCtx, T) (R, error)) (R, *RunCtx, error) {
 	ctx := e.context()
+	p := e.progress
+	if runID < 0 {
+		p = nil
+	}
 	for attempt := 0; ; attempt++ {
-		rc := e.newRunCtx(i, base)
+		rc := e.newRunCtx(i, base, runID)
 		if err := ctx.Err(); err != nil {
+			if p != nil {
+				p.runFinish(runID, nil, err)
+			}
 			var zero R
 			return zero, rc, err
 		}
+		if p != nil {
+			p.runStart(runID)
+		}
 		res, err := fn(rc, item)
 		if err == nil || attempt >= e.retries || !IsTransient(err) {
+			if p != nil {
+				p.runFinish(runID, any(res), err)
+			}
+			if err != nil && e.log != nil {
+				e.log.Error("run failed", "run", i, "attempts", attempt+1, "err", err)
+			}
 			return res, rc, err
+		}
+		if p != nil {
+			p.runRetrying(runID, err)
+		}
+		if e.log != nil {
+			e.log.Warn("transient run failure, retrying",
+				"run", i, "attempt", attempt+1, "retries", e.retries, "err", err)
 		}
 		if e.backoff > 0 {
 			t := time.NewTimer(e.backoff << attempt)

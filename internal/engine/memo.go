@@ -100,14 +100,24 @@ func (e *Engine) Memo(rc *RunCtx, k Key, fn func(comp *RunCtx, o *obs.Observer) 
 		<-ent.done
 	} else {
 		base := e.baseObserver()
-		comp := &RunCtx{eng: e}
+		comp := &RunCtx{eng: e, progressID: -1}
+		// The computing requester's live-position callback rides along so
+		// a long memoized prerequisite still moves that run's /progress
+		// entry (concurrent waiters just see the furthest position).
+		var prog obs.ProgressFunc
+		if rc != nil {
+			prog = obs.ProgressOf(rc.Obs)
+		}
 		var o *obs.Observer
 		if base.Enabled() {
-			o = &obs.Observer{Metrics: base.Metrics}
+			o = &obs.Observer{Metrics: base.Metrics, Progress: prog}
 			if base.Tracer != nil {
 				comp.buf = &obs.Collector{}
 				o.Tracer = comp.buf
 			}
+			comp.Obs = o
+		} else if prog != nil {
+			o = &obs.Observer{Progress: prog}
 			comp.Obs = o
 		}
 		ent.val, ent.err = fn(comp, o)

@@ -108,8 +108,9 @@ func (c *ChaosConfig) Cells() []ChaosCell {
 func ChaosMatrix(eng *engine.Engine, cfg ChaosConfig) ([]ChaosRow, error) {
 	eng = engine.Or(eng)
 	cells := cfg.Cells()
-	return engine.Map(eng, cells, func(rc *engine.RunCtx, cell ChaosCell) (ChaosRow, error) {
+	return engine.MapNamed(eng, "chaos", cells, func(rc *engine.RunCtx, cell ChaosCell) (ChaosRow, error) {
 		row := ChaosRow{Cell: cell}
+		rc.Describe(fmt.Sprintf("%s/%s %s@%g", cell.Variant.Program, cell.Variant.Set, cell.Fault, cell.Intensity), "CD+faults")
 
 		comp, err := eng.Compiled(rc, cell.Variant.Program)
 		if err != nil {
@@ -147,6 +148,7 @@ func ChaosMatrix(eng *engine.Engine, cfg ChaosConfig) ([]ChaosRow, error) {
 		}
 
 		row.Res, row.Err = runChaosCell(tr, pol, rc)
+		rc.Report(row.Res)
 		return row, nil
 	})
 }

@@ -63,7 +63,8 @@ func DetuneStudy(eng *engine.Engine, variants []Variant, factors []float64) ([]D
 			jobs = append(jobs, detuneJob{v, f})
 		}
 	}
-	return engine.Map(eng, jobs, func(rc *engine.RunCtx, j detuneJob) (DetuneRow, error) {
+	return engine.MapNamed(eng, "detune", jobs, func(rc *engine.RunCtx, j detuneJob) (DetuneRow, error) {
+		rc.Describe(fmt.Sprintf("%s/%s x%g", j.v.Program, j.v.Set, j.f), "CD detuned")
 		set, err := variantSet(eng, rc, j.v)
 		if err != nil {
 			return DetuneRow{}, err
@@ -74,6 +75,7 @@ func DetuneStudy(eng *engine.Engine, variants []Variant, factors []float64) ([]D
 		}
 		cd := policy.NewCD(Detune(set.Selector(), j.f), cdMinAlloc)
 		r := vmsim.RunObserved(c.Trace, cd, rc.Obs)
+		rc.Report(r)
 		return DetuneRow{
 			Variant: j.v, Factor: j.f, PF: r.Faults, MEM: r.MEM(), ST: r.ST(),
 		}, nil

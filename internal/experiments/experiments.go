@@ -108,11 +108,13 @@ type Row1 struct {
 // sets under the CD policy. A nil engine uses engine.Default().
 func Table1(eng *engine.Engine) ([]Row1, error) {
 	eng = engine.Or(eng)
-	return engine.Map(eng, Table1Variants, func(rc *engine.RunCtx, v Variant) (Row1, error) {
+	return engine.MapNamed(eng, "table1", Table1Variants, func(rc *engine.RunCtx, v Variant) (Row1, error) {
+		rc.Describe(v.Program+"/"+v.Set, "CD")
 		r, err := cdRun(eng, rc, v)
 		if err != nil {
 			return Row1{}, err
 		}
+		rc.Report(r)
 		return Row1{Variant: v, MEM: r.MEM(), PF: r.Faults, ST: r.ST()}, nil
 	})
 }
@@ -137,11 +139,13 @@ type Row2 struct {
 // over the τ ladder.
 func Table2(eng *engine.Engine) ([]Row2, error) {
 	eng = engine.Or(eng)
-	return engine.Map(eng, Table2Variants, func(rc *engine.RunCtx, v Variant) (Row2, error) {
+	return engine.MapNamed(eng, "table2", Table2Variants, func(rc *engine.RunCtx, v Variant) (Row2, error) {
+		rc.Describe(v.Program+"/"+v.Set, "CD vs LRU/WS minima")
 		cd, err := cdRun(eng, rc, v)
 		if err != nil {
 			return Row2{}, err
 		}
+		rc.Report(cd)
 		lru, err := eng.LRUSweep(rc, v.Program)
 		if err != nil {
 			return Row2{}, err
@@ -186,11 +190,13 @@ type Row3 struct {
 // working-set size is closest) and compare faults and space-time cost.
 func Table3(eng *engine.Engine) ([]Row3, error) {
 	eng = engine.Or(eng)
-	return engine.Map(eng, Table34Variants, func(rc *engine.RunCtx, v Variant) (Row3, error) {
+	return engine.MapNamed(eng, "table3", Table34Variants, func(rc *engine.RunCtx, v Variant) (Row3, error) {
+		rc.Describe(v.Program+"/"+v.Set, "CD vs equal-MEM LRU/WS")
 		cd, err := cdRun(eng, rc, v)
 		if err != nil {
 			return Row3{}, err
 		}
+		rc.Report(cd)
 		lruSweep, err := eng.LRUSweep(rc, v.Program)
 		if err != nil {
 			return Row3{}, err
@@ -251,11 +257,13 @@ type Row4 struct {
 // on memory and space-time cost.
 func Table4(eng *engine.Engine) ([]Row4, error) {
 	eng = engine.Or(eng)
-	return engine.Map(eng, Table34Variants, func(rc *engine.RunCtx, v Variant) (Row4, error) {
+	return engine.MapNamed(eng, "table4", Table34Variants, func(rc *engine.RunCtx, v Variant) (Row4, error) {
+		rc.Describe(v.Program+"/"+v.Set, "CD vs equal-PF LRU/WS")
 		cd, err := cdRun(eng, rc, v)
 		if err != nil {
 			return Row4{}, err
 		}
+		rc.Report(cd)
 		lruSweep, err := eng.LRUSweep(rc, v.Program)
 		if err != nil {
 			return Row4{}, err

@@ -38,7 +38,8 @@ func PolicyFamily(eng *engine.Engine, variants []Variant) ([]FamilyRow, error) {
 		variants = Table2Variants
 	}
 	eng = engine.Or(eng)
-	return engine.Map(eng, variants, func(rc *engine.RunCtx, v Variant) (FamilyRow, error) {
+	return engine.MapNamed(eng, "family", variants, func(rc *engine.RunCtx, v Variant) (FamilyRow, error) {
+		rc.Describe(v.Program+"/"+v.Set, "CD vs WS family")
 		cd, err := cdRun(eng, rc, v)
 		if err != nil {
 			return FamilyRow{}, err
@@ -112,7 +113,8 @@ func PageSizeSensitivity(eng *engine.Engine, program string, pageSizes []int) ([
 	}
 	set := w.DefaultSet()
 	eng = engine.Or(eng)
-	return engine.Map(eng, pageSizes, func(rc *engine.RunCtx, ps int) (PageSizeRow, error) {
+	return engine.MapNamed(eng, "pagesize", pageSizes, func(rc *engine.RunCtx, ps int) (PageSizeRow, error) {
+		rc.Describe(fmt.Sprintf("%s ps=%d", program, ps), "CD")
 		prog, err := core.CompileSourceOpts(w.Name, w.Source, core.Options{
 			Geometry: mem.Geometry{PageSize: ps, ElemSize: 4},
 		})
@@ -123,6 +125,7 @@ func PageSizeSensitivity(eng *engine.Engine, program string, pageSizes []int) ([
 		if err != nil {
 			return PageSizeRow{}, err
 		}
+		rc.Report(cd)
 		lru, err := prog.LRUSweep()
 		if err != nil {
 			return PageSizeRow{}, err

@@ -33,7 +33,7 @@ func (s *JSONLSink) Emit(e Event) {
 	if s.err != nil {
 		return
 	}
-	s.buf = e.appendJSON(s.buf[:0])
+	s.buf = e.AppendJSON(s.buf[:0])
 	s.buf = append(s.buf, '\n')
 	if _, err := s.w.Write(s.buf); err != nil {
 		s.err = err

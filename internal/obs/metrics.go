@@ -273,54 +273,53 @@ func (r *Registry) snapshot() (map[string]*Counter, map[string]*Gauge, map[strin
 // WriteJSON writes the registry snapshot as a single JSON object with
 // stable key order, suitable for the CLI's -metrics file.
 func (r *Registry) WriteJSON(w io.Writer) error {
-	counters, gauges, hists := r.snapshot()
+	s := r.Snapshot()
 	var b []byte
 	b = append(b, `{"counters":{`...)
-	for i, k := range sortedKeys(counters) {
+	for i, c := range s.Counters {
 		if i > 0 {
 			b = append(b, ',')
 		}
-		b = strconv.AppendQuote(b, k)
+		b = strconv.AppendQuote(b, c.Name)
 		b = append(b, ':')
-		b = strconv.AppendInt(b, counters[k].Value(), 10)
+		b = strconv.AppendInt(b, c.Value, 10)
 	}
 	b = append(b, `},"gauges":{`...)
-	for i, k := range sortedKeys(gauges) {
+	for i, g := range s.Gauges {
 		if i > 0 {
 			b = append(b, ',')
 		}
-		b = strconv.AppendQuote(b, k)
+		b = strconv.AppendQuote(b, g.Name)
 		b = append(b, ':')
-		b = appendFloat(b, gauges[k].Value())
+		b = appendFloat(b, g.Value)
 	}
 	b = append(b, `},"histograms":{`...)
-	for i, k := range sortedKeys(hists) {
-		h := hists[k]
+	for i, h := range s.Histograms {
 		if i > 0 {
 			b = append(b, ',')
 		}
-		b = strconv.AppendQuote(b, k)
+		b = strconv.AppendQuote(b, h.Name)
 		b = append(b, `:{"count":`...)
-		b = strconv.AppendInt(b, h.Count(), 10)
+		b = strconv.AppendInt(b, h.Count, 10)
 		b = append(b, `,"sum":`...)
-		b = appendFloat(b, h.Sum())
+		b = appendFloat(b, h.Sum)
 		b = append(b, `,"min":`...)
-		b = appendFloat(b, h.Min())
+		b = appendFloat(b, h.Min)
 		b = append(b, `,"max":`...)
-		b = appendFloat(b, h.Max())
+		b = appendFloat(b, h.Max)
 		b = append(b, `,"buckets":[`...)
-		for j := range h.counts {
+		for j, bk := range h.Buckets {
 			if j > 0 {
 				b = append(b, ',')
 			}
 			b = append(b, `{"le":`...)
-			if j == len(h.bounds) {
+			if bk.Infinite() {
 				b = append(b, `"+Inf"`...)
 			} else {
-				b = appendFloat(b, h.bounds[j])
+				b = appendFloat(b, bk.LE)
 			}
 			b = append(b, `,"n":`...)
-			b = strconv.AppendInt(b, h.counts[j].Load(), 10)
+			b = strconv.AppendInt(b, bk.N, 10)
 			b = append(b, '}')
 		}
 		b = append(b, `]}`...)
@@ -343,37 +342,39 @@ func appendFloat(b []byte, v float64) []byte {
 // Render returns a human-readable snapshot: counters and gauges aligned,
 // histograms with per-bucket bars.
 func (r *Registry) Render() string {
-	counters, gauges, hists := r.snapshot()
+	s := r.Snapshot()
 	var b strings.Builder
-	for _, k := range sortedKeys(counters) {
-		fmt.Fprintf(&b, "%-28s %d\n", k, counters[k].Value())
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "%-28s %d\n", c.Name, c.Value)
 	}
-	for _, k := range sortedKeys(gauges) {
-		fmt.Fprintf(&b, "%-28s %g\n", k, gauges[k].Value())
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&b, "%-28s %g\n", g.Name, g.Value)
 	}
-	for _, k := range sortedKeys(hists) {
-		h := hists[k]
-		fmt.Fprintf(&b, "%s: count=%d mean=%.3g min=%g max=%g\n", k, h.Count(), h.Mean(), h.Min(), h.Max())
+	for _, h := range s.Histograms {
+		mean := 0.0
+		if h.Count != 0 {
+			mean = h.Sum / float64(h.Count)
+		}
+		fmt.Fprintf(&b, "%s: count=%d mean=%.3g min=%g max=%g\n", h.Name, h.Count, mean, h.Min, h.Max)
 		var peak int64
-		for j := range h.counts {
-			if c := h.counts[j].Load(); c > peak {
-				peak = c
+		for _, bk := range h.Buckets {
+			if bk.N > peak {
+				peak = bk.N
 			}
 		}
-		for j := range h.counts {
-			c := h.counts[j].Load()
-			if c == 0 {
+		for _, bk := range h.Buckets {
+			if bk.N == 0 {
 				continue
 			}
 			le := "+Inf"
-			if j < len(h.bounds) {
-				le = strconv.FormatFloat(h.bounds[j], 'g', -1, 64)
+			if !bk.Infinite() {
+				le = strconv.FormatFloat(bk.LE, 'g', -1, 64)
 			}
 			bar := ""
 			if peak > 0 {
-				bar = strings.Repeat("#", int(1+c*29/peak))
+				bar = strings.Repeat("#", int(1+bk.N*29/peak))
 			}
-			fmt.Fprintf(&b, "  le %-10s %-10d %s\n", le, c, bar)
+			fmt.Fprintf(&b, "  le %-10s %-10d %s\n", le, bk.N, bar)
 		}
 	}
 	return b.String()

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format (version 0.0.4) export of a Registry snapshot.
+//
+// Every metric is prefixed with a namespace ("cdmm" for the telemetry
+// server), counters gain the conventional `_total` suffix, and
+// histograms render the cumulative `_bucket{le="..."}` series plus
+// `_sum` and `_count`, ending with the mandatory `le="+Inf"` bucket.
+// Names are emitted in sorted order per section, so consecutive scrapes
+// of an idle registry are byte-identical — convenient for tests and for
+// diffing scrapes by eye.
+
+// PromContentType is the Content-Type a /metrics endpoint should serve:
+// the Prometheus text exposition format this package writes.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format under the given namespace prefix (pass "" for none). It takes
+// one registry snapshot; the hot path is never touched.
+func (r *Registry) WritePrometheus(w io.Writer, namespace string) error {
+	return r.Snapshot().WritePrometheus(w, namespace)
+}
+
+// WritePrometheus renders an already-taken snapshot; see
+// Registry.WritePrometheus.
+func (s Snapshot) WritePrometheus(w io.Writer, namespace string) error {
+	b := make([]byte, 0, 4096)
+	for _, c := range s.Counters {
+		name := promName(namespace, c.Name, "_total")
+		b = appendPromHeader(b, name, c.Name, "counter")
+		b = append(b, name...)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, c.Value, 10)
+		b = append(b, '\n')
+	}
+	for _, g := range s.Gauges {
+		name := promName(namespace, g.Name, "")
+		b = appendPromHeader(b, name, g.Name, "gauge")
+		b = append(b, name...)
+		b = append(b, ' ')
+		b = appendPromFloat(b, g.Value)
+		b = append(b, '\n')
+	}
+	for _, h := range s.Histograms {
+		name := promName(namespace, h.Name, "")
+		b = appendPromHeader(b, name, h.Name, "histogram")
+		var cum int64
+		for _, bk := range h.Buckets {
+			cum += bk.N
+			b = append(b, name...)
+			b = append(b, `_bucket{le="`...)
+			if bk.Infinite() {
+				b = append(b, `+Inf`...)
+			} else {
+				b = appendPromFloat(b, bk.LE)
+			}
+			b = append(b, `"} `...)
+			b = strconv.AppendInt(b, cum, 10)
+			b = append(b, '\n')
+		}
+		b = append(b, name...)
+		b = append(b, `_sum `...)
+		b = appendPromFloat(b, h.Sum)
+		b = append(b, '\n')
+		b = append(b, name...)
+		b = append(b, `_count `...)
+		b = strconv.AppendInt(b, h.Count, 10)
+		b = append(b, '\n')
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// appendPromHeader emits the # HELP and # TYPE comment lines. The help
+// text is the registry-level metric name with exposition-format escaping
+// (backslash and newline), which documents the mapping from the sanitized
+// Prometheus name back to the simulator's own.
+func appendPromHeader(b []byte, name, origin, typ string) []byte {
+	b = append(b, `# HELP `...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = appendPromHelp(b, "simulator metric "+origin)
+	b = append(b, '\n')
+	b = append(b, `# TYPE `...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = append(b, typ...)
+	b = append(b, '\n')
+	return b
+}
+
+// appendPromHelp escapes a HELP text per the exposition format: backslash
+// and line feed (double quotes are only escaped inside label values).
+func appendPromHelp(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, s[i])
+		}
+	}
+	return b
+}
+
+// EscapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote and line feed.
+func EscapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// promName builds the exported metric name: namespace_name with every
+// character outside [a-zA-Z0-9_:] replaced by '_' (and a '_' prefix when
+// the name would start with a digit), plus an optional suffix — which is
+// not doubled when the metric name already carries it.
+func promName(namespace, name, suffix string) string {
+	var b strings.Builder
+	if namespace != "" {
+		b.WriteString(namespace)
+		b.WriteByte('_')
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if b.Len() == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	out := b.String()
+	if suffix != "" && !strings.HasSuffix(out, suffix) {
+		out += suffix
+	}
+	return out
+}
+
+// appendPromFloat renders a float the way Prometheus clients expect:
+// shortest round-trip decimal, with +Inf/-Inf/NaN spelled out.
+func appendPromFloat(b []byte, v float64) []byte {
+	switch {
+	case math.IsInf(v, 1):
+		return append(b, `+Inf`...)
+	case math.IsInf(v, -1):
+		return append(b, `-Inf`...)
+	case math.IsNaN(v):
+		return append(b, `NaN`...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}

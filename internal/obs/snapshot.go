@@ -1,0 +1,83 @@
+package obs
+
+import "math"
+
+// CounterSnapshot is one counter's name and value at snapshot time.
+type CounterSnapshot struct {
+	Name  string
+	Value int64
+}
+
+// GaugeSnapshot is one gauge's name and last-set value.
+type GaugeSnapshot struct {
+	Name  string
+	Value float64
+}
+
+// BucketSnapshot is one histogram bucket: the inclusive upper bound
+// (math.Inf(1) for the overflow bucket) and the bucket's own count
+// (non-cumulative; Prometheus rendering accumulates on the way out).
+type BucketSnapshot struct {
+	LE float64
+	N  int64
+}
+
+// HistogramSnapshot is one histogram's aggregates and buckets.
+type HistogramSnapshot struct {
+	Name    string
+	Count   int64
+	Sum     float64
+	Min     float64
+	Max     float64
+	Buckets []BucketSnapshot
+}
+
+// Snapshot is a point-in-time read of a whole registry with every
+// section sorted by name, the single source every export path (JSON
+// file, human rendering, Prometheus scrape) formats from.
+type Snapshot struct {
+	Counters   []CounterSnapshot
+	Gauges     []GaugeSnapshot
+	Histograms []HistogramSnapshot
+}
+
+// Snapshot reads all counters, gauges and histograms in one pass:
+// the registration maps are copied under the registry lock, then each
+// handle's atomics are read outside it. Values observed concurrently
+// with the snapshot land in it or in the next one; within a histogram
+// the count, sum and buckets may be skewed by in-flight observations
+// (each field is individually atomic), which is as consistent as a
+// scrape of a live system can be without stopping the world.
+func (r *Registry) Snapshot() Snapshot {
+	counters, gauges, hists := r.snapshot()
+	var s Snapshot
+	s.Counters = make([]CounterSnapshot, 0, len(counters))
+	for _, k := range sortedKeys(counters) {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: k, Value: counters[k].Value()})
+	}
+	s.Gauges = make([]GaugeSnapshot, 0, len(gauges))
+	for _, k := range sortedKeys(gauges) {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: k, Value: gauges[k].Value()})
+	}
+	s.Histograms = make([]HistogramSnapshot, 0, len(hists))
+	for _, k := range sortedKeys(hists) {
+		h := hists[k]
+		hs := HistogramSnapshot{
+			Name:    k,
+			Count:   h.Count(),
+			Sum:     h.Sum(),
+			Min:     h.Min(),
+			Max:     h.Max(),
+			Buckets: make([]BucketSnapshot, h.NumBuckets()),
+		}
+		for i := range hs.Buckets {
+			le, n := h.Bucket(i)
+			hs.Buckets[i] = BucketSnapshot{LE: le, N: n}
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	return s
+}
+
+// Infinite reports whether the bucket is the +Inf overflow bucket.
+func (b BucketSnapshot) Infinite() bool { return math.IsInf(b.LE, 1) }

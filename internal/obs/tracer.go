@@ -72,11 +72,11 @@ func (m MultiTracer) Emit(e Event) {
 	}
 }
 
-// appendJSON renders the event as a single JSON object. Fields are
+// AppendJSON renders the event as a single JSON object. Fields are
 // emitted kind-aware: page is always present for fault/lockrel events
 // (page 0 is a valid page number), other fields only when set — so the
 // stream stays compact over multi-million-reference runs.
-func (e Event) appendJSON(b []byte) []byte {
+func (e Event) AppendJSON(b []byte) []byte {
 	b = append(b, `{"t":`...)
 	b = strconv.AppendInt(b, e.T, 10)
 	b = append(b, `,"ev":`...)

@@ -13,8 +13,10 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"cdmm/internal/obs"
 	"cdmm/internal/policy"
 	"cdmm/internal/vmsim"
 	"cdmm/internal/workloads"
@@ -44,10 +46,20 @@ type Baseline struct {
 	GoOS   string `json:"goos"`
 	GoArch string `json:"goarch"`
 	Cases  []Case `json:"cases"`
+	// ServeOverhead is the fractional ns/ref cost of attaching an
+	// unwatched telemetry observer (gated tracer+metrics with no client
+	// connected, plus the chunked progress callback) to the CD hot path:
+	// (served - plain) / plain, each the min over alternating windows.
+	ServeOverhead float64 `json:"serve_overhead"`
 }
 
 // Schema is the current baseline file schema version.
 const Schema = 1
+
+// ServeOverheadMax is the acceptance ceiling for ServeOverhead: an
+// attached-but-unwatched telemetry server may cost at most this
+// fraction of the plain hot path.
+const ServeOverheadMax = 0.02
 
 // caseSpec defines the measured policy matrix. The CONDUCT trace is the
 // suite's largest (the hot path the tables and sweeps spend their time
@@ -102,7 +114,79 @@ func Collect(quick bool) (*Baseline, error) {
 		cs.Faults = res.Faults
 		b.Cases = append(b.Cases, cs)
 	}
+	if err := collectServeOverhead(b, target); err != nil {
+		return nil, err
+	}
 	return b, nil
+}
+
+// gateClosed is the telemetry daemon's gate state when no client is
+// connected: never open, so observed runs take the fast path.
+type gateClosed struct{}
+
+func (gateClosed) Open() bool { return false }
+
+// servedObserver mirrors serve.Server.Observer() plus the progress
+// callback the engine tracker installs: tracer and metrics present but
+// gated off, progress stored with lock-free atomics.
+func servedObserver() *obs.Observer {
+	var done, vt atomic.Int64
+	return &obs.Observer{
+		Tracer:  &obs.Collector{},
+		Metrics: obs.NewRegistry(),
+		Gate:    gateClosed{},
+		Progress: func(d, t int, v int64) {
+			done.Store(int64(d))
+			vt.Store(v)
+		},
+	}
+}
+
+// collectServeOverhead measures the CD hot path plain and with an
+// unwatched telemetry observer attached, alternating min-of-k windows
+// so scheduler noise cancels, and anchors that the served run's fault
+// count is identical (attaching a server must not change results).
+func collectServeOverhead(b *Baseline, target time.Duration) error {
+	w, err := workloads.Get("CONDUCT")
+	if err != nil {
+		return err
+	}
+	c, err := workloads.Compile(w)
+	if err != nil {
+		return err
+	}
+	tr := c.Trace
+	pol := policy.NewCD(w.DefaultSet().Selector(), 2)
+	o := servedObserver()
+	plainRes := vmsim.Run(tr, pol)
+	servedRes := vmsim.RunObserved(tr, pol, o)
+	if servedRes.Faults != plainRes.Faults {
+		return fmt.Errorf("perf: serve-attached CD run drifted: PF %d, want %d",
+			servedRes.Faults, plainRes.Faults)
+	}
+	// Alternate single plain/served runs and take the median of the
+	// per-pair time ratios: the two runs of a pair are adjacent in time,
+	// so frequency scaling and scheduler drift cancel within each pair,
+	// and the median discards the pairs a descheduling corrupted.
+	var ratios []float64
+	deadline := time.Now().Add(2 * target)
+	for len(ratios) < 8 || time.Now().Before(deadline) {
+		t0 := time.Now()
+		vmsim.Run(tr, pol)
+		plain := time.Since(t0)
+		t0 = time.Now()
+		vmsim.RunObserved(tr, pol, o)
+		served := time.Since(t0)
+		ratios = append(ratios, float64(served.Nanoseconds())/float64(plain.Nanoseconds()))
+	}
+	sort.Float64s(ratios)
+	mid := len(ratios) / 2
+	median := ratios[mid]
+	if len(ratios)%2 == 0 {
+		median = (ratios[mid-1] + ratios[mid]) / 2
+	}
+	b.ServeOverhead = median - 1
+	return nil
 }
 
 // measure times fn over a wall-clock window and reports per-ref cost and
@@ -203,6 +287,13 @@ func Compare(baseline, current *Baseline, threshold float64) (string, []string) 
 	sort.Strings(missing)
 	for _, name := range missing {
 		fmt.Fprintf(&sb, "%-14s (missing from current run)\n", name)
+	}
+	fmt.Fprintf(&sb, "serve overhead (no client attached): %+.2f%% (ceiling +%.0f%%)\n",
+		100*current.ServeOverhead, 100*ServeOverheadMax)
+	if current.ServeOverhead > ServeOverheadMax {
+		regressions = append(regressions,
+			fmt.Sprintf("serve-attached overhead %+.2f%% > +%.0f%% (unwatched telemetry is no longer near-free)",
+				100*current.ServeOverhead, 100*ServeOverheadMax))
 	}
 	return sb.String(), regressions
 }

@@ -46,6 +46,23 @@ func TestCompareCleanRun(t *testing.T) {
 	}
 }
 
+func TestCompareFlagsServeOverhead(t *testing.T) {
+	old := mkBaseline(Case{Name: "LRU", NsPerRef: 10, AllocsPerRef: 0, Faults: 100})
+	cur := mkBaseline(Case{Name: "LRU", NsPerRef: 10, AllocsPerRef: 0, Faults: 100})
+	cur.ServeOverhead = ServeOverheadMax * 2
+	report, regs := Compare(old, cur, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "serve-attached overhead") {
+		t.Fatalf("want one serve-overhead regression, got %v", regs)
+	}
+	if !strings.Contains(report, "serve overhead") {
+		t.Fatalf("report missing serve-overhead line:\n%s", report)
+	}
+	cur.ServeOverhead = ServeOverheadMax / 2
+	if _, regs := Compare(old, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("in-budget overhead flagged: %v", regs)
+	}
+}
+
 func TestSaveLoadRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	b := mkBaseline(Case{Name: "LRU", Workload: "CONDUCT", Refs: 42, NsPerRef: 9.5, Faults: 3})
@@ -93,6 +110,10 @@ func TestCollectQuick(t *testing.T) {
 		if c.AllocsPerRef > 0.001 {
 			t.Fatalf("%s: hot path allocates %.4f allocs/ref, want 0", c.Name, c.AllocsPerRef)
 		}
+	}
+	if b.ServeOverhead > ServeOverheadMax {
+		t.Errorf("unwatched serve observer costs %+.2f%% ns/ref, ceiling +%.0f%%",
+			100*b.ServeOverhead, 100*ServeOverheadMax)
 	}
 	// A second collection must reproduce the fault anchors exactly.
 	b2, err := Collect(true)

@@ -26,8 +26,13 @@ func runCDLevels(eng *engine.Engine, p *core.Program) ([]vmsim.Result, error) {
 	for i := range levels {
 		levels[i] = i + 1
 	}
-	return engine.Map(eng, levels, func(rc *engine.RunCtx, lvl int) (vmsim.Result, error) {
-		return p.RunCDObserved(core.CDOptions{Level: lvl}, rc.Obs)
+	return engine.MapNamed(eng, "cd-levels", levels, func(rc *engine.RunCtx, lvl int) (vmsim.Result, error) {
+		rc.Describe(fmt.Sprintf("%s level %d", p.Name, lvl), "CD")
+		res, err := p.RunCDObserved(core.CDOptions{Level: lvl}, rc.Obs)
+		if err == nil {
+			rc.Report(res)
+		}
+		return res, err
 	})
 }
 
@@ -93,7 +98,8 @@ func TimelineReport(eng *engine.Engine, p *core.Program, buckets int) (string, e
 	// Each row collects its own timeline events, forwarding to the run's
 	// engine-provided observer so -events files still see these runs (in
 	// deterministic declaration order, via the engine's merge).
-	rows, err := engine.Map(eng, specs, func(rc *engine.RunCtx, s rowSpec) (timelineRow, error) {
+	rows, err := engine.MapNamed(eng, "timeline", specs, func(rc *engine.RunCtx, s rowSpec) (timelineRow, error) {
+		rc.Describe(s.label, "")
 		col := &obs.Collector{}
 		o := &obs.Observer{Tracer: col}
 		if amb := rc.Obs; amb != nil {

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"cdmm/internal/obs"
+)
+
+// hub fans the engine's merged, deterministic event stream out to SSE
+// subscribers. Emit is called from the engine's merge path (one plan at
+// a time, under the engine's flush lock), so the no-subscriber check is
+// a single atomic load; with subscribers attached each event is
+// rendered once into a shared SSE frame and offered to every
+// subscriber's bounded buffer without ever blocking the simulation. A
+// subscriber that cannot keep up loses the newest frames (the buffered
+// prefix stays intact and in order) and is told about the gap with an
+// explicit `event: dropped` frame carrying the loss count — clients
+// never silently miss data.
+type hub struct {
+	nsubs atomic.Int32 // == len(subs); the Emit fast-path check
+	seq   atomic.Int64 // global SSE frame id
+	total atomic.Int64 // frames fanned out since start
+	drops atomic.Int64 // frames dropped across all subscribers
+
+	mu   sync.Mutex
+	subs map[*subscriber]struct{}
+}
+
+// subscriber is one /events client. ch carries pre-rendered SSE frames;
+// dropped counts frames lost since the client's writer last drained it
+// (the writer swaps it to zero and emits the dropped-notice frame).
+type subscriber struct {
+	ch      chan []byte
+	dropped atomic.Int64
+}
+
+func newHub() *hub { return &hub{subs: map[*subscriber]struct{}{}} }
+
+// Emit implements obs.Tracer.
+func (h *hub) Emit(e obs.Event) {
+	if h.nsubs.Load() == 0 {
+		return
+	}
+	frame := appendFrame(nil, h.seq.Add(1), "obs", e.AppendJSON(nil))
+	h.total.Add(1)
+	h.mu.Lock()
+	for sub := range h.subs {
+		select {
+		case sub.ch <- frame:
+		default:
+			sub.dropped.Add(1)
+			h.drops.Add(1)
+		}
+	}
+	h.mu.Unlock()
+}
+
+func (h *hub) subscribe(buf int) *subscriber {
+	sub := &subscriber{ch: make(chan []byte, buf)}
+	h.mu.Lock()
+	h.subs[sub] = struct{}{}
+	h.mu.Unlock()
+	h.nsubs.Add(1)
+	return sub
+}
+
+func (h *hub) unsubscribe(sub *subscriber) {
+	h.mu.Lock()
+	if _, ok := h.subs[sub]; ok {
+		delete(h.subs, sub)
+		h.nsubs.Add(-1)
+	}
+	h.mu.Unlock()
+}
+
+func (h *hub) subscribers() int { return int(h.nsubs.Load()) }
+
+// appendFrame renders one SSE frame (id, event name, single data line).
+// Event JSON never contains raw newlines, so one data: line suffices.
+func appendFrame(b []byte, id int64, event string, data []byte) []byte {
+	b = append(b, "id: "...)
+	b = strconv.AppendInt(b, id, 10)
+	b = append(b, "\nevent: "...)
+	b = append(b, event...)
+	b = append(b, "\ndata: "...)
+	b = append(b, data...)
+	b = append(b, '\n', '\n')
+	return b
+}

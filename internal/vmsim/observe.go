@@ -23,13 +23,17 @@ var DefaultObserver *obs.Observer
 
 // RunObserved is Run with an explicit observer. A nil o falls back to
 // DefaultObserver; if that is nil too (or observes nothing) the bare
-// un-instrumented loop runs, so observability-off costs nothing.
+// un-instrumented loop runs, so observability-off costs nothing. An
+// observer whose Gate is closed (or that carries only a Progress
+// callback) takes the chunked fast path: full hot-path speed with
+// periodic progress delivery — the disabled-path pattern the live
+// telemetry server relies on when no client is connected.
 func RunObserved(tr *trace.Trace, pol policy.Policy, o *obs.Observer) Result {
 	if o == nil {
 		o = DefaultObserver
 	}
 	if !o.Enabled() {
-		return runFast(tr, pol)
+		return runFastProgress(tr, pol, obs.ProgressOf(o))
 	}
 	return runInstrumented(tr, pol, o)
 }
@@ -102,6 +106,11 @@ func runInstrumented(tr *trace.Trace, pol policy.Policy, o *obs.Observer) Result
 
 	o.Emit(obs.Event{Kind: obs.KindRun, Label: res.Policy, Refs: tr.Refs})
 
+	// The instrumented loop is already paying per-reference work, so
+	// progress rides on a cheap counter check instead of a chunked
+	// outer loop; done/total are in references here.
+	prog := obs.ProgressOf(o)
+
 	var lastFaultVT int64
 	prevCharge := -1
 	refIdx := 0
@@ -110,6 +119,9 @@ func runInstrumented(tr *trace.Trace, pol policy.Policy, o *obs.Observer) Result
 		case trace.EvRef:
 			fault := pol.Ref(mem.Page(e.Arg))
 			refIdx++
+			if prog != nil && refIdx%progressChunk == 0 {
+				prog(refIdx, tr.Refs, res.VirtualTime)
+			}
 			dt := int64(1)
 			if fault {
 				res.Faults++
@@ -175,6 +187,9 @@ func runInstrumented(tr *trace.Trace, pol policy.Policy, o *obs.Observer) Result
 		reg.Gauge("max_resident").Set(float64(res.MaxResident))
 		reg.Gauge("virtual_time").Set(float64(res.VirtualTime))
 		reg.Gauge("mem_avg").Set(res.MEM())
+	}
+	if prog != nil {
+		prog(tr.Refs, tr.Refs, res.VirtualTime)
 	}
 	o.Emit(obs.Event{Kind: obs.KindEnd, T: res.VirtualTime, Refs: res.Refs, Faults: res.Faults, Mem: res.MEM()})
 	return res

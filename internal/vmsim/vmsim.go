@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"cdmm/internal/mem"
+	"cdmm/internal/obs"
 	"cdmm/internal/policy"
 	"cdmm/internal/trace"
 )
@@ -111,10 +112,27 @@ func hintPages(tr *trace.Trace, pol policy.Policy) {
 }
 
 // runFast is the un-instrumented simulation loop — the hot path when
-// observability is off. The indexes accumulate in int64: every charge and
-// time step is an integer, so the sums are exact (the float64 Result
-// fields would start rounding past 2^53).
+// observability is off.
 func runFast(tr *trace.Trace, pol policy.Policy) Result {
+	return runFastProgress(tr, pol, nil)
+}
+
+// progressChunk is how many trace events the fast path executes between
+// progress callbacks. The chunk is large enough that the outer loop's
+// bookkeeping amortizes to nothing (a chunk is a few hundred microseconds
+// of simulation) while still giving a live /progress endpoint dozens of
+// updates per second on big traces.
+const progressChunk = 1 << 15
+
+// runFastProgress is runFast with an optional periodic progress callback.
+// The inner loops are identical to the bare hot path — progress is
+// delivered from a chunked *outer* loop, so a nil prog costs nothing and
+// a non-nil prog costs one callback per progressChunk events rather than
+// any per-reference work. The indexes accumulate in int64: every charge
+// and time step is an integer, so the sums are exact (the float64 Result
+// fields would start rounding past 2^53). prog receives the event index
+// reached (out of len(tr.Events)) and the virtual time.
+func runFastProgress(tr *trace.Trace, pol policy.Policy, prog obs.ProgressFunc) Result {
 	pol.Reset()
 	hintPages(tr, pol)
 	res := Result{Policy: pol.Name(), Refs: tr.Refs}
@@ -123,58 +141,73 @@ func runFast(tr *trace.Trace, pol policy.Policy) Result {
 		faults, maxRes        int
 		vt, spaceTime, memSum int64
 	)
-	if st, ok := pol.(policy.Stepper); ok {
-		// One dynamic dispatch per reference instead of three.
-		for _, e := range tr.Events {
-			switch e.Kind {
-			case trace.EvRef:
-				fault, r, m := st.Step(mem.Page(e.Arg))
-				dt := int64(1)
-				if fault {
-					faults++
-					dt += policy.FaultService
+	st, isStepper := pol.(policy.Stepper)
+	events := tr.Events
+	for lo := 0; ; {
+		hi := len(events)
+		if prog != nil && hi-lo > progressChunk {
+			hi = lo + progressChunk
+		}
+		if isStepper {
+			// One dynamic dispatch per reference instead of three.
+			for _, e := range events[lo:hi] {
+				switch e.Kind {
+				case trace.EvRef:
+					fault, r, m := st.Step(mem.Page(e.Arg))
+					dt := int64(1)
+					if fault {
+						faults++
+						dt += policy.FaultService
+					}
+					if r > maxRes {
+						maxRes = r
+					}
+					vt += dt
+					spaceTime += int64(m) * dt
+					memSum += int64(m)
+				case trace.EvAlloc:
+					pol.Alloc(tr.Alloc(e))
+				case trace.EvLock:
+					pol.Lock(tr.Lock(e))
+				case trace.EvUnlock:
+					pol.Unlock(tr.Unlock(e))
 				}
-				if r > maxRes {
-					maxRes = r
+			}
+		} else {
+			for _, e := range events[lo:hi] {
+				switch e.Kind {
+				case trace.EvRef:
+					fault := pol.Ref(mem.Page(e.Arg))
+					dt := int64(1)
+					if fault {
+						faults++
+						dt += policy.FaultService
+					}
+					m := pol.Resident()
+					if m > maxRes {
+						maxRes = m
+					}
+					if charger != nil {
+						m = charger.Charged()
+					}
+					vt += dt
+					spaceTime += int64(m) * dt
+					memSum += int64(m)
+				case trace.EvAlloc:
+					pol.Alloc(tr.Alloc(e))
+				case trace.EvLock:
+					pol.Lock(tr.Lock(e))
+				case trace.EvUnlock:
+					pol.Unlock(tr.Unlock(e))
 				}
-				vt += dt
-				spaceTime += int64(m) * dt
-				memSum += int64(m)
-			case trace.EvAlloc:
-				pol.Alloc(tr.Alloc(e))
-			case trace.EvLock:
-				pol.Lock(tr.Lock(e))
-			case trace.EvUnlock:
-				pol.Unlock(tr.Unlock(e))
 			}
 		}
-	} else {
-		for _, e := range tr.Events {
-			switch e.Kind {
-			case trace.EvRef:
-				fault := pol.Ref(mem.Page(e.Arg))
-				dt := int64(1)
-				if fault {
-					faults++
-					dt += policy.FaultService
-				}
-				m := pol.Resident()
-				if m > maxRes {
-					maxRes = m
-				}
-				if charger != nil {
-					m = charger.Charged()
-				}
-				vt += dt
-				spaceTime += int64(m) * dt
-				memSum += int64(m)
-			case trace.EvAlloc:
-				pol.Alloc(tr.Alloc(e))
-			case trace.EvLock:
-				pol.Lock(tr.Lock(e))
-			case trace.EvUnlock:
-				pol.Unlock(tr.Unlock(e))
-			}
+		lo = hi
+		if prog != nil {
+			prog(lo, len(events), vt)
+		}
+		if lo >= len(events) {
+			break
 		}
 	}
 	res.Faults = faults
