@@ -136,6 +136,8 @@ func runCommand(cmd string, args []string) error {
 		err = cmdDetune(args)
 	case "pagesize":
 		err = cmdPageSize(args)
+	case "explain":
+		err = cmdExplain(args)
 	case "sim":
 		err = cmdSim(args)
 	case "sweep":
@@ -173,6 +175,14 @@ commands:
       -level N                     CD directive-set stratum (default 1)
       -m N                         LRU/FIFO/OPT allocation (default 8)
       -tau N                       WS window size (default 500)
+  explain  <prog|file.f> [flags]   attribute every page fault to its
+                            source loop, statement and directive: ranked
+                            hotspot table, directive coverage, per-site
+                            CD vs tuned-LRU/WS fault deltas
+      -level N                     CD directive-set stratum (default 1)
+      -top N                       hotspot table rows (default 12)
+      -chrome f.json               Perfetto/Chrome trace-event timeline
+      -folded f.txt                folded flamegraph stacks
   report   <prog|file.f>    full markdown analysis report
   advise   <prog|file.f>    compiler advisories (loop interchange, big localities)
   family   compare CD vs WS/DWS/SWS/VSWS/PFF on the suite
@@ -204,12 +214,12 @@ commands:
       -- table1 -j 8               nested command to run with telemetry
   table1..table4 | tables   regenerate the paper's tables
 
-parallelism flag (sim, replay, profile, report, family, detune, pagesize, table*):
+parallelism flag (sim, replay, explain, profile, report, family, detune, pagesize, table*):
   -j N                      run up to N simulations concurrently
                             (default GOMAXPROCS); tables, reports and event
                             streams are byte-identical at any -j
 
-observability flags (sim, replay, profile, table*):
+observability flags (sim, replay, explain, profile, table*):
   -events f.jsonl           structured event trace (virtual-time stamped JSONL)
   -metrics f.json           metrics snapshot (counters, gauges, histograms)
   -serve host:port          expose live telemetry for this command (same

@@ -90,3 +90,20 @@ func TestCmdSweepRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCmdExplain(t *testing.T) {
+	dir := t.TempDir()
+	chrome := filepath.Join(dir, "tl.json")
+	folded := filepath.Join(dir, "fl.txt")
+	if err := cmdExplain([]string{"HWSCRT", "-top", "4", "-chrome", chrome, "-folded", folded}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{chrome, folded} {
+		if fi, err := os.Stat(f); err != nil || fi.Size() == 0 {
+			t.Errorf("export %s missing or empty: %v", f, err)
+		}
+	}
+	if err := cmdExplain(nil); err == nil {
+		t.Error("expected missing-argument error")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"cdmm/internal/attr"
 	"cdmm/internal/obs"
 	"cdmm/internal/serve"
 	"cdmm/internal/vmsim"
@@ -103,6 +104,16 @@ func (f *obsFlags) activate() (func() error, error) {
 		f.cpu = file
 	}
 	return f.finish, nil
+}
+
+// explainStore returns the live -serve server's attribution store, or
+// nil when no telemetry server is attached: commands that build ledgers
+// publish them there so /explain and the per-site scrape series see them.
+func (f *obsFlags) explainStore() *attr.Store {
+	if f.srv == nil {
+		return nil
+	}
+	return f.srv.Explain()
 }
 
 func (f *obsFlags) finish() error {

@@ -1,0 +1,284 @@
+// Package attr is the fault-attribution ledger: per-source-site
+// aggregates of a simulation run, built by vmsim.RunAttributed from the
+// trace's site side-band (trace.Site). Where the simulator's Result says
+// *how many* faults a run took, the ledger says *which loop nest,
+// statement and array* took them, and what each compiler directive did —
+// hits held by LOCK covers, faults caused by early frees and forced lock
+// releases — turning the paper's aggregate Tables 2–4 into per-construct
+// explanations.
+package attr
+
+import (
+	"fmt"
+	"sort"
+
+	"cdmm/internal/trace"
+)
+
+// SiteStats are one site's aggregates over a run. The zero value is
+// ready to accumulate into.
+type SiteStats struct {
+	// ID is the trace site id; trace.NoSite for the unattributed bucket.
+	ID int32 `json:"id"`
+	// Site is the source identity (zero for the unattributed bucket).
+	Site trace.Site `json:"site"`
+
+	// Refs is the number of page references executed at this site.
+	Refs int64 `json:"refs"`
+	// Faults is the number of those references that faulted (per-site PF).
+	Faults int `json:"pf"`
+	// Evictions counts pages pushed out while this site was executing.
+	Evictions int `json:"evictions,omitempty"`
+	// MemSum is Σ space-time charge sampled after each of this site's
+	// references, so MemSum/Refs is the site's MEM index.
+	MemSum float64 `json:"memSum,omitempty"`
+	// VTime is the virtual time consumed by this site's references
+	// (1 per reference + FaultService per fault).
+	VTime int64 `json:"vtime,omitempty"`
+
+	// Directive-site effectiveness counters.
+	Allocs  int `json:"allocs,omitempty"`  // ALLOCATE executions at this site
+	Locks   int `json:"locks,omitempty"`   // LOCK executions at this site
+	Unlocks int `json:"unlocks,omitempty"` // UNLOCK executions at this site
+	// LockedHits counts reference hits on pages held under this site's
+	// LOCK cover — the faults the directive is visibly saving.
+	LockedHits int64 `json:"lockedHits,omitempty"`
+	// ShrinkFaults counts faults on pages this site's ALLOCATE shrink
+	// evicted — refaults caused by freeing memory too early.
+	ShrinkFaults int `json:"shrinkFaults,omitempty"`
+	// ReleaseFaults counts faults on pages the OS force-released from
+	// this site's locks — refaults caused by releasing locks early.
+	ReleaseFaults int `json:"releaseFaults,omitempty"`
+	// LockReleases counts this site's locked pages force-released by the
+	// OS under memory pressure.
+	LockReleases int `json:"lockReleases,omitempty"`
+}
+
+// MEM returns the site's average space-time charge per reference.
+func (s *SiteStats) MEM() float64 {
+	if s.Refs == 0 {
+		return 0
+	}
+	return s.MemSum / float64(s.Refs)
+}
+
+// IO returns the site's paging I/O operation count: page-ins (faults)
+// plus page-outs (evictions).
+func (s *SiteStats) IO() int { return s.Faults + s.Evictions }
+
+// Name renders the site for reports: the nest path plus the statement
+// expression, or "<unattributed>" for the catch-all bucket.
+func (s *SiteStats) Name() string {
+	if s.ID == trace.NoSite {
+		return "<unattributed>"
+	}
+	nest := s.Site.Nest
+	if nest == "" {
+		nest = "<program>"
+	}
+	if s.Site.Expr == "" {
+		return nest
+	}
+	return nest + " · " + s.Site.Expr
+}
+
+// FaultPoint is one fault instant for the timeline exporters.
+type FaultPoint struct {
+	// VT is the virtual time at which the faulting reference completed.
+	VT int64 `json:"vt"`
+	// Site is the site id executing when the fault hit.
+	Site int32 `json:"site"`
+	// Page is the faulting page.
+	Page int32 `json:"page"`
+}
+
+// Ledger is the complete attribution record of one run.
+type Ledger struct {
+	// Program is the trace name, Policy the policy name.
+	Program string `json:"program"`
+	Policy  string `json:"policy"`
+
+	// Sites is the trace's site table (shared, read-only).
+	Sites []trace.Site `json:"sites"`
+	// Stats holds one entry per site id plus a trailing unattributed
+	// bucket: Stats[id] for 0 ≤ id < len(Sites), Stats[len(Sites)] for
+	// trace.NoSite. Every reference and fault lands in exactly one slot,
+	// so the per-site sums equal the run totals by construction (see
+	// Conservation).
+	Stats []SiteStats `json:"stats"`
+
+	// Run totals, matching the vmsim Result the run returned.
+	Refs        int     `json:"refs"`
+	Faults      int     `json:"pf"`
+	MemSum      float64 `json:"memSum"`
+	VirtualTime int64   `json:"vtime"`
+
+	// FaultLog records every fault instant in order (bounded by the
+	// fault count, not the trace length).
+	FaultLog []FaultPoint `json:"-"`
+}
+
+// NewLedger returns a ledger with a stats slot per site plus the
+// unattributed bucket.
+func NewLedger(program, policy string, sites []trace.Site) *Ledger {
+	l := &Ledger{
+		Program: program,
+		Policy:  policy,
+		Sites:   sites,
+		Stats:   make([]SiteStats, len(sites)+1),
+	}
+	for i := range sites {
+		l.Stats[i].ID = int32(i)
+		l.Stats[i].Site = sites[i]
+	}
+	l.Stats[len(sites)].ID = trace.NoSite
+	return l
+}
+
+// Slot returns the stats bucket for a site id, mapping trace.NoSite and
+// out-of-range ids to the unattributed bucket.
+func (l *Ledger) Slot(site int32) *SiteStats {
+	if site < 0 || int(site) >= len(l.Sites) {
+		return &l.Stats[len(l.Sites)]
+	}
+	return &l.Stats[site]
+}
+
+// Conservation verifies the attribution identity: the per-site sums of
+// references, faults and memory must exactly equal the run totals. A
+// non-nil error means the side-band and the simulation disagreed — an
+// attribution-pipeline bug, never a rounding artifact.
+func (l *Ledger) Conservation() error {
+	var refs int64
+	var faults int
+	var memSum float64
+	var vtime int64
+	for i := range l.Stats {
+		refs += l.Stats[i].Refs
+		faults += l.Stats[i].Faults
+		memSum += l.Stats[i].MemSum
+		vtime += l.Stats[i].VTime
+	}
+	if refs != int64(l.Refs) {
+		return fmt.Errorf("attr: per-site refs sum to %d, run executed %d", refs, l.Refs)
+	}
+	if faults != l.Faults {
+		return fmt.Errorf("attr: per-site faults sum to %d, run took %d", faults, l.Faults)
+	}
+	if memSum != l.MemSum {
+		return fmt.Errorf("attr: per-site memory sums to %g, run accumulated %g", memSum, l.MemSum)
+	}
+	if vtime != l.VirtualTime {
+		return fmt.Errorf("attr: per-site vtime sums to %d, run spent %d", vtime, l.VirtualTime)
+	}
+	return nil
+}
+
+// Rank returns the sites ordered by fault count (descending; ties by
+// references, then id), dropping sites that saw no activity at all.
+func (l *Ledger) Rank() []*SiteStats {
+	out := make([]*SiteStats, 0, len(l.Stats))
+	for i := range l.Stats {
+		s := &l.Stats[i]
+		if s.Refs == 0 && s.Faults == 0 && s.Allocs == 0 && s.Locks == 0 && s.Unlocks == 0 {
+			continue
+		}
+		out = append(out, s)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Faults != out[j].Faults {
+			return out[i].Faults > out[j].Faults
+		}
+		if out[i].Refs != out[j].Refs {
+			return out[i].Refs > out[j].Refs
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Hotspot returns the highest-fault site, or nil for a fault-free run.
+func (l *Ledger) Hotspot() *SiteStats {
+	ranked := l.Rank()
+	for _, s := range ranked {
+		if s.Faults > 0 {
+			return s
+		}
+	}
+	return nil
+}
+
+// DirectiveSites returns the stats of directive insertion points
+// (ALLOCATE/LOCK/UNLOCK sites) in site-id order.
+func (l *Ledger) DirectiveSites() []*SiteStats {
+	var out []*SiteStats
+	for i := range l.Stats {
+		s := &l.Stats[i]
+		if s.Allocs > 0 || s.Locks > 0 || s.Unlocks > 0 ||
+			s.LockedHits > 0 || s.ShrinkFaults > 0 || s.ReleaseFaults > 0 || s.LockReleases > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SiteDiff is one site's fault count under two policies.
+type SiteDiff struct {
+	ID    int32      `json:"id"`
+	Site  trace.Site `json:"site"`
+	A     int        `json:"a"`     // faults under the first ledger's policy
+	B     int        `json:"b"`     // faults under the second ledger's policy
+	Delta int        `json:"delta"` // A - B: negative means the first policy saved faults here
+}
+
+// Diff compares per-site fault counts of two ledgers over the same site
+// table (e.g. CD vs LRU on one workload), ordered by |Delta| descending
+// (ties by id). Sites with identical counts are omitted; the
+// unattributed buckets are compared under id trace.NoSite.
+func Diff(a, b *Ledger) []SiteDiff {
+	n := len(a.Stats)
+	if len(b.Stats) > n {
+		n = len(b.Stats)
+	}
+	var out []SiteDiff
+	for i := 0; i < n; i++ {
+		var sa, sb *SiteStats
+		if i < len(a.Stats) {
+			sa = &a.Stats[i]
+		}
+		if i < len(b.Stats) {
+			sb = &b.Stats[i]
+		}
+		d := SiteDiff{ID: trace.NoSite}
+		switch {
+		case sa != nil:
+			d.ID, d.Site = sa.ID, sa.Site
+		case sb != nil:
+			d.ID, d.Site = sb.ID, sb.Site
+		}
+		if sa != nil {
+			d.A = sa.Faults
+		}
+		if sb != nil {
+			d.B = sb.Faults
+		}
+		d.Delta = d.A - d.B
+		if d.Delta != 0 {
+			out = append(out, d)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		di, dj := out[i].Delta, out[j].Delta
+		if di < 0 {
+			di = -di
+		}
+		if dj < 0 {
+			dj = -dj
+		}
+		if di != dj {
+			return di > dj
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

@@ -1,0 +1,123 @@
+package attr
+
+import (
+	"strings"
+	"testing"
+
+	"cdmm/internal/trace"
+)
+
+// testSites is a small site table shared by the unit tests.
+func testSites() []trace.Site {
+	return []trace.Site{
+		{Nest: "DO 40 / DO 30", Line: 12, Array: "A", Expr: "A(I,J)"},
+		{Nest: "DO 40", Line: 10, Expr: "ALLOCATE"},
+		{Nest: "", Line: 3, Array: "B", Expr: "B(K)"},
+	}
+}
+
+func TestSlotMapsOutOfRangeToUnattributed(t *testing.T) {
+	l := NewLedger("prog", "CD", testSites())
+	if got := l.Slot(trace.NoSite); got != &l.Stats[3] {
+		t.Error("NoSite did not map to the trailing bucket")
+	}
+	if got := l.Slot(99); got != &l.Stats[3] {
+		t.Error("out-of-range id did not map to the trailing bucket")
+	}
+	if got := l.Slot(1); got != &l.Stats[1] {
+		t.Error("in-range id did not map to its slot")
+	}
+}
+
+func TestConservationCatchesDrift(t *testing.T) {
+	l := NewLedger("prog", "CD", testSites())
+	l.Stats[0].Refs, l.Stats[0].Faults = 10, 2
+	l.Stats[2].Refs, l.Stats[2].Faults = 5, 1
+	l.Refs, l.Faults = 15, 3
+	if err := l.Conservation(); err != nil {
+		t.Fatalf("balanced ledger failed conservation: %v", err)
+	}
+	l.Faults = 4 // one fault went missing
+	err := l.Conservation()
+	if err == nil {
+		t.Fatal("unbalanced ledger passed conservation")
+	}
+	if !strings.Contains(err.Error(), "sum to 3") || !strings.Contains(err.Error(), "took 4") {
+		t.Errorf("error does not state both sides: %v", err)
+	}
+}
+
+func TestRankOrdersByFaultsThenRefs(t *testing.T) {
+	l := NewLedger("prog", "CD", testSites())
+	l.Stats[0].Refs, l.Stats[0].Faults = 100, 5
+	l.Stats[1].Refs, l.Stats[1].Faults = 900, 5 // same faults, more refs
+	l.Stats[2].Refs, l.Stats[2].Faults = 50, 9
+	ranked := l.Rank()
+	if len(ranked) != 3 {
+		t.Fatalf("ranked %d sites, want 3 (idle sites dropped)", len(ranked))
+	}
+	if ranked[0].ID != 2 || ranked[1].ID != 1 || ranked[2].ID != 0 {
+		t.Errorf("rank order = %d,%d,%d; want 2,1,0", ranked[0].ID, ranked[1].ID, ranked[2].ID)
+	}
+	if hs := l.Hotspot(); hs == nil || hs.ID != 2 {
+		t.Errorf("hotspot = %+v, want site 2", hs)
+	}
+}
+
+func TestDiffOrdersByMagnitude(t *testing.T) {
+	sites := testSites()
+	a := NewLedger("prog", "CD", sites)
+	b := NewLedger("prog", "LRU", sites)
+	a.Stats[0].Faults, b.Stats[0].Faults = 2, 12 // CD saves 10
+	a.Stats[1].Faults, b.Stats[1].Faults = 7, 4  // CD costs 3
+	a.Stats[2].Faults, b.Stats[2].Faults = 5, 5  // identical: omitted
+	d := Diff(a, b)
+	if len(d) != 2 {
+		t.Fatalf("diff has %d rows, want 2", len(d))
+	}
+	if d[0].ID != 0 || d[0].Delta != -10 {
+		t.Errorf("top diff = %+v, want site 0 delta -10", d[0])
+	}
+	if d[1].ID != 1 || d[1].Delta != 3 {
+		t.Errorf("second diff = %+v, want site 1 delta 3", d[1])
+	}
+}
+
+func TestSiteStatsName(t *testing.T) {
+	l := NewLedger("prog", "CD", testSites())
+	if got := l.Stats[0].Name(); got != "DO 40 / DO 30 · A(I,J)" {
+		t.Errorf("Name() = %q", got)
+	}
+	if got := l.Stats[2].Name(); got != "<program> · B(K)" {
+		t.Errorf("loopless Name() = %q", got)
+	}
+	if got := l.Stats[3].Name(); got != "<unattributed>" {
+		t.Errorf("unattributed Name() = %q", got)
+	}
+}
+
+func TestStoreOrderAndSnapshot(t *testing.T) {
+	s := NewStore()
+	if s.Len() != 0 {
+		t.Fatal("new store not empty")
+	}
+	l1 := NewLedger("p1", "CD", nil)
+	l2 := NewLedger("p2", "LRU", nil)
+	s.Put("b", l1)
+	s.Put("a", l2)
+	s.Put("b", l1) // replace keeps insertion order
+	if got := s.Keys(); len(got) != 2 || got[0] != "b" || got[1] != "a" {
+		t.Errorf("Keys() = %v, want [b a]", got)
+	}
+	if got := s.SortedKeys(); got[0] != "a" || got[1] != "b" {
+		t.Errorf("SortedKeys() = %v, want [a b]", got)
+	}
+	if s.Get("a") != l2 || s.Get("missing") != nil {
+		t.Error("Get misbehaved")
+	}
+	var nilStore *Store
+	nilStore.Put("x", l1) // must not panic
+	if nilStore.Len() != 0 || nilStore.Get("x") != nil || nilStore.Keys() != nil {
+		t.Error("nil store not inert")
+	}
+}

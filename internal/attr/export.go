@@ -1,0 +1,94 @@
+// Exporters rendering a ledger for external profiling tooling: Chrome
+// trace-event JSON (load in Perfetto / chrome://tracing) and folded
+// stacks (pipe to flamegraph.pl / inferno). Both outputs are
+// deterministic functions of the ledger, so they are golden-file tested.
+package attr
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cdmm/internal/trace"
+)
+
+// siteFrames renders a site as a stack of frames: the nest path split
+// into one frame per loop, then the statement expression.
+func siteFrames(id int32, s trace.Site) []string {
+	if id == trace.NoSite {
+		return []string{"<unattributed>"}
+	}
+	var frames []string
+	if s.Nest == "" {
+		frames = append(frames, "<program>")
+	} else {
+		frames = append(frames, strings.Split(s.Nest, " / ")...)
+	}
+	if s.Expr != "" {
+		frames = append(frames, s.Expr)
+	}
+	return frames
+}
+
+// WriteChromeTrace renders the ledger's fault log as Chrome trace-event
+// JSON: one instant event per fault at its virtual-time instant (ts is
+// in virtual time units, displayed as microseconds), named by the
+// faulting site's loop nest, plus counter events tracking the cumulative
+// fault total. The run is one process named "program · policy".
+func WriteChromeTrace(w io.Writer, l *Ledger) error {
+	var b []byte
+	b = append(b, `{"displayTimeUnit":"ms","traceEvents":[`...)
+	b = append(b, `{"ph":"M","pid":1,"name":"process_name","args":{"name":`...)
+	b = strconv.AppendQuote(b, l.Program+" · "+l.Policy)
+	b = append(b, `}}`...)
+	total := 0
+	for _, fp := range l.FaultLog {
+		site := l.Slot(fp.Site)
+		name := "<unattributed>"
+		if site.ID != trace.NoSite {
+			name = strings.Join(siteFrames(site.ID, site.Site), ";")
+		}
+		total++
+		b = append(b, `,{"ph":"i","pid":1,"tid":1,"s":"t","ts":`...)
+		b = strconv.AppendInt(b, fp.VT, 10)
+		b = append(b, `,"name":`...)
+		b = strconv.AppendQuote(b, name)
+		b = append(b, `,"args":{"page":`...)
+		b = strconv.AppendInt(b, int64(fp.Page), 10)
+		b = append(b, `,"site":`...)
+		b = strconv.AppendInt(b, int64(fp.Site), 10)
+		b = append(b, `}}`...)
+		b = append(b, `,{"ph":"C","pid":1,"tid":1,"ts":`...)
+		b = strconv.AppendInt(b, fp.VT, 10)
+		b = append(b, `,"name":"faults","args":{"pf":`...)
+		b = strconv.AppendInt(b, int64(total), 10)
+		b = append(b, `}}`...)
+	}
+	b = append(b, "]}\n"...)
+	_, err := w.Write(b)
+	return err
+}
+
+// WriteFolded renders per-site fault counts as folded flamegraph stacks:
+// one "policy;nest;…;expr count" line per faulting site, sorted lexically
+// so equal ledgers produce byte-equal output.
+func WriteFolded(w io.Writer, l *Ledger) error {
+	var lines []string
+	for i := range l.Stats {
+		s := &l.Stats[i]
+		if s.Faults == 0 {
+			continue
+		}
+		stack := append([]string{l.Policy}, siteFrames(s.ID, s.Site)...)
+		lines = append(lines, fmt.Sprintf("%s %d", strings.Join(stack, ";"), s.Faults))
+	}
+	sort.Strings(lines)
+	for _, ln := range lines {
+		if _, err := io.WriteString(w, ln+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package attr
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cdmm/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// exportLedger builds the deterministic ledger the golden files pin.
+func exportLedger() *Ledger {
+	sites := []trace.Site{
+		{Nest: "DO 40 / DO 30", Line: 12, Array: "A", Expr: "A(I,J)"},
+		{Nest: "DO 40", Line: 10, Expr: "ALLOCATE"},
+		{Nest: "", Line: 3, Array: "B", Expr: `B("K\)`}, // hostile label
+	}
+	l := NewLedger("CONDUCT", "CD", sites)
+	l.Stats[0].Refs, l.Stats[0].Faults = 1000, 3
+	l.Stats[1].Refs, l.Stats[1].Faults = 10, 1
+	l.Stats[2].Refs, l.Stats[2].Faults = 200, 2
+	l.Stats[3].Refs, l.Stats[3].Faults = 7, 1 // unattributed bucket
+	l.Refs, l.Faults = 1217, 7
+	l.FaultLog = []FaultPoint{
+		{VT: 2001, Site: 0, Page: 4},
+		{VT: 4002, Site: 0, Page: 5},
+		{VT: 6003, Site: 2, Page: 9},
+		{VT: 8004, Site: 1, Page: 1},
+		{VT: 10005, Site: trace.NoSite, Page: 3},
+		{VT: 12006, Site: 0, Page: 6},
+		{VT: 14007, Site: 2, Page: 10},
+	}
+	return l
+}
+
+// checkGolden compares got with the named golden file, rewriting it
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run go test -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, exportLedger()); err != nil {
+		t.Fatal(err)
+	}
+	// The output must be valid JSON before it is compared byte-for-byte.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	// 1 metadata + per fault (1 instant + 1 counter).
+	if want := 1 + 2*7; len(doc.TraceEvents) != want {
+		t.Errorf("chrome trace has %d events, want %d", len(doc.TraceEvents), want)
+	}
+	checkGolden(t, "chrome_trace.json", buf.Bytes())
+}
+
+func TestFoldedGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFolded(&buf, exportLedger()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "folded.txt", buf.Bytes())
+}
+
+// TestExportsDeterministic renders twice and requires byte equality —
+// the property that makes golden files trustworthy.
+func TestExportsDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	l := exportLedger()
+	if err := WriteChromeTrace(&a, l); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, l); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("chrome trace output is not deterministic")
+	}
+	a.Reset()
+	b.Reset()
+	if err := WriteFolded(&a, l); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFolded(&b, l); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("folded output is not deterministic")
+	}
+}

@@ -119,6 +119,9 @@ func (p *Program) Trace() (*trace.Trace, error) {
 			Layout:  p.Layout,
 			Plan:    p.Plan,
 			MaxRefs: p.opts.MaxRefs,
+			// The provenance side-band costs nothing on the simulation
+			// fast path and lets explain/report attribute every fault.
+			Sites: true,
 		})
 		if err != nil {
 			p.traceErr = fmt.Errorf("core: %s: %w", p.Name, err)

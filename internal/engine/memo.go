@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"cdmm/internal/explain"
 	"cdmm/internal/obs"
 	"cdmm/internal/policy"
 	"cdmm/internal/vmsim"
@@ -278,4 +279,23 @@ func (e *Engine) WSMinST(rc *RunCtx, program string) (int, vmsim.Result, error) 
 	}
 	m := v.(wsMin)
 	return m.tau, m.res, nil
+}
+
+// ExplainRun builds (once per engine and full parameterization) the
+// fault-attribution report for a variant: CD under the directive set
+// plus tuned LRU and WS, each attributed site by site. The ledgers are
+// immutable after construction, so sharing the memoized pointer is safe.
+func (e *Engine) ExplainRun(rc *RunCtx, program string, set workloads.Set, minAlloc int) (*explain.Report, error) {
+	k := Key{Kind: "explain", Program: program, Set: set.Name, Policy: "CD", Params: setParams(set, minAlloc)}
+	v, err := e.Memo(rc, k, func(comp *RunCtx, _ *obs.Observer) (any, error) {
+		c, err := e.Compiled(comp, program)
+		if err != nil {
+			return nil, err
+		}
+		return explain.Analyze(c.Trace, explain.Options{Selector: set.Selector(), MinAlloc: minAlloc})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*explain.Report), nil
 }

@@ -27,6 +27,11 @@ type Config struct {
 	// MaxRefs caps the trace length as a runaway guard. 0 means the
 	// default of 20 million references.
 	MaxRefs int
+	// Sites, when true, records the source-site side-band: every emitted
+	// event is attributed to its loop nest, statement and array (or
+	// directive insertion point) via trace.SetSite. Off by default so
+	// plain traces stay byte-identical on disk.
+	Sites bool
 }
 
 // Run executes the program and returns its trace.
@@ -55,6 +60,9 @@ func Run(info *sem.Info, cfg Config) (*trace.Trace, error) {
 		for _, l := range info.Loops {
 			ex.loopOf[l.Stmt] = l
 		}
+	}
+	if cfg.Sites {
+		ex.buildSites()
 	}
 	if err := ex.stmts(info.Prog.Body); err != nil {
 		if err == errTooLong {
@@ -85,6 +93,57 @@ type executor struct {
 	scalars map[string]float64
 	arrays  map[string][]float64
 	loopOf  map[*fortran.DoStmt]*sem.Loop
+
+	// Site threading (Config.Sites): siteOf maps every source array
+	// reference to its trace site; dirSiteOf interns one site per
+	// (loop, directive kind) insertion point. Both nil when sites are off.
+	siteOf    map[*fortran.RefExpr]int32
+	dirSiteOf map[dirSiteKey]int32
+}
+
+// dirSiteKey identifies a directive insertion point for site interning.
+type dirSiteKey struct {
+	loop *sem.Loop
+	kind string
+}
+
+// buildSites registers a trace site for every array reference in the
+// program up front, so site ids are stable in source preorder regardless
+// of execution order.
+func (ex *executor) buildSites() {
+	ex.siteOf = map[*fortran.RefExpr]int32{}
+	ex.dirSiteOf = map[dirSiteKey]int32{}
+	var walk func(l *sem.Loop)
+	walk = func(l *sem.Loop) {
+		for _, ar := range l.Refs {
+			ex.siteOf[ar.Ref] = ex.tr.AddSite(trace.Site{
+				Nest:  l.Path(),
+				Line:  ar.Ref.Line,
+				Array: ar.Array.Name,
+				Expr:  fortran.FormatExpr(ar.Ref),
+			})
+		}
+		for _, c := range l.Children {
+			walk(c)
+		}
+	}
+	walk(ex.info.Root)
+}
+
+// directiveSite interns the site of a directive inserted at the given
+// loop.
+func (ex *executor) directiveSite(loop *sem.Loop, kind string) int32 {
+	k := dirSiteKey{loop: loop, kind: kind}
+	id, ok := ex.dirSiteOf[k]
+	if !ok {
+		line := 0
+		if loop.Stmt != nil {
+			line = loop.Stmt.Line
+		}
+		id = ex.tr.AddSite(trace.Site{Nest: loop.Path(), Line: line, Expr: kind})
+		ex.dirSiteOf[k] = id
+	}
+	return id
 }
 
 func (ex *executor) stmts(list []fortran.Stmt) error {
@@ -206,8 +265,14 @@ func (ex *executor) emitPreLoop(st *fortran.DoStmt) error {
 			if err != nil {
 				return err
 			}
+			if ex.siteOf != nil {
+				ex.tr.SetSite(ex.directiveSite(loop, "LOCK"))
+			}
 			ex.tr.AddLock(dir.PJ, dir.ID, pages)
 		case *directive.Allocate:
+			if ex.siteOf != nil {
+				ex.tr.SetSite(ex.directiveSite(loop, "ALLOCATE"))
+			}
 			ex.tr.AddAlloc(dir)
 		}
 	}
@@ -228,6 +293,9 @@ func (ex *executor) emitPostLoop(st *fortran.DoStmt) error {
 				for p := seg.Base; p < seg.End(); p++ {
 					pages = append(pages, p)
 				}
+			}
+			if ex.siteOf != nil {
+				ex.tr.SetSite(ex.directiveSite(loop, "UNLOCK"))
 			}
 			ex.tr.AddUnlock(pages)
 		}
@@ -288,6 +356,13 @@ func (ex *executor) touch(r *fortran.RefExpr) (int, error) {
 	}
 	if ex.tr.Refs >= ex.maxRefs {
 		return 0, errTooLong
+	}
+	if ex.siteOf != nil {
+		id, ok := ex.siteOf[r]
+		if !ok {
+			id = trace.NoSite
+		}
+		ex.tr.SetSite(id)
 	}
 	ex.tr.AddRef(p)
 	seg, _ := ex.layout.Segment(r.Name)

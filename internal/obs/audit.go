@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ReplayError is a replay-audit failure that can say *where* the stream
+// diverged, not just that it did: which quantity disagreed, the event
+// index anchoring the divergence, and the events surrounding that index.
+type ReplayError struct {
+	// Field names the disagreeing quantity: "refs", "pf", "mem" or
+	// "structure" for a malformed stream.
+	Field string
+	// Got is the value replayed from the stream, Want the value the
+	// simulation reported.
+	Got, Want string
+	// Index is the event index anchoring the divergence (the first
+	// surplus fault, the malformed event, ...); -1 when the divergence
+	// has no single anchor (e.g. missing events).
+	Index int
+	// Window renders the events nearest the anchor, one per line.
+	Window string
+}
+
+// Error implements error.
+func (e *ReplayError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "replay mismatch: %s replays to %s, result has %s", e.Field, e.Got, e.Want)
+	if e.Index >= 0 {
+		fmt.Fprintf(&b, " (diverges at event %d)", e.Index)
+	}
+	if e.Window != "" {
+		b.WriteString("\nnearest events:\n")
+		b.WriteString(e.Window)
+	}
+	return b.String()
+}
+
+// window renders events [idx-2, idx+2] one per line, marking idx with
+// '>'. An out-of-range idx renders the stream tail.
+func window(events []Event, idx int) string {
+	if len(events) == 0 {
+		return "  (empty stream)"
+	}
+	if idx < 0 || idx >= len(events) {
+		idx = len(events) - 1
+	}
+	lo, hi := idx-2, idx+2
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(events)-1 {
+		hi = len(events) - 1
+	}
+	var b strings.Builder
+	for i := lo; i <= hi; i++ {
+		mark := "  "
+		if i == idx {
+			mark = "> "
+		}
+		fmt.Fprintf(&b, "%s[%d] %s", mark, i, string(events[i].AppendJSON(nil)))
+		if i < hi {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// nthFault returns the index of the n-th (1-based) fault event, or -1.
+func nthFault(events []Event, n int) int {
+	seen := 0
+	for i, e := range events {
+		if e.Kind == KindFault {
+			seen++
+			if seen == n {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// AuditReplay replays the stream like Replay and compares against the
+// simulation's own figures, returning a *ReplayError that pinpoints the
+// divergence: structural anomalies (a charge event rewinding the
+// reference index, events after the end marker, a missing end marker)
+// anchor at the offending event; a fault-count surplus anchors at the
+// first fault the result does not account for; other mismatches anchor
+// at the stream tail. A nil return means the stream reproduces the run
+// exactly.
+func AuditReplay(events []Event, refs, faults int, memSum float64) error {
+	lastI := 0
+	endAt := -1
+	for i, e := range events {
+		if endAt >= 0 {
+			return &ReplayError{
+				Field:  "structure",
+				Got:    fmt.Sprintf("%q event after the end marker", e.Kind),
+				Want:   "end-terminated stream",
+				Index:  i,
+				Window: window(events, i),
+			}
+		}
+		switch e.Kind {
+		case KindRes:
+			if e.I < lastI {
+				return &ReplayError{
+					Field:  "structure",
+					Got:    fmt.Sprintf("charge event rewinds reference index %d -> %d", lastI, e.I),
+					Want:   "monotone reference index",
+					Index:  i,
+					Window: window(events, i),
+				}
+			}
+			lastI = e.I
+		case KindEnd:
+			endAt = i
+		}
+	}
+	if len(events) > 0 && endAt < 0 {
+		return &ReplayError{
+			Field:  "structure",
+			Got:    "stream without an end marker",
+			Want:   "end-terminated stream",
+			Index:  -1,
+			Window: window(events, len(events)-1),
+		}
+	}
+
+	gotRefs, gotFaults, gotMem := Replay(events)
+	if gotFaults != faults {
+		idx := -1
+		if gotFaults > faults {
+			// The first fault the result does not account for.
+			idx = nthFault(events, faults+1)
+		} else {
+			// Fewer fault events than faults: the gap is visible at the
+			// end marker, where the stream's accounting closes.
+			idx = endAt
+		}
+		return &ReplayError{
+			Field:  "pf",
+			Got:    fmt.Sprintf("%d", gotFaults),
+			Want:   fmt.Sprintf("%d", faults),
+			Index:  idx,
+			Window: window(events, idx),
+		}
+	}
+	if gotRefs != refs {
+		return &ReplayError{
+			Field:  "refs",
+			Got:    fmt.Sprintf("%d", gotRefs),
+			Want:   fmt.Sprintf("%d", refs),
+			Index:  endAt,
+			Window: window(events, endAt),
+		}
+	}
+	if gotMem != memSum {
+		return &ReplayError{
+			Field:  "mem",
+			Got:    fmt.Sprintf("%g", gotMem),
+			Want:   fmt.Sprintf("%g", memSum),
+			Index:  endAt,
+			Window: window(events, endAt),
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// goodStream is a well-formed single-run stream: 3 refs, 1 fault,
+// memSum = 1 + 2 + 2 = 5.
+func goodStream() []Event {
+	return []Event{
+		{T: 0, Kind: KindRun, Label: "LRU", Refs: 3},
+		{T: 1, Kind: KindRes, I: 1, Res: 1},
+		{T: 2002, Kind: KindFault, I: 2, Page: 7, Res: 2},
+		{T: 2002, Kind: KindRes, I: 2, Res: 2},
+		{T: 2003, Kind: KindEnd, Refs: 3, Faults: 1, Mem: 5},
+	}
+}
+
+func TestAuditReplayAccepts(t *testing.T) {
+	if err := AuditReplay(goodStream(), 3, 1, 5); err != nil {
+		t.Fatalf("well-formed stream rejected: %v", err)
+	}
+}
+
+func TestAuditReplaySurplusFaultAnchorsAtEvent(t *testing.T) {
+	ev := goodStream()
+	// Claim the run took 0 faults: the stream's single fault event (index
+	// 2) is the first unaccounted one.
+	err := AuditReplay(ev, 3, 0, 5)
+	if err == nil {
+		t.Fatal("surplus fault accepted")
+	}
+	re, ok := err.(*ReplayError)
+	if !ok {
+		t.Fatalf("error type %T, want *ReplayError", err)
+	}
+	if re.Field != "pf" || re.Index != 2 {
+		t.Errorf("anchor = %s@%d, want pf@2", re.Field, re.Index)
+	}
+	msg := err.Error()
+	for _, want := range []string{"diverges at event 2", "nearest events", `"ev":"fault"`, "> [2]"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error message missing %q:\n%s", want, msg)
+		}
+	}
+	// The window must include the neighbors, not just the anchor.
+	if !strings.Contains(msg, "[1]") || !strings.Contains(msg, "[3]") {
+		t.Errorf("error message missing neighbor events:\n%s", msg)
+	}
+}
+
+func TestAuditReplayMissingFaultAnchorsAtEnd(t *testing.T) {
+	ev := goodStream()
+	err := AuditReplay(ev, 3, 2, 5) // result claims 2 faults, stream has 1
+	re, ok := err.(*ReplayError)
+	if !ok {
+		t.Fatalf("missing fault accepted (err=%v)", err)
+	}
+	if re.Field != "pf" || re.Index != 4 {
+		t.Errorf("anchor = %s@%d, want pf@4 (the end marker)", re.Field, re.Index)
+	}
+}
+
+func TestAuditReplayStructure(t *testing.T) {
+	// A charge event that rewinds the reference index.
+	ev := goodStream()
+	ev[3].I = 0
+	err := AuditReplay(ev, 3, 1, 5)
+	re, ok := err.(*ReplayError)
+	if !ok || re.Field != "structure" || re.Index != 3 {
+		t.Errorf("rewind not caught at index 3: %v", err)
+	}
+
+	// An event after the end marker.
+	ev = append(goodStream(), Event{T: 9999, Kind: KindFault, I: 4, Page: 1})
+	err = AuditReplay(ev, 3, 1, 5)
+	re, ok = err.(*ReplayError)
+	if !ok || re.Field != "structure" || re.Index != 5 {
+		t.Errorf("post-end event not caught at index 5: %v", err)
+	}
+
+	// A stream that never ends.
+	ev = goodStream()[:4]
+	err = AuditReplay(ev, 3, 1, 5)
+	re, ok = err.(*ReplayError)
+	if !ok || re.Field != "structure" {
+		t.Errorf("missing end marker not caught: %v", err)
+	}
+}
+
+func TestAuditReplayMemAndRefs(t *testing.T) {
+	ev := goodStream()
+	err := AuditReplay(ev, 3, 1, 6)
+	re, ok := err.(*ReplayError)
+	if !ok || re.Field != "mem" {
+		t.Fatalf("memory drift not caught: %v", err)
+	}
+	if re.Got != "5" || re.Want != "6" {
+		t.Errorf("mem got/want = %s/%s", re.Got, re.Want)
+	}
+	err = AuditReplay(ev, 4, 1, 5)
+	if re, ok := err.(*ReplayError); !ok || re.Field != "refs" {
+		t.Errorf("refs drift not caught: %v", err)
+	}
+}
+
+func TestAuditReplayEmptyStream(t *testing.T) {
+	if err := AuditReplay(nil, 0, 0, 0); err != nil {
+		t.Errorf("empty stream with zero result rejected: %v", err)
+	}
+	err := AuditReplay(nil, 10, 2, 30)
+	if err == nil {
+		t.Fatal("empty stream with nonzero result accepted")
+	}
+	if !strings.Contains(err.Error(), "(empty stream)") {
+		t.Errorf("empty-stream window not rendered: %v", err)
+	}
+}

@@ -32,6 +32,12 @@ func NewTimeline(events []Event, buckets int) *Timeline {
 			span = e.T
 		}
 	}
+	// Never use more buckets than there are time units: a very short run
+	// would otherwise scatter its few events over a mostly-empty strip
+	// (and a single-unit run rendered one spike in a 64-wide void).
+	if span > 0 && int64(buckets) > span {
+		buckets = int(span)
+	}
 	tl := &Timeline{
 		Buckets:  buckets,
 		Span:     span,

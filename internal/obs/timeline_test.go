@@ -52,6 +52,44 @@ func TestTimelineBucketsFaultsAndResidency(t *testing.T) {
 	}
 }
 
+// TestTimelineShortRunClampsBuckets pins the short-run fix: a run whose
+// virtual-time span is smaller than the requested bucket count gets one
+// bucket per time unit, not a mostly-empty 64-wide strip with a single
+// degenerate spike.
+func TestTimelineShortRunClampsBuckets(t *testing.T) {
+	// Span 3: three references, one fault.
+	events := []Event{
+		{T: 0, Kind: KindRes, I: 1, Res: 1},
+		{T: 2, Kind: KindFault, I: 2, Page: 1, Res: 1},
+		{T: 3, Kind: KindEnd, Refs: 3, Faults: 1},
+	}
+	tl := NewTimeline(events, 64)
+	if tl.Buckets != 3 {
+		t.Fatalf("buckets = %d, want clamped to span 3", tl.Buckets)
+	}
+	if len(tl.Faults) != 3 || len(tl.Resident) != 3 {
+		t.Fatalf("series lengths = %d/%d, want 3/3", len(tl.Faults), len(tl.Resident))
+	}
+	if tl.TotalFaults() != 1 {
+		t.Errorf("total faults = %d, want 1", tl.TotalFaults())
+	}
+	if got := len([]rune(Sparkline(tl.FaultsF()))); got != 3 {
+		t.Errorf("sparkline width = %d, want 3", got)
+	}
+	// A single-time-unit run collapses to one bucket holding everything.
+	one := NewTimeline([]Event{
+		{T: 0, Kind: KindRes, I: 1, Res: 1},
+		{T: 1, Kind: KindEnd, Refs: 1},
+	}, 64)
+	if one.Buckets != 1 {
+		t.Errorf("single-unit run buckets = %d, want 1", one.Buckets)
+	}
+	// Requests below the span are honored unchanged.
+	if tl := NewTimeline(events, 2); tl.Buckets != 2 {
+		t.Errorf("small request clamped: %d buckets, want 2", tl.Buckets)
+	}
+}
+
 func TestTimelineEmpty(t *testing.T) {
 	tl := NewTimeline(nil, 8)
 	if tl.Span != 0 || tl.TotalFaults() != 0 {

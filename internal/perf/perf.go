@@ -51,6 +51,12 @@ type Baseline struct {
 	// connected, plus the chunked progress callback) to the CD hot path:
 	// (served - plain) / plain, each the min over alternating windows.
 	ServeOverhead float64 `json:"serve_overhead"`
+	// AttrOverhead is the fractional ns/ref cost the un-instrumented
+	// fast path pays for a trace that merely *carries* the site
+	// side-band (attribution disabled): (site-carrying - siteless) /
+	// siteless, median of interleaved pair ratios. vmsim.Run never reads
+	// the side-band, so this must stay near zero.
+	AttrOverhead float64 `json:"attr_overhead"`
 }
 
 // Schema is the current baseline file schema version.
@@ -60,6 +66,11 @@ const Schema = 1
 // attached-but-unwatched telemetry server may cost at most this
 // fraction of the plain hot path.
 const ServeOverheadMax = 0.02
+
+// AttrOverheadMax is the acceptance ceiling for AttrOverhead: a trace
+// carrying the provenance side-band may slow the un-instrumented fast
+// path by at most this fraction.
+const AttrOverheadMax = 0.03
 
 // caseSpec defines the measured policy matrix. The CONDUCT trace is the
 // suite's largest (the hot path the tables and sweeps spend their time
@@ -115,6 +126,9 @@ func Collect(quick bool) (*Baseline, error) {
 		b.Cases = append(b.Cases, cs)
 	}
 	if err := collectServeOverhead(b, target); err != nil {
+		return nil, err
+	}
+	if err := collectAttrOverhead(b, target); err != nil {
 		return nil, err
 	}
 	return b, nil
@@ -186,6 +200,59 @@ func collectServeOverhead(b *Baseline, target time.Duration) error {
 		median = (ratios[mid-1] + ratios[mid]) / 2
 	}
 	b.ServeOverhead = median - 1
+	return nil
+}
+
+// collectAttrOverhead measures the CD hot path on the site-carrying
+// CONDUCT trace against its siteless projection, interleaving pairs and
+// taking the median ratio (like collectServeOverhead). It also anchors
+// that the attributed loop reproduces the fast path's Result exactly —
+// the attribution plane must explain the run, never change it.
+func collectAttrOverhead(b *Baseline, target time.Duration) error {
+	w, err := workloads.Get("CONDUCT")
+	if err != nil {
+		return err
+	}
+	c, err := workloads.Compile(w)
+	if err != nil {
+		return err
+	}
+	sited := c.Trace
+	if !sited.HasSites() {
+		return fmt.Errorf("perf: CONDUCT trace lost its site side-band")
+	}
+	siteless := sited.WithoutSites()
+	pol := policy.NewCD(w.DefaultSet().Selector(), 2)
+	plainRes := vmsim.Run(siteless, pol)
+	sitedRes := vmsim.Run(sited, pol)
+	if sitedRes != plainRes {
+		return fmt.Errorf("perf: site-carrying trace changed the fast path: %+v vs %+v", sitedRes, plainRes)
+	}
+	attrRes, led := vmsim.RunAttributed(sited, pol, nil)
+	if attrRes != plainRes {
+		return fmt.Errorf("perf: attributed run drifted from fast path: %+v vs %+v", attrRes, plainRes)
+	}
+	if err := led.Conservation(); err != nil {
+		return err
+	}
+	var ratios []float64
+	deadline := time.Now().Add(2 * target)
+	for len(ratios) < 8 || time.Now().Before(deadline) {
+		t0 := time.Now()
+		vmsim.Run(siteless, pol)
+		plain := time.Since(t0)
+		t0 = time.Now()
+		vmsim.Run(sited, pol)
+		carrying := time.Since(t0)
+		ratios = append(ratios, float64(carrying.Nanoseconds())/float64(plain.Nanoseconds()))
+	}
+	sort.Float64s(ratios)
+	mid := len(ratios) / 2
+	median := ratios[mid]
+	if len(ratios)%2 == 0 {
+		median = (ratios[mid-1] + ratios[mid]) / 2
+	}
+	b.AttrOverhead = median - 1
 	return nil
 }
 
@@ -294,6 +361,13 @@ func Compare(baseline, current *Baseline, threshold float64) (string, []string) 
 		regressions = append(regressions,
 			fmt.Sprintf("serve-attached overhead %+.2f%% > +%.0f%% (unwatched telemetry is no longer near-free)",
 				100*current.ServeOverhead, 100*ServeOverheadMax))
+	}
+	fmt.Fprintf(&sb, "attr side-band overhead (attribution off): %+.2f%% (ceiling +%.0f%%)\n",
+		100*current.AttrOverhead, 100*AttrOverheadMax)
+	if current.AttrOverhead > AttrOverheadMax {
+		regressions = append(regressions,
+			fmt.Sprintf("site side-band overhead %+.2f%% > +%.0f%% (carrying provenance is no longer free on the fast path)",
+				100*current.AttrOverhead, 100*AttrOverheadMax))
 	}
 	return sb.String(), regressions
 }

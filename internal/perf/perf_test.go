@@ -115,6 +115,10 @@ func TestCollectQuick(t *testing.T) {
 		t.Errorf("unwatched serve observer costs %+.2f%% ns/ref, ceiling +%.0f%%",
 			100*b.ServeOverhead, 100*ServeOverheadMax)
 	}
+	if b.AttrOverhead > AttrOverheadMax {
+		t.Errorf("site side-band costs %+.2f%% ns/ref on the fast path, ceiling +%.0f%%",
+			100*b.AttrOverhead, 100*AttrOverheadMax)
+	}
 	// A second collection must reproduce the fault anchors exactly.
 	b2, err := Collect(true)
 	if err != nil {
@@ -122,5 +126,22 @@ func TestCollectQuick(t *testing.T) {
 	}
 	if _, regs := Compare(b, b2, 10); len(regs) != 0 { // huge threshold: only anchors can fail
 		t.Fatalf("fault anchors unstable: %v", regs)
+	}
+}
+
+func TestCompareFlagsAttrOverhead(t *testing.T) {
+	old := mkBaseline(Case{Name: "LRU", NsPerRef: 10, AllocsPerRef: 0, Faults: 100})
+	cur := mkBaseline(Case{Name: "LRU", NsPerRef: 10, AllocsPerRef: 0, Faults: 100})
+	cur.AttrOverhead = AttrOverheadMax * 2
+	report, regs := Compare(old, cur, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "side-band overhead") {
+		t.Fatalf("want one attr-overhead regression, got %v", regs)
+	}
+	if !strings.Contains(report, "attr side-band overhead") {
+		t.Fatalf("report missing attr-overhead line:\n%s", report)
+	}
+	cur.AttrOverhead = AttrOverheadMax / 2
+	if _, regs := Compare(old, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("in-budget side-band overhead flagged: %v", regs)
 	}
 }

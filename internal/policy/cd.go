@@ -108,6 +108,12 @@ type CD struct {
 	degraded       bool
 	degradedReason string
 	fallback       *WS // WS policy serving references after degradation
+
+	// onEvict is the eviction hook (see EvictObserver). It fires for
+	// replacement and directive-shrink evictions; forced lock releases
+	// report through Hooks.LockRelease instead so the attribution layer
+	// can tell the two apart.
+	onEvict func(mem.Page)
 }
 
 // CDHooks are optional callbacks into CD's internal transitions. Any
@@ -153,6 +159,15 @@ func (p *CD) Allocation() int { return p.alloc }
 
 // HintPages implements PageHinter.
 func (p *CD) HintPages(maxPage mem.Page, distinct int) { p.list.hint(maxPage, distinct) }
+
+// SetEvictHook implements EvictObserver. A hook installed after
+// degradation reaches the WS fallback too.
+func (p *CD) SetEvictHook(fn func(mem.Page)) {
+	p.onEvict = fn
+	if p.fallback != nil {
+		p.fallback.SetEvictHook(fn)
+	}
+}
 
 // Alloc implements Policy: process an executed ALLOCATE directive
 // following the Figure 6 flowchart. The selector first narrows the
@@ -228,8 +243,12 @@ func (p *CD) setTarget(x int) {
 // request was not granted, §3.2).
 func (p *CD) shrinkTo(n int) {
 	for p.list.len()-p.locked > n {
-		if _, ok := p.list.evictLRU(); !ok {
+		v, ok := p.list.evictLRU()
+		if !ok {
 			return // everything left is locked
+		}
+		if p.onEvict != nil {
+			p.onEvict(v)
 		}
 	}
 }
@@ -244,7 +263,11 @@ func (p *CD) Ref(pg mem.Page) bool {
 		return false
 	}
 	if p.list.len()-p.locked >= p.alloc {
-		if _, ok := p.list.evictLRU(); !ok {
+		if v, ok := p.list.evictLRU(); ok {
+			if p.onEvict != nil {
+				p.onEvict(v)
+			}
+		} else {
 			// Every resident page is locked: the OS releases the locked
 			// page with the lowest priority (largest PJ) and replaces it.
 			if s := p.list.lowestPriorityLocked(); s >= 0 {
@@ -376,8 +399,12 @@ func (p *CD) Reclaim(k int) int {
 	}
 	taken := 0
 	for taken < k {
-		if _, ok := p.list.evictLRU(); !ok {
+		v, ok := p.list.evictLRU()
+		if !ok {
 			break
+		}
+		if p.onEvict != nil {
+			p.onEvict(v)
 		}
 		taken++
 	}

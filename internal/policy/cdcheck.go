@@ -97,6 +97,7 @@ func (p *CD) degrade(reason string) {
 	}
 	ws := NewWS(p.Check.tau())
 	ws.Warm(resident)
+	ws.SetEvictHook(p.onEvict)
 	p.fallback = ws
 	if p.Hooks != nil && p.Hooks.Degrade != nil {
 		p.Hooks.Degrade(reason)

@@ -1,0 +1,81 @@
+package policy
+
+import (
+	"testing"
+
+	"cdmm/internal/mem"
+)
+
+// refAll drives a page sequence through a policy and returns the fault
+// count.
+func refAll(p Policy, pages ...mem.Page) int {
+	faults := 0
+	for _, pg := range pages {
+		if p.Ref(pg) {
+			faults++
+		}
+	}
+	return faults
+}
+
+func TestLRUEvictHook(t *testing.T) {
+	p := NewLRU(2)
+	var evicted []mem.Page
+	p.SetEvictHook(func(pg mem.Page) { evicted = append(evicted, pg) })
+	refAll(p, 1, 2, 3, 1)
+	if len(evicted) != 2 || evicted[0] != 1 || evicted[1] != 2 {
+		t.Fatalf("evicted = %v, want [1 2]", evicted)
+	}
+}
+
+func TestFIFOEvictHook(t *testing.T) {
+	p := NewFIFO(2)
+	var evicted []mem.Page
+	p.SetEvictHook(func(pg mem.Page) { evicted = append(evicted, pg) })
+	refAll(p, 1, 2, 3)
+	if len(evicted) != 1 || evicted[0] != 1 {
+		t.Fatalf("evicted = %v, want [1]", evicted)
+	}
+}
+
+func TestWSEvictHook(t *testing.T) {
+	p := NewWS(1)
+	var evicted []mem.Page
+	p.SetEvictHook(func(pg mem.Page) { evicted = append(evicted, pg) })
+	refAll(p, 1, 2, 3)
+	// With τ = 1 each reference expires the previous page.
+	if len(evicted) != 2 || evicted[0] != 1 || evicted[1] != 2 {
+		t.Fatalf("evicted = %v, want [1 2]", evicted)
+	}
+}
+
+// TestCDEvictConservation drives CD over a cyclic string and checks the
+// residency balance: every faulted-in page is either still resident or
+// was reported evicted (no silent departures).
+func TestCDEvictConservation(t *testing.T) {
+	p := NewCD(nil, 2)
+	evictions := 0
+	p.SetEvictHook(func(mem.Page) { evictions++ })
+	faults := 0
+	for round := 0; round < 5; round++ {
+		faults += refAll(p, 1, 2, 3, 4, 5)
+	}
+	if got := faults - evictions; got != p.Resident() {
+		t.Fatalf("faults(%d) - evictions(%d) = %d, want resident %d",
+			faults, evictions, faults-evictions, p.Resident())
+	}
+}
+
+// TestEvictHookNilByDefault pins that policies run hook-free by default
+// and that installing nil removes a hook.
+func TestEvictHookNilByDefault(t *testing.T) {
+	p := NewLRU(1)
+	refAll(p, 1, 2) // must not panic with no hook
+	called := false
+	p.SetEvictHook(func(mem.Page) { called = true })
+	p.SetEvictHook(nil)
+	refAll(p, 3, 4)
+	if called {
+		t.Fatal("removed hook still fired")
+	}
+}

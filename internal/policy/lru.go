@@ -11,9 +11,10 @@ import (
 // recently used page is replaced on a fault.
 type LRU struct {
 	noDirectives
-	frames int
-	name   string
-	list   *lruList
+	frames  int
+	name    string
+	list    *lruList
+	onEvict func(mem.Page)
 }
 
 // NewLRU returns an LRU policy with the given fixed allocation.
@@ -33,6 +34,9 @@ func (p *LRU) Frames() int { return p.frames }
 // HintPages implements PageHinter.
 func (p *LRU) HintPages(maxPage mem.Page, distinct int) { p.list.hint(maxPage, distinct) }
 
+// SetEvictHook implements EvictObserver.
+func (p *LRU) SetEvictHook(fn func(mem.Page)) { p.onEvict = fn }
+
 // Ref implements Policy.
 func (p *LRU) Ref(pg mem.Page) bool {
 	if s := p.list.lookupResident(pg); s >= 0 {
@@ -40,7 +44,9 @@ func (p *LRU) Ref(pg mem.Page) bool {
 		return false
 	}
 	if p.list.len() >= p.frames {
-		p.list.evictLRU()
+		if v, ok := p.list.evictLRU(); ok && p.onEvict != nil {
+			p.onEvict(v)
+		}
 	}
 	p.list.insert(pg)
 	return true
@@ -62,13 +68,14 @@ func (p *LRU) Reset() { p.list.reset() }
 // partition replaces its oldest page without shifting or reallocating.
 type FIFO struct {
 	noDirectives
-	frames int
-	name   string
-	idx    pageIndex
-	in     []bool  // per slot: currently resident
-	queue  []int32 // ring of slots in arrival order; len is a power of two
-	qhead  int     // index of the oldest entry
-	qlen   int     // occupied entries
+	frames  int
+	name    string
+	idx     pageIndex
+	in      []bool  // per slot: currently resident
+	queue   []int32 // ring of slots in arrival order; len is a power of two
+	qhead   int     // index of the oldest entry
+	qlen    int     // occupied entries
+	onEvict func(mem.Page)
 }
 
 // NewFIFO returns a FIFO policy with the given fixed allocation.
@@ -84,6 +91,9 @@ func (p *FIFO) Name() string { return p.name }
 
 // HintPages implements PageHinter.
 func (p *FIFO) HintPages(maxPage mem.Page, distinct int) { p.idx.hint(maxPage, distinct) }
+
+// SetEvictHook implements EvictObserver.
+func (p *FIFO) SetEvictHook(fn func(mem.Page)) { p.onEvict = fn }
 
 // slotOf returns pg's dense slot, growing the residency array in step
 // with the index.
@@ -120,6 +130,9 @@ func (p *FIFO) Ref(pg mem.Page) bool {
 		p.qhead = (p.qhead + 1) & (len(p.queue) - 1)
 		p.qlen--
 		p.in[old] = false
+		if p.onEvict != nil {
+			p.onEvict(p.idx.pageOf(old))
+		}
 	}
 	p.push(s)
 	p.in[s] = true

@@ -89,6 +89,17 @@ type Stepper interface {
 	Step(pg mem.Page) (fault bool, resident, charged int)
 }
 
+// EvictObserver is implemented by policies that can report each page
+// leaving the resident set to a hook. The fault-attribution runner
+// installs a hook to charge evictions (and the faults they later cause)
+// to the source site executing at eviction time; a nil hook — the
+// default — costs one pointer check per eviction and nothing per
+// reference, so the un-instrumented path is unaffected. The hook
+// survives Reset; install nil to remove it.
+type EvictObserver interface {
+	SetEvictHook(func(pg mem.Page))
+}
+
 // PageHinter is implemented by policies whose dense page-indexed state
 // benefits from knowing the trace's page universe before a replay: the
 // simulator calls HintPages once per run so the first pass over a trace

@@ -33,6 +33,8 @@ type WS struct {
 	// onExpire, when set, is called with the slot of each page that
 	// leaves the working set (used by the Damped WS wrapper).
 	onExpire func(int32)
+	// onEvict is the page-granular expiry hook (see EvictObserver).
+	onEvict func(mem.Page)
 }
 
 type wsRecord struct {
@@ -56,6 +58,10 @@ func (p *WS) Tau() int { return int(p.tau) }
 
 // HintPages implements PageHinter.
 func (p *WS) HintPages(maxPage mem.Page, distinct int) { p.idx.hint(maxPage, distinct) }
+
+// SetEvictHook implements EvictObserver: the hook fires when a page
+// expires out of the working set.
+func (p *WS) SetEvictHook(fn func(mem.Page)) { p.onEvict = fn }
 
 // slotOf returns pg's dense slot, growing the state array in step with
 // the index.
@@ -141,6 +147,9 @@ func (p *WS) expireTo(x int64) {
 			p.resident--
 			if p.onExpire != nil {
 				p.onExpire(rec.slot)
+			}
+			if p.onEvict != nil {
+				p.onEvict(p.idx.pageOf(rec.slot))
 			}
 		}
 	}

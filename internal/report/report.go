@@ -15,8 +15,10 @@ import (
 	"cdmm/internal/bli"
 	"cdmm/internal/core"
 	"cdmm/internal/engine"
+	"cdmm/internal/explain"
 	"cdmm/internal/locality"
 	"cdmm/internal/sem"
+	"cdmm/internal/trace"
 )
 
 // Options controls report contents.
@@ -72,6 +74,9 @@ func Generate(p *core.Program, opts Options) (string, error) {
 	if !opts.SkipSimulation {
 		eng := engine.Or(opts.Engine)
 		if err := writeSimulation(&b, p, eng); err != nil {
+			return "", err
+		}
+		if err := writeAttribution(&b, tr); err != nil {
 			return "", err
 		}
 		buckets := opts.TimelineBuckets
@@ -132,6 +137,49 @@ func writeAdvisories(b *strings.Builder, p *core.Program) {
 	b.WriteString("\n## Compiler advisories\n\n```\n")
 	b.WriteString(advisor.Render(findings))
 	b.WriteString("```\n")
+}
+
+// writeAttribution explains the CD run's faults site by site: the
+// hotspot table and directive coverage from the attribution ledger. A
+// trace without the site side-band (possible for externally built
+// traces) simply skips the section.
+func writeAttribution(b *strings.Builder, tr *trace.Trace) error {
+	if !tr.HasSites() {
+		return nil
+	}
+	rep, err := explain.Analyze(tr, explain.Options{})
+	if err != nil {
+		return err
+	}
+	b.WriteString("\n## Fault attribution (CD level 1)\n\n")
+	ranked := rep.CD.Rank()
+	fmt.Fprintf(b, "| rank | site | refs | PF | IO | MEM | share |\n|---|---|---|---|---|---|---|\n")
+	shown := 0
+	for _, s := range ranked {
+		if shown == 8 {
+			break
+		}
+		if s.Faults == 0 {
+			continue
+		}
+		shown++
+		fmt.Fprintf(b, "| %d | %s | %d | %d | %d | %.2f | %.1f%% |\n",
+			shown, s.Name(), s.Refs, s.Faults, s.IO(), s.MEM(),
+			float64(s.Faults)/float64(rep.CD.Faults)*100)
+	}
+	if hs := rep.CD.Hotspot(); hs != nil {
+		fmt.Fprintf(b, "\nHotspot: **%s** takes %d of %d faults.\n",
+			hs.Name(), hs.Faults, rep.CD.Faults)
+	}
+	if dirs := rep.CD.DirectiveSites(); len(dirs) > 0 {
+		fmt.Fprintf(b, "\n| directive site | allocs | locks | unlocks | locked hits | shrink PF | release PF | lock releases |\n|---|---|---|---|---|---|---|---|\n")
+		for _, s := range dirs {
+			fmt.Fprintf(b, "| %s | %d | %d | %d | %d | %d | %d | %d |\n",
+				s.Name(), s.Allocs, s.Locks, s.Unlocks,
+				s.LockedHits, s.ShrinkFaults, s.ReleaseFaults, s.LockReleases)
+		}
+	}
+	return nil
 }
 
 func writeSimulation(b *strings.Builder, p *core.Program, eng *engine.Engine) error {

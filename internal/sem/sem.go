@@ -63,6 +63,27 @@ func (l *Loop) Label() string {
 	return fmt.Sprintf("DO(%s)@%d", l.Stmt.Var, l.Stmt.Line)
 }
 
+// Path returns the loop-nest chain from the outermost loop down to l,
+// " / "-joined (e.g. "DO 40 / DO 30"); "" for the root. It is the nest
+// identity the trace site side-band and fault-attribution ledger report.
+func (l *Loop) Path() string {
+	if l.Stmt == nil {
+		return ""
+	}
+	var labels []string
+	for n := l; n != nil && n.Stmt != nil; n = n.Parent {
+		labels = append(labels, n.Label())
+	}
+	var b strings.Builder
+	for i := len(labels) - 1; i >= 0; i-- {
+		b.WriteString(labels[i])
+		if i > 0 {
+			b.WriteString(" / ")
+		}
+	}
+	return b.String()
+}
+
 // Encloses reports whether l encloses other (or l == other).
 func (l *Loop) Encloses(other *Loop) bool {
 	for n := other; n != nil; n = n.Parent {

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cdmm/internal/attr"
+	"cdmm/internal/trace"
+)
+
+// hostileLedger carries site labels with every character the exposition
+// format must escape: double quotes, backslashes and newlines — the
+// shapes real-FORTRAN loop labels and expressions can take.
+func hostileLedger() *attr.Ledger {
+	sites := []trace.Site{
+		{Nest: `DO "40" / DO \30`, Line: 12, Array: "A", Expr: `A("I",J\K)`},
+		{Nest: "DO 40", Line: 10, Expr: "ALLOCATE"},
+	}
+	l := attr.NewLedger("CONDUCT", "CD", sites)
+	l.Stats[0].Refs, l.Stats[0].Faults = 100, 7
+	l.Stats[1].Refs, l.Stats[1].Faults = 10, 1
+	l.Stats[1].Allocs = 1
+	l.Stats[2].Refs, l.Stats[2].Faults = 5, 2 // unattributed bucket
+	l.Refs, l.Faults = 115, 10
+	return l
+}
+
+func startExplainServer(t *testing.T) *Server {
+	t.Helper()
+	s := New(Options{})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Shutdown(t.Context()) })
+	return s
+}
+
+func getURL(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestScrapeUnchangedWhileStoreEmpty pins the gating: a server with no
+// published ledgers scrapes byte-identically whether or not the explain
+// plane exists — no attr series, no headers.
+func TestScrapeUnchangedWhileStoreEmpty(t *testing.T) {
+	s := startExplainServer(t)
+	_, body := getURL(t, s.URL()+"/metrics")
+	if strings.Contains(string(body), "attr_site") {
+		t.Errorf("empty store leaked attr series into the scrape:\n%s", body)
+	}
+	var before bytes.Buffer
+	s.writeServeMetrics(&before)
+	var withExplain bytes.Buffer
+	s.writeServeMetrics(&withExplain)
+	s.writeExplainMetrics(&withExplain)
+	if !bytes.Equal(before.Bytes(), withExplain.Bytes()) {
+		t.Error("writeExplainMetrics wrote bytes for an empty store")
+	}
+}
+
+// TestScrapeEscapesSiteLabels is the satellite's escaping test: site
+// labels containing `"` and `\` must arrive exposition-format escaped
+// and parse back to the original strings.
+func TestScrapeEscapesSiteLabels(t *testing.T) {
+	s := startExplainServer(t)
+	s.Explain().Put("CONDUCT/CD", hostileLedger())
+	_, body := getURL(t, s.URL()+"/metrics")
+	text := string(body)
+
+	if !strings.Contains(text, `nest="DO \"40\" / DO \\30"`) {
+		t.Errorf("nest label not escaped:\n%s", grepLines(text, "attr_site_faults"))
+	}
+	if !strings.Contains(text, `expr="A(\"I\",J\\K)"`) {
+		t.Errorf("expr label not escaped:\n%s", grepLines(text, "attr_site_faults"))
+	}
+	// The raw (unescaped) label must NOT appear inside a label value:
+	// an unescaped quote would truncate the value at the first `"`.
+	if strings.Contains(text, `nest="DO "40"`) {
+		t.Error("unescaped quote in nest label value")
+	}
+	// Per-site fault values are present for every active site including
+	// the unattributed bucket.
+	for _, want := range []string{
+		`site="0"`, `site="1"`, `site="-1"`,
+		"attr_site_faults", "attr_site_refs",
+		`nest="<unattributed>"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+// TestScrapeSiteFaultsConservation scrapes the per-site fault series and
+// checks the values sum exactly to the ledger's total PF — conservation
+// holds across the export boundary too.
+func TestScrapeSiteFaultsConservation(t *testing.T) {
+	s := startExplainServer(t)
+	led := hostileLedger()
+	s.Explain().Put("CONDUCT/CD", led)
+	_, body := getURL(t, s.URL()+"/metrics")
+	sum := 0
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, "cdmm_attr_site_faults{") {
+			continue
+		}
+		v, err := strconv.Atoi(line[strings.LastIndexByte(line, ' ')+1:])
+		if err != nil {
+			t.Fatalf("bad series line %q: %v", line, err)
+		}
+		sum += v
+	}
+	if sum != led.Faults {
+		t.Errorf("scraped per-site faults sum to %d, ledger has %d", sum, led.Faults)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	s := startExplainServer(t)
+	led := hostileLedger()
+	s.Explain().Put("CONDUCT/CD", led)
+
+	// Listing.
+	code, body := getURL(t, s.URL()+"/explain")
+	if code != http.StatusOK {
+		t.Fatalf("GET /explain = %d", code)
+	}
+	var listing struct {
+		Runs []struct {
+			Run     string `json:"run"`
+			Policy  string `json:"policy"`
+			Faults  int    `json:"pf"`
+			Hotspot string `json:"hotspot"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatalf("listing not JSON: %v", err)
+	}
+	if len(listing.Runs) != 1 || listing.Runs[0].Run != "CONDUCT/CD" || listing.Runs[0].Faults != 10 {
+		t.Errorf("listing = %+v", listing)
+	}
+	if !strings.Contains(listing.Runs[0].Hotspot, `DO "40"`) {
+		t.Errorf("hotspot = %q, want the hostile nest", listing.Runs[0].Hotspot)
+	}
+
+	// Full ledger.
+	code, body = getURL(t, s.URL()+"/explain?run=CONDUCT%2FCD")
+	if code != http.StatusOK {
+		t.Fatalf("GET /explain?run= = %d", code)
+	}
+	var full struct {
+		Run    string  `json:"run"`
+		Ledger any     `json:"ledger"`
+		Ranked []int32 `json:"ranked"`
+	}
+	if err := json.Unmarshal(body, &full); err != nil {
+		t.Fatalf("ledger not JSON: %v", err)
+	}
+	if len(full.Ranked) == 0 || full.Ranked[0] != 0 {
+		t.Errorf("ranked = %v, want site 0 first", full.Ranked)
+	}
+
+	// Unknown run.
+	if code, _ := getURL(t, s.URL()+"/explain?run=nope"); code != http.StatusNotFound {
+		t.Errorf("unknown run returned %d, want 404", code)
+	}
+}
+
+// grepLines returns the lines of text containing sub, for error output.
+func grepLines(text, sub string) string {
+	var out []string
+	for _, l := range strings.Split(text, "\n") {
+		if strings.Contains(l, sub) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cdmm/internal/attr"
 	"cdmm/internal/engine"
 	"cdmm/internal/obs"
 )
@@ -56,6 +57,10 @@ type Options struct {
 	ScrapeWindow time.Duration
 	// Namespace prefixes every exported metric name (default "cdmm").
 	Namespace string
+	// Explain is the fault-attribution ledger store behind /explain and
+	// the per-site scrape series (a fresh, empty store when nil — an
+	// empty store exports nothing and costs nothing).
+	Explain *attr.Store
 }
 
 // Server is the telemetry daemon. Construct with New, then Start.
@@ -95,6 +100,9 @@ func New(opt Options) *Server {
 	if opt.Namespace == "" {
 		opt.Namespace = "cdmm"
 	}
+	if opt.Explain == nil {
+		opt.Explain = attr.NewStore()
+	}
 	log := opt.Log
 	if log == nil {
 		log = slog.New(discardHandler{})
@@ -108,6 +116,7 @@ func New(opt Options) *Server {
 	mux.HandleFunc("GET /progress", s.handleProgress)
 	mux.HandleFunc("GET /runs/{id}", s.handleRun)
 	mux.HandleFunc("GET /events", s.handleEvents)
+	mux.HandleFunc("GET /explain", s.handleExplain)
 	if opt.Pprof {
 		mux.HandleFunc("/debug/pprof/", httppprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
@@ -203,6 +212,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var buf bytes.Buffer
 	s.opt.Registry.WritePrometheus(&buf, s.opt.Namespace)
 	s.writeServeMetrics(&buf)
+	s.writeExplainMetrics(&buf)
 	w.Header().Set("Content-Type", obs.PromContentType)
 	w.Write(buf.Bytes())
 }

@@ -25,14 +25,30 @@ import (
 //	events          (uvarint count; per event: byte kind, varint arg)
 //
 // Page references dominate, so the common case costs two or three bytes.
-const traceMagic = "CDT1"
+//
+// Traces carrying a site column (site.go) write magic "CDT2" instead and
+// append two sections after the events:
+//
+//	site table      (uvarint count; per site: nest, varint line, array, expr)
+//	site runs       (uvarint count; per run: uvarint n, varint site)
+//
+// A site-free trace still writes CDT1, byte-identical to pre-side-band
+// output; Read accepts both magics.
+const (
+	traceMagic   = "CDT1"
+	traceMagicV2 = "CDT2"
+)
 
 // WriteTo serializes the trace. It implements io.WriterTo.
 func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	cw := &countWriter{w: bw}
 
-	if err := cw.bytes([]byte(traceMagic)); err != nil {
+	magic := traceMagic
+	if t.sitesOn {
+		magic = traceMagicV2
+	}
+	if err := cw.bytes([]byte(magic)); err != nil {
 		return cw.n, err
 	}
 	cw.str(t.Name)
@@ -69,6 +85,21 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	for _, e := range t.Events {
 		cw.byte(byte(e.Kind))
 		cw.varint(int64(e.Arg))
+	}
+
+	if t.sitesOn {
+		cw.uvarint(uint64(len(t.Sites)))
+		for _, s := range t.Sites {
+			cw.str(s.Nest)
+			cw.varint(int64(s.Line))
+			cw.str(s.Array)
+			cw.str(s.Expr)
+		}
+		cw.uvarint(uint64(len(t.siteRuns)))
+		for _, r := range t.siteRuns {
+			cw.uvarint(uint64(r.n))
+			cw.varint(int64(r.site))
+		}
 	}
 	if cw.err != nil {
 		return cw.n, cw.err
@@ -113,9 +144,10 @@ func Read(r io.Reader) (*Trace, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, decodeErr("magic", -1, err)
 	}
-	if string(magic) != traceMagic {
+	if string(magic) != traceMagic && string(magic) != traceMagicV2 {
 		return nil, decodeErr("magic", -1, fmt.Errorf("bad magic %q", magic))
 	}
+	hasSites := string(magic) == traceMagicV2
 	cr := &countReader{r: br}
 
 	t := New(cr.str())
@@ -195,6 +227,40 @@ func Read(r io.Reader) (*Trace, error) {
 	}
 	if cr.err != nil {
 		return nil, decodeErr("events", -1, cr.err)
+	}
+
+	if hasSites {
+		// The decode loop above appended events without noting sites, so
+		// the column is reconstructed wholesale and audited against the
+		// event count afterwards.
+		nSites := cr.uvarint()
+		for i := uint64(0); i < nSites; i++ {
+			s := Site{Nest: cr.str(), Line: int(cr.varint31()), Array: cr.str(), Expr: cr.str()}
+			if cr.err != nil {
+				return nil, decodeErr("site table", int64(i), cr.err)
+			}
+			t.Sites = append(t.Sites, s)
+		}
+		if cr.err != nil {
+			return nil, decodeErr("site table", -1, cr.err)
+		}
+		nRuns := cr.uvarint()
+		for i := uint64(0); i < nRuns; i++ {
+			n := cr.varint31u()
+			site := cr.varint31()
+			if cr.err != nil {
+				return nil, decodeErr("site runs", int64(i), cr.err)
+			}
+			t.siteRuns = append(t.siteRuns, siteRun{n: int32(n), site: int32(site)})
+		}
+		if cr.err != nil {
+			return nil, decodeErr("site runs", -1, cr.err)
+		}
+		t.sitesOn = true
+		t.curSite = NoSite
+		if err := t.auditSiteRuns(); err != nil {
+			return nil, decodeErr("site runs", -1, err)
+		}
 	}
 	return t, nil
 }
@@ -292,6 +358,15 @@ func (c *countReader) varint() int64 {
 func (c *countReader) varint31() int64 {
 	v := c.varint()
 	if c.err == nil && (v > math.MaxInt32 || v < math.MinInt32) {
+		c.err = fmt.Errorf("value %d overflows int32", v)
+	}
+	return v
+}
+
+// varint31u reads a uvarint and rejects values outside the int32 range.
+func (c *countReader) varint31u() uint64 {
+	v := c.uvarint()
+	if c.err == nil && v > math.MaxInt32 {
 		c.err = fmt.Errorf("value %d overflows int32", v)
 	}
 	return v

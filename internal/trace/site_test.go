@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"cdmm/internal/mem"
+)
+
+// siteTrace builds a small trace with two sites and an unattributed
+// prefix: 2 events before the column exists, then 3 refs at site A, a
+// lock at site B, and 2 refs at site A again.
+func siteTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr := New("sited")
+	tr.AddRef(1)
+	tr.AddRef(2)
+	a := tr.AddSite(Site{Nest: "DO 40 / DO 30", Line: 12, Array: "A", Expr: "A(I,J)"})
+	b := tr.AddSite(Site{Nest: "DO 40", Line: 10, Expr: "LOCK"})
+	tr.SetSite(a)
+	tr.AddRef(3)
+	tr.AddRef(3)
+	tr.AddRef(4)
+	tr.SetSite(b)
+	tr.AddLock(1, 7, []mem.Page{3})
+	tr.SetSite(a)
+	tr.AddRef(5)
+	tr.AddRef(1)
+	return tr
+}
+
+// expectSites walks tr's cursor and compares against want, one id per
+// event.
+func expectSites(t *testing.T, tr *Trace, want []int32) {
+	t.Helper()
+	if len(want) != len(tr.Events) {
+		t.Fatalf("want list has %d entries for %d events", len(want), len(tr.Events))
+	}
+	cur := tr.SiteCursor()
+	for i, w := range want {
+		if got := cur.Next(); got != w {
+			t.Fatalf("event %d: site = %d, want %d", i, got, w)
+		}
+	}
+	if got := cur.Next(); got != NoSite {
+		t.Fatalf("cursor past the end returned %d, want NoSite", got)
+	}
+}
+
+func TestSiteColumnRLEAndBackfill(t *testing.T) {
+	tr := siteTrace(t)
+	if !tr.HasSites() {
+		t.Fatal("HasSites = false after SetSite")
+	}
+	expectSites(t, tr, []int32{NoSite, NoSite, 0, 0, 0, 1, 0, 0})
+	// The column must have collapsed consecutive same-site events.
+	if len(tr.siteRuns) != 4 {
+		t.Fatalf("siteRuns = %v, want 4 runs", tr.siteRuns)
+	}
+}
+
+func TestSiteColumnAbsentByDefault(t *testing.T) {
+	tr := New("plain")
+	tr.AddRef(1)
+	tr.AddLock(1, 0, []mem.Page{1})
+	if tr.HasSites() {
+		t.Fatal("HasSites = true on a trace never given a site")
+	}
+	expectSites(t, tr, []int32{NoSite, NoSite})
+	if len(tr.siteRuns) != 0 {
+		t.Fatalf("siteRuns = %v on a column-less trace", tr.siteRuns)
+	}
+}
+
+func TestSiteRoundTrip(t *testing.T) {
+	tr := siteTrace(t)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes()[:4]; string(got) != traceMagicV2 {
+		t.Fatalf("magic = %q, want %q", got, traceMagicV2)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.HasSites() {
+		t.Fatal("decoded trace lost its site column")
+	}
+	if len(back.Sites) != len(tr.Sites) {
+		t.Fatalf("decoded %d sites, want %d", len(back.Sites), len(tr.Sites))
+	}
+	for i := range tr.Sites {
+		if back.Sites[i] != tr.Sites[i] {
+			t.Fatalf("site %d = %+v, want %+v", i, back.Sites[i], tr.Sites[i])
+		}
+	}
+	expectSites(t, back, []int32{NoSite, NoSite, 0, 0, 0, 1, 0, 0})
+}
+
+// TestSiteFreeEncodingUnchanged pins the byte-compat contract: a trace
+// without a site column writes exactly the CDT1 bytes it always has,
+// and the WithoutSites view of a sited trace writes those same bytes.
+func TestSiteFreeEncodingUnchanged(t *testing.T) {
+	plain := New("p")
+	plain.AddRef(1)
+	plain.AddRef(2)
+	plain.AddRef(1)
+	var want bytes.Buffer
+	if _, err := plain.WriteTo(&want); err != nil {
+		t.Fatal(err)
+	}
+	if got := want.Bytes()[:4]; string(got) != traceMagic {
+		t.Fatalf("magic = %q, want %q", got, traceMagic)
+	}
+
+	sited := New("p")
+	sited.SetSite(sited.AddSite(Site{Nest: "DO 1", Line: 1, Array: "A", Expr: "A(I)"}))
+	sited.AddRef(1)
+	sited.AddRef(2)
+	sited.AddRef(1)
+	var got bytes.Buffer
+	if _, err := sited.WithoutSites().WriteTo(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatal("WithoutSites encoding differs from a never-sited trace")
+	}
+}
+
+func TestSiteDecodeRejectsBadRuns(t *testing.T) {
+	tr := siteTrace(t)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the last byte: the final run is cut short.
+	raw := buf.Bytes()
+	if _, err := Read(bytes.NewReader(raw[:len(raw)-1])); err == nil {
+		t.Fatal("decoding a truncated site section succeeded")
+	}
+}
+
+func TestRefsOnlyProjectsSites(t *testing.T) {
+	tr := siteTrace(t)
+	ro := tr.RefsOnly()
+	if !ro.HasSites() {
+		t.Fatal("RefsOnly dropped the site column")
+	}
+	if ro.Refs != 7 || len(ro.Events) != 7 {
+		t.Fatalf("RefsOnly has %d refs / %d events, want 7/7", ro.Refs, len(ro.Events))
+	}
+	expectSites(t, ro, []int32{NoSite, NoSite, 0, 0, 0, 0, 0})
+}
+
+func TestStripDirectivesKeepsSites(t *testing.T) {
+	tr := siteTrace(t)
+	sd := tr.StripDirectives()
+	if !sd.HasSites() {
+		t.Fatal("StripDirectives dropped the site column")
+	}
+	expectSites(t, sd, []int32{NoSite, NoSite, 0, 0, 0, 0, 0})
+	// The copy owns its site table.
+	sd.Sites[0].Array = "B"
+	if tr.Sites[0].Array != "A" {
+		t.Fatal("StripDirectives shares the parent's site table")
+	}
+}
+
+func TestWithoutSitesSharesEventsOnly(t *testing.T) {
+	tr := siteTrace(t)
+	bare := tr.WithoutSites()
+	if bare.HasSites() {
+		t.Fatal("WithoutSites still reports a site column")
+	}
+	if bare.Refs != tr.Refs || bare.Distinct != tr.Distinct || len(bare.Events) != len(tr.Events) {
+		t.Fatal("WithoutSites changed the event stream")
+	}
+	expectSites(t, bare, []int32{NoSite, NoSite, NoSite, NoSite, NoSite, NoSite, NoSite, NoSite})
+	plain := New("p")
+	if plain.WithoutSites() != plain {
+		t.Fatal("WithoutSites on a column-less trace did not return the trace itself")
+	}
+}

@@ -61,6 +61,10 @@ type Trace struct {
 	LockSets   []LockSet
 	UnlockSets [][]mem.Page
 
+	// Sites is the source-site table of the optional provenance
+	// side-band; see site.go. Empty on traces built without SetSite.
+	Sites []Site
+
 	// Refs is R, the number of page references.
 	Refs int
 	// Distinct is V, the number of distinct pages referenced.
@@ -68,6 +72,13 @@ type Trace struct {
 
 	allocIndex map[*directive.Allocate]int32
 	seen       map[mem.Page]bool
+
+	// Site column state (site.go): the RLE runs parallel to Events, the
+	// site stamped on the next appended event, and whether the column
+	// exists at all.
+	siteRuns []siteRun
+	curSite  int32
+	sitesOn  bool
 
 	// mu guards the memoized views derived from Events (reference string,
 	// page universe, directive-free trace). The caches key on len(Events),
@@ -107,12 +118,14 @@ func New(name string) *Trace {
 		Name:       name,
 		allocIndex: map[*directive.Allocate]int32{},
 		seen:       map[mem.Page]bool{},
+		curSite:    NoSite,
 	}
 }
 
 // AddRef appends a page reference.
 func (t *Trace) AddRef(p mem.Page) {
 	t.Events = append(t.Events, Event{Kind: EvRef, Arg: int32(p)})
+	t.noteSite()
 	t.Refs++
 	if !t.seen[p] {
 		t.seen[p] = true
@@ -134,6 +147,7 @@ func (t *Trace) AddAlloc(d *directive.Allocate) {
 		t.allocIndex[d] = idx
 	}
 	t.Events = append(t.Events, Event{Kind: EvAlloc, Arg: idx})
+	t.noteSite()
 }
 
 // AddLock appends a LOCK execution with its resolved pages.
@@ -141,6 +155,7 @@ func (t *Trace) AddLock(pj, site int, pages []mem.Page) {
 	idx := int32(len(t.LockSets))
 	t.LockSets = append(t.LockSets, LockSet{PJ: pj, Site: site, Pages: pages})
 	t.Events = append(t.Events, Event{Kind: EvLock, Arg: idx})
+	t.noteSite()
 }
 
 // AddUnlock appends an UNLOCK execution covering the given pages.
@@ -148,6 +163,7 @@ func (t *Trace) AddUnlock(pages []mem.Page) {
 	idx := int32(len(t.UnlockSets))
 	t.UnlockSets = append(t.UnlockSets, pages)
 	t.Events = append(t.Events, Event{Kind: EvUnlock, Arg: idx})
+	t.noteSite()
 }
 
 // Page returns the page of a reference event.
@@ -253,6 +269,21 @@ func (t *Trace) RefsOnly() *Trace {
 			Events:   events,
 			Refs:     len(d.pages),
 			Distinct: t.Distinct,
+			curSite:  NoSite,
+		}
+		// The site column, when present, is projected onto the
+		// reference-only events (sharing the site table) so attributed
+		// runs of directive-blind policies see the same provenance.
+		if t.sitesOn {
+			ro.Sites = t.Sites
+			ro.sitesOn = true
+			cur := t.SiteCursor()
+			for _, e := range t.Events {
+				s := cur.Next()
+				if e.Kind == EvRef {
+					ro.appendSiteRun(1, s)
+				}
+			}
 		}
 		// The view shares the parent's reference string and universe
 		// (built now if needed — it is O(R), like this view itself).
@@ -268,8 +299,15 @@ func (t *Trace) RefsOnly() *Trace {
 // reference string. The copy shares no mutable state with t.
 func (t *Trace) StripDirectives() *Trace {
 	out := New(t.Name)
+	if t.sitesOn {
+		out.Sites = append([]Site(nil), t.Sites...)
+		out.sitesOn = true
+	}
+	cur := t.SiteCursor()
 	for _, e := range t.Events {
+		s := cur.Next()
 		if e.Kind == EvRef {
+			out.curSite = s // no-op attribution when the column is off
 			out.AddRef(mem.Page(e.Arg))
 		}
 	}

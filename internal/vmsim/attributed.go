@@ -1,0 +1,231 @@
+// Fault attribution: RunAttributed replays a trace exactly like Run —
+// same fault decisions, same space-time charging, same Result — while
+// walking the trace's site side-band in lockstep and charging every
+// reference, fault, eviction and directive action to the source site
+// executing at that instant. The aggregates land in an attr.Ledger whose
+// per-site sums equal the run totals by construction. This is a separate
+// loop from runFast, so the un-instrumented hot path never touches the
+// side-band; like the observed loop it is only entered on request.
+package vmsim
+
+import (
+	"cdmm/internal/attr"
+	"cdmm/internal/mem"
+	"cdmm/internal/obs"
+	"cdmm/internal/policy"
+	"cdmm/internal/trace"
+)
+
+// Eviction provenance classes, recorded per page so the fault that a
+// past eviction causes can be charged back to the construct that evicted
+// the page.
+const (
+	evictNone    = iota // never evicted (or provenance already consumed)
+	evictReplace        // normal replacement / working-set expiry
+	evictShrink         // evicted by a directive-driven allocation shrink
+	evictRelease        // force-released from a LOCK under memory pressure
+)
+
+// setEvictHook installs fn on the first EvictObserver in pol's Unwrap
+// chain and returns an uninstaller (a no-op when none is found).
+func setEvictHook(pol policy.Policy, fn func(mem.Page)) func() {
+	for p := pol; p != nil; {
+		if eo, ok := p.(policy.EvictObserver); ok {
+			eo.SetEvictHook(fn)
+			return func() { eo.SetEvictHook(nil) }
+		}
+		u, ok := p.(interface{ Unwrap() policy.Policy })
+		if !ok {
+			break
+		}
+		p = u.Unwrap()
+	}
+	return func() {}
+}
+
+// RunAttributed is Run with fault attribution: the returned Result is
+// identical to Run's, and the Ledger explains it site by site. The
+// observer is used for progress delivery only (pass nil for none); event
+// emission stays with RunObserved. A trace without a site side-band
+// still works — everything lands in the ledger's unattributed bucket.
+func RunAttributed(tr *trace.Trace, pol policy.Policy, o *obs.Observer) (Result, *attr.Ledger) {
+	pol.Reset()
+	hintPages(tr, pol)
+	led := attr.NewLedger(tr.Name, pol.Name(), tr.Sites)
+	res := Result{Policy: pol.Name(), Refs: tr.Refs}
+	charger, _ := pol.(policy.Charger) // hoisted from policy.Charge
+	if o == nil {
+		o = DefaultObserver
+	}
+	prog := obs.ProgressOf(o)
+
+	// Per-page provenance, dense by page number. Pages outside the
+	// reference universe (possible in directive page sets) are skipped.
+	npages := int(tr.MaxPage()) + 1
+	evictKind := make([]uint8, npages)
+	evictSite := make([]int32, npages) // valid while evictKind != evictNone
+	lockSite := make([]int32, npages)  // site of the active LOCK covering the page
+	for i := range lockSite {
+		lockSite[i] = trace.NoSite
+	}
+	lockCover := map[int][]mem.Page{} // LockSet.Site → currently covered pages
+
+	// curSite tracks the site of the event being processed; the hooks
+	// close over it so policy-internal transitions inherit the site of
+	// the directive or reference that triggered them.
+	curSite := trace.NoSite
+	evPendKind := uint8(evictReplace)
+	unhook := setEvictHook(pol, func(pg mem.Page) {
+		led.Slot(curSite).Evictions++
+		if int(pg) < npages {
+			evictKind[pg] = evPendKind
+			evictSite[pg] = curSite
+		}
+	})
+	defer unhook()
+
+	clearLocks := func() {
+		for i := range lockSite {
+			lockSite[i] = trace.NoSite
+		}
+		for k := range lockCover {
+			delete(lockCover, k)
+		}
+	}
+
+	if cd := policy.AsCD(pol); cd != nil {
+		saved := cd.Hooks
+		hooks := &policy.CDHooks{}
+		if saved != nil {
+			*hooks = *saved
+		}
+		prevRel, prevDeg := hooks.LockRelease, hooks.Degrade
+		hooks.LockRelease = func(pg mem.Page) {
+			if prevRel != nil {
+				prevRel(pg)
+			}
+			owner := trace.NoSite
+			if int(pg) < npages {
+				owner = lockSite[pg]
+				lockSite[pg] = trace.NoSite
+				evictKind[pg] = evictRelease
+				evictSite[pg] = owner
+			}
+			led.Slot(owner).LockReleases++
+		}
+		hooks.Degrade = func(reason string) {
+			if prevDeg != nil {
+				prevDeg(reason)
+			}
+			// A degraded policy drops every lock; stop crediting covers.
+			clearLocks()
+		}
+		cd.Hooks = hooks
+		defer func() { cd.Hooks = saved }()
+	}
+
+	var (
+		faults, maxRes        int
+		vt, spaceTime, memSum int64
+	)
+	cur := tr.SiteCursor()
+	refIdx := 0
+	for _, e := range tr.Events {
+		src := cur.Next()
+		curSite = src
+		switch e.Kind {
+		case trace.EvRef:
+			evPendKind = evictReplace
+			pg := mem.Page(e.Arg)
+			fault := pol.Ref(pg)
+			refIdx++
+			if prog != nil && refIdx%progressChunk == 0 {
+				prog(refIdx, tr.Refs, vt)
+			}
+			dt := int64(1)
+			st := led.Slot(src)
+			if fault {
+				faults++
+				dt += policy.FaultService
+				st.Faults++
+				led.FaultLog = append(led.FaultLog, attr.FaultPoint{VT: vt + dt, Site: src, Page: e.Arg})
+				if int(e.Arg) < npages {
+					switch evictKind[e.Arg] {
+					case evictShrink:
+						led.Slot(evictSite[e.Arg]).ShrinkFaults++
+					case evictRelease:
+						led.Slot(evictSite[e.Arg]).ReleaseFaults++
+					}
+					evictKind[e.Arg] = evictNone
+				}
+			} else if int(e.Arg) < npages && lockSite[e.Arg] != trace.NoSite {
+				led.Slot(lockSite[e.Arg]).LockedHits++
+			}
+			m := pol.Resident()
+			if m > maxRes {
+				maxRes = m
+			}
+			if charger != nil {
+				m = charger.Charged()
+			}
+			vt += dt
+			spaceTime += int64(m) * dt
+			memSum += int64(m)
+			st.Refs++
+			st.VTime += dt
+			st.MemSum += float64(m)
+		case trace.EvAlloc:
+			// Evictions during the directive are shrink evictions: the
+			// allocation ceiling dropped and pushed pages out early.
+			evPendKind = evictShrink
+			led.Slot(src).Allocs++
+			pol.Alloc(tr.Alloc(e))
+			evPendKind = evictReplace
+		case trace.EvLock:
+			ls := tr.Lock(e)
+			led.Slot(src).Locks++
+			// A re-executed lock site replaces its previous cover.
+			for _, pg := range lockCover[ls.Site] {
+				if int(pg) < npages {
+					lockSite[pg] = trace.NoSite
+				}
+			}
+			lockCover[ls.Site] = append(lockCover[ls.Site][:0], ls.Pages...)
+			for _, pg := range ls.Pages {
+				if int(pg) < npages {
+					lockSite[pg] = src
+				}
+			}
+			pol.Lock(ls)
+		case trace.EvUnlock:
+			pages := tr.Unlock(e)
+			led.Slot(src).Unlocks++
+			for _, pg := range pages {
+				if int(pg) < npages {
+					lockSite[pg] = trace.NoSite
+				}
+			}
+			pol.Unlock(pages)
+		}
+	}
+	if prog != nil {
+		prog(tr.Refs, tr.Refs, vt)
+	}
+
+	res.Faults = faults
+	res.MaxResident = maxRes
+	res.VirtualTime = vt
+	res.SpaceTime = float64(spaceTime)
+	res.MemSum = float64(memSum)
+	if cd := policy.AsCD(pol); cd != nil {
+		res.SwapSignals = cd.SwapSignals
+		res.LockReleases = cd.LockReleases
+		res.Degraded = cd.Degraded()
+		res.DegradedReason = cd.DegradedReason()
+	}
+	led.Refs = res.Refs
+	led.Faults = res.Faults
+	led.MemSum = res.MemSum
+	led.VirtualTime = res.VirtualTime
+	return res, led
+}

@@ -63,14 +63,12 @@ func RunChecked(tr *trace.Trace, pol policy.Policy, o *obs.Observer) (Result, er
 		return res, cp.err
 	}
 
-	refs, faults, memSum := obs.Replay(col.Events)
-	if refs != res.Refs || faults != res.Faults || memSum != res.MemSum {
+	if err := obs.AuditReplay(col.Events, res.Refs, res.Faults, res.MemSum); err != nil {
 		return res, &InvariantError{
 			Invariant: "replay",
 			Policy:    res.Policy,
 			I:         res.Refs,
-			Detail: fmt.Sprintf("event stream replays to refs=%d pf=%d mem=%g, result has refs=%d pf=%d mem=%g",
-				refs, faults, memSum, res.Refs, res.Faults, res.MemSum),
+			Detail:    err.Error(),
 		}
 	}
 	return res, nil

@@ -191,7 +191,10 @@ func compile(p *Program) (*Compiled, error) {
 	}
 	analysis := locality.Analyze(info, layout, locality.DefaultParams)
 	plan := directive.Build(analysis)
-	tr, err := interp.Run(info, interp.Config{Layout: layout, Plan: plan})
+	// Sites: the compiled trace carries the provenance side-band so the
+	// attribution plane (cdmm explain, /explain) can name fault sources;
+	// the un-instrumented simulation path never reads it.
+	tr, err := interp.Run(info, interp.Config{Layout: layout, Plan: plan, Sites: true})
 	if err != nil {
 		return nil, fmt.Errorf("workloads: %s: %w", p.Name, err)
 	}
