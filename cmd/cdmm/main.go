@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"cdmm/internal/advisor"
@@ -95,6 +96,8 @@ func runCommand(cmd string, args []string) error {
 		err = cmdTrace(args)
 	case "replay":
 		err = cmdReplay(args)
+	case "convert":
+		err = cmdConvert(args)
 	case "bli":
 		err = withProgram(args, func(p *core.Program, _ []string) error {
 			tr, err := p.Trace()
@@ -167,8 +170,16 @@ commands:
   list                      list the built-in workload programs
   compile  <prog|file.f>    compile and show the inserted memory directives
   locality <prog|file.f>    show the hierarchical locality structure
-  trace    <prog|file.f> [-o file]   execute, summarize, optionally save the trace
-  replay   <trace-file> [sim flags]  simulate a policy over a saved trace
+  trace    <prog|file.f> [-o file]   execute, summarize, optionally save the
+                            trace (row CDT1/CDT2, or columnar CDT3 when the
+                            file name ends in .cdt3)
+  replay   <trace-file> [sim flags]  simulate a policy over a saved trace;
+                            CDT3 files stream in O(chunk) memory
+  convert  <trace|prog> [-o f] [-to cdt3|cdt1] [-chunk N] [-check] [-stat]
+                            translate between row and columnar trace formats
+      -check                       byte-identical round-trip verification
+      -stat                        per-section sizes and compression ratio
+                            (no input: breakdown for every built-in workload)
   bli      <prog|file.f>    detect runtime localities (Madison-Batson BLIs)
   sim      <prog|file.f> [flags]   simulate one policy over the trace
       -policy cd|lru|fifo|ws|opt   (default cd)
@@ -461,9 +472,14 @@ func runTables(which string, eng *engine.Engine) error {
 func cmdTrace(args []string) error {
 	return withProgram(args, func(p *core.Program, rest []string) error {
 		fs := flag.NewFlagSet("trace", flag.ContinueOnError)
-		out := fs.String("o", "", "write the trace to this file (binary CDT1 format)")
+		out := fs.String("o", "", "write the trace to this file (row CDT1/CDT2, or columnar CDT3 for *.cdt3)")
+		chunk := fs.Int("chunk", trace.DefaultChunkEvents, "CDT3 chunk size in events (for *.cdt3 outputs)")
+		repeat := fs.Int("repeat", 1, "replicate the reference string N times in the CDT3 output (drops directives; for big-trace streaming tests)")
 		if err := fs.Parse(rest); err != nil {
 			return err
+		}
+		if *repeat > 1 && (*out == "" || !strings.HasSuffix(*out, ".cdt3")) {
+			return fmt.Errorf("-repeat needs a *.cdt3 output (row formats materialize the whole stream)")
 		}
 		tr, err := p.Trace()
 		if err != nil {
@@ -475,7 +491,16 @@ func cmdTrace(args []string) error {
 			if err != nil {
 				return err
 			}
-			n, err := tr.WriteTo(f)
+			var n int64
+			if strings.HasSuffix(*out, ".cdt3") {
+				var src trace.Source = tr
+				if *repeat > 1 {
+					src = trace.Repeat(tr, *repeat)
+				}
+				n, err = trace.WriteCDT3(f, src, *chunk)
+			} else {
+				n, err = tr.WriteTo(f)
+			}
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}
@@ -492,12 +517,9 @@ func cmdReplay(args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("missing trace file")
 	}
-	f, err := os.Open(args[0])
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	tr, err := trace.Read(f)
+	// CDT3 files stream block by block in O(chunk) memory; CDT1/CDT2
+	// files decode fully (their row encoding has no chunk framing).
+	src, err := trace.OpenSource(args[0])
 	if err != nil {
 		return err
 	}
@@ -506,6 +528,7 @@ func cmdReplay(args []string) error {
 	level := fs.Int("level", 1, "CD directive-set stratum")
 	frames := fs.Int("m", 8, "fixed allocation for lru/fifo/opt")
 	tau := fs.Int("tau", 500, "WS window size")
+	memCeil := fs.Int("memceil", 0, "fail if peak RSS exceeds this many MiB (Linux VmHWM; 0 = no check)")
 	j := registerJFlag(fs)
 	of := registerObsFlags(fs)
 	if err := fs.Parse(args[1:]); err != nil {
@@ -513,23 +536,87 @@ func cmdReplay(args []string) error {
 	}
 	return of.withObs(func() error {
 		newEngine(*j) // after activate: a -serve tracker attaches here
+		meta := src.Meta()
 		var res vmsim.Result
+		var err error
 		switch *polName {
 		case "cd":
-			res = vmsim.Run(tr, policy.NewCD(policy.SelectLevel(*level), 2))
+			res, err = vmsim.RunSource(src, policy.NewCD(policy.SelectLevel(*level), 2), nil)
 		case "lru":
-			res = vmsim.Run(tr.RefsOnly(), policy.NewLRU(*frames))
+			// LRU/FIFO/WS ignore directives, so streaming the full event
+			// stream gives the same Result as the directive-free view.
+			res, err = vmsim.RunSource(src, policy.NewLRU(*frames), nil)
 		case "fifo":
-			res = vmsim.Run(tr.RefsOnly(), policy.NewFIFO(*frames))
+			res, err = vmsim.RunSource(src, policy.NewFIFO(*frames), nil)
 		case "ws":
-			res = vmsim.Run(tr.RefsOnly(), policy.NewWS(*tau))
+			res, err = vmsim.RunSource(src, policy.NewWS(*tau), nil)
 		case "opt":
+			// OPT needs the whole future reference string, so it cannot
+			// stream; materialize the trace whatever the input format.
+			tr, merr := materialize(src, args[0])
+			if merr != nil {
+				return merr
+			}
 			res = vmsim.Run(tr.RefsOnly(), policy.NewOPT(tr.Pages(), *frames))
 		default:
 			return fmt.Errorf("unknown policy %q", *polName)
 		}
-		fmt.Println(tr.Summary())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: R=%d references, V=%d distinct pages, %d directive events\n",
+			meta.Name, meta.Refs, meta.Distinct, meta.Events-meta.Refs)
 		fmt.Println(res)
+		if *memCeil > 0 {
+			kb, err := peakRSSKiB()
+			if err != nil {
+				return fmt.Errorf("-memceil: %w", err)
+			}
+			fmt.Printf("peak RSS: %.1f MiB (ceiling %d MiB)\n", float64(kb)/1024, *memCeil)
+			if kb > int64(*memCeil)<<10 {
+				return fmt.Errorf("peak RSS %.1f MiB exceeds the %d MiB ceiling: streamed replay is not O(chunk)",
+					float64(kb)/1024, *memCeil)
+			}
+		}
 		return nil
 	})
+}
+
+// peakRSSKiB reads the process's peak resident set size from the Linux
+// /proc interface. The streamed-replay CI job uses it to prove a
+// multi-GB CDT3 trace replays in O(chunk) memory.
+func peakRSSKiB() (int64, error) {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			break
+		}
+		kb, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("parsing VmHWM %q: %w", line, err)
+		}
+		return kb, nil
+	}
+	return 0, fmt.Errorf("no VmHWM in /proc/self/status")
+}
+
+// materialize turns any Source into an in-memory Trace, re-reading the
+// file for streamed sources.
+func materialize(src trace.Source, path string) (*trace.Trace, error) {
+	if tr, ok := src.(*trace.Trace); ok {
+		return tr, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
 }

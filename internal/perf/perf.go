@@ -18,6 +18,7 @@ import (
 
 	"cdmm/internal/obs"
 	"cdmm/internal/policy"
+	"cdmm/internal/trace"
 	"cdmm/internal/vmsim"
 	"cdmm/internal/workloads"
 )
@@ -125,6 +126,12 @@ func Collect(quick bool) (*Baseline, error) {
 		cs.Faults = res.Faults
 		b.Cases = append(b.Cases, cs)
 	}
+	if err := collectBlockStep(b, target); err != nil {
+		return nil, err
+	}
+	if err := collectStreamDecode(b, target); err != nil {
+		return nil, err
+	}
 	if err := collectServeOverhead(b, target); err != nil {
 		return nil, err
 	}
@@ -132,6 +139,115 @@ func Collect(quick bool) (*Baseline, error) {
 		return nil, err
 	}
 	return b, nil
+}
+
+// collectBlockStep measures StepBlock throughput with the whole CONDUCT
+// reference string handed over in one call — the ceiling of the block-
+// stepped hot path, with zero cursor or dispatch overhead. The paired
+// per-reference Step measurement pins down the speedup block stepping
+// buys; the fault anchors tie both to the simulated behavior.
+func collectBlockStep(b *Baseline, target time.Duration) error {
+	w, err := workloads.Get("CONDUCT")
+	if err != nil {
+		return err
+	}
+	c, err := workloads.Compile(w)
+	if err != nil {
+		return err
+	}
+	pages := c.Trace.RefsOnly().Pages()
+	pol := policy.NewLRU(32)
+	pol.Reset()
+	var warm policy.BlockResult
+	pol.StepBlock(pages, &warm)
+
+	cs := measure(target, len(pages), func() {
+		pol.Reset()
+		var out policy.BlockResult
+		pol.StepBlock(pages, &out)
+	})
+	cs.Name = "block_step/LRU"
+	cs.Workload = "CONDUCT"
+	cs.Refs = len(pages)
+	cs.Faults = warm.Faults
+	b.Cases = append(b.Cases, cs)
+
+	cs = measure(target, len(pages), func() {
+		pol.Reset()
+		for _, pg := range pages {
+			pol.Step(pg)
+		}
+	})
+	cs.Name = "single_step/LRU"
+	cs.Workload = "CONDUCT"
+	cs.Refs = len(pages)
+	cs.Faults = warm.Faults
+	b.Cases = append(b.Cases, cs)
+	return nil
+}
+
+// collectStreamDecode measures the chunked CDT3 decode path: a cursor
+// walk over an on-disk encoding of the CONDUCT trace, the cost a
+// streamed replay pays on top of the policy loop. The per-iteration
+// cursor setup (open, header seek, chunk buffers) amortizes over the
+// trace, so allocs/ref still rounds to zero.
+func collectStreamDecode(b *Baseline, target time.Duration) error {
+	w, err := workloads.Get("CONDUCT")
+	if err != nil {
+		return err
+	}
+	c, err := workloads.Compile(w)
+	if err != nil {
+		return err
+	}
+	f, err := os.CreateTemp("", "cdmm-perf-*.cdt3")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(f.Name())
+	if _, err := trace.WriteCDT3(f, c.Trace, 0); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	src, err := trace.OpenCDT3(f.Name())
+	if err != nil {
+		return err
+	}
+	meta := src.Meta()
+	walk := func() int {
+		cur := src.Blocks(trace.CursorOpts{})
+		defer cur.Close()
+		refs := 0
+		var blk trace.Block
+		for cur.Next(&blk) {
+			refs += len(blk.Pages)
+		}
+		return refs
+	}
+	if got := walk(); got != meta.Refs {
+		return fmt.Errorf("perf: stream decode replayed %d refs, header declares %d", got, meta.Refs)
+	}
+	// Fault anchor: a streamed replay must fault exactly like the
+	// in-memory one (representation independence, checked here so the
+	// baseline pins it on every machine).
+	memRes := vmsim.Run(c.Trace, policy.NewCD(w.DefaultSet().Selector(), 2))
+	streamRes, err := vmsim.RunSource(src, policy.NewCD(w.DefaultSet().Selector(), 2), nil)
+	if err != nil {
+		return err
+	}
+	if streamRes != memRes {
+		return fmt.Errorf("perf: streamed CD replay drifted: %+v vs %+v", streamRes, memRes)
+	}
+	cs := measure(target, meta.Refs, func() { walk() })
+	cs.Name = "stream_decode"
+	cs.Workload = "CONDUCT"
+	cs.Refs = meta.Refs
+	cs.Faults = streamRes.Faults
+	b.Cases = append(b.Cases, cs)
+	return nil
 }
 
 // gateClosed is the telemetry daemon's gate state when no client is

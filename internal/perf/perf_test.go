@@ -111,6 +111,16 @@ func TestCollectQuick(t *testing.T) {
 			t.Fatalf("%s: hot path allocates %.4f allocs/ref, want 0", c.Name, c.AllocsPerRef)
 		}
 	}
+	if raceEnabled {
+		// The race detector multiplies the cost of the observer callbacks
+		// and the side-band cursor far more than the plain hot loop, so
+		// the instrumented-vs-plain *ratios* are meaningless in this
+		// build. Keep the structural, allocation and anchor checks; drop
+		// only the overhead ceilings.
+		t.Logf("race build: skipping overhead ceilings (measured serve %+.2f%%, attr %+.2f%%)",
+			100*b.ServeOverhead, 100*b.AttrOverhead)
+		b.ServeOverhead, b.AttrOverhead = 0, 0
+	}
 	if b.ServeOverhead > ServeOverheadMax {
 		t.Errorf("unwatched serve observer costs %+.2f%% ns/ref, ceiling +%.0f%%",
 			100*b.ServeOverhead, 100*ServeOverheadMax)
@@ -123,6 +133,9 @@ func TestCollectQuick(t *testing.T) {
 	b2, err := Collect(true)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if raceEnabled {
+		b2.ServeOverhead, b2.AttrOverhead = 0, 0
 	}
 	if _, regs := Compare(b, b2, 10); len(regs) != 0 { // huge threshold: only anchors can fail
 		t.Fatalf("fault anchors unstable: %v", regs)

@@ -1,0 +1,8 @@
+//go:build race
+
+package perf
+
+// raceEnabled reports that this build carries race-detector
+// instrumentation, which distorts the relative-overhead measurements
+// (the instrumented-vs-plain ratio, not just absolute speed).
+const raceEnabled = true

@@ -262,6 +262,14 @@ func (p *CD) Ref(pg mem.Page) bool {
 		p.list.touchSlot(s)
 		return false
 	}
+	p.refMiss(pg)
+	return true
+}
+
+// refMiss faults pg into a healthy (non-degraded) CD policy, replacing
+// under the directive ceiling. Shared by Ref and StepBlock so the two
+// paths cannot drift.
+func (p *CD) refMiss(pg mem.Page) {
 	if p.list.len()-p.locked >= p.alloc {
 		if v, ok := p.list.evictLRU(); ok {
 			if p.onEvict != nil {
@@ -282,7 +290,6 @@ func (p *CD) Ref(pg mem.Page) bool {
 		}
 	}
 	p.list.insert(pg)
-	return true
 }
 
 // releaseLock clears the lock bookkeeping for a slot being force-released.

@@ -43,13 +43,19 @@ func (p *LRU) Ref(pg mem.Page) bool {
 		p.list.touchSlot(s)
 		return false
 	}
+	p.refMiss(pg)
+	return true
+}
+
+// refMiss faults pg in, evicting at capacity. Shared by Ref and
+// StepBlock so the two paths cannot drift.
+func (p *LRU) refMiss(pg mem.Page) {
 	if p.list.len() >= p.frames {
 		if v, ok := p.list.evictLRU(); ok && p.onEvict != nil {
 			p.onEvict(v)
 		}
 	}
 	p.list.insert(pg)
-	return true
 }
 
 // Resident implements Policy.
@@ -125,6 +131,13 @@ func (p *FIFO) Ref(pg mem.Page) bool {
 	if p.in[s] {
 		return false
 	}
+	p.refMiss(s)
+	return true
+}
+
+// refMiss faults slot s in, replacing the oldest arrival at capacity.
+// Shared by Ref and StepBlock so the two paths cannot drift.
+func (p *FIFO) refMiss(s int32) {
 	if p.qlen >= p.frames {
 		old := p.queue[p.qhead]
 		p.qhead = (p.qhead + 1) & (len(p.queue) - 1)
@@ -136,7 +149,6 @@ func (p *FIFO) Ref(pg mem.Page) bool {
 	}
 	p.push(s)
 	p.in[s] = true
-	return true
 }
 
 // Resident implements Policy.

@@ -1,0 +1,725 @@
+// CDT3: the columnar, chunked trace format. CDT1/CDT2 store the event
+// stream row by row (kind byte + arg varint per event); CDT3 stores it
+// column by column, extending the CDT2 side-band pattern to the events
+// themselves:
+//
+//	magic "CDT3"
+//	name            (uvarint length + bytes)
+//	flags           (byte; bit0 = site column present)
+//	events          (uvarint: total events, references + directives)
+//	refs            (uvarint: R, page references)
+//	distinct        (uvarint: V, distinct pages)
+//	maxPage         (varint; -1 when there are no references)
+//	alloc table     \
+//	lock table       | identical to the CDT1 sections
+//	unlock table    /
+//	site table      (only when flagged; identical to the CDT2 section)
+//	chunks…         (see below)
+//	terminator      (uvarint 0)
+//
+// Each chunk frames a bounded slice of the stream:
+//
+//	n               (uvarint: events in the chunk; 0 terminates)
+//	nRefs           (uvarint: page references in the chunk, ≤ n)
+//	page column     (nRefs varints: zigzag delta from the previous
+//	                 reference's page; the predecessor carries across
+//	                 chunks and starts at 0)
+//	dir column      (n−nRefs entries: uvarint gap — references since the
+//	                 previous directive in the chunk, from the chunk
+//	                 start for the first — then kind byte and arg varint)
+//	site runs       (only when flagged: uvarint count, then per run
+//	                 uvarint length + varint site, covering exactly the
+//	                 chunk's n events)
+//
+// Numerical reference strings are runs of adjacent pages, so the delta
+// column is mostly ±1 and encodes in one byte per reference; directives
+// are rare, so the side-band costs nothing. Because every count is
+// declared up front, a reader can replay a multi-GB file holding one
+// chunk's columns at a time — that is what FileSource does.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"cdmm/internal/mem"
+)
+
+// DefaultChunkEvents is the chunk size WriteCDT3 uses when none is
+// given: big enough to amortize framing, small enough that a streaming
+// reader's working set stays in cache.
+const DefaultChunkEvents = 1 << 16
+
+// maxChunkEvents bounds the chunk size a reader will accept (and a
+// writer will produce), so corrupt counts cannot balloon the O(chunk)
+// decode buffers.
+const maxChunkEvents = 1 << 24
+
+// CDT3Stats breaks a written CDT3 file into its sections, for
+// `cdmm convert -stat`.
+type CDT3Stats struct {
+	HeaderBytes int64 // magic, name, flags, totals
+	TableBytes  int64 // alloc/lock/unlock (+ site) tables
+	PageBytes   int64 // delta-encoded page columns
+	DirBytes    int64 // directive side-band columns
+	SiteBytes   int64 // RLE site-run columns
+	FrameBytes  int64 // chunk count framing + terminator
+	TotalBytes  int64
+	Chunks      int
+	Events      int
+	Refs        int
+}
+
+// WriteCDT3 encodes any Source as a CDT3 stream. chunkEvents bounds the
+// events per chunk (0 selects DefaultChunkEvents); the same source and
+// chunk size always produce identical bytes, so re-encoding a decoded
+// file round-trips exactly.
+func WriteCDT3(w io.Writer, src Source, chunkEvents int) (int64, error) {
+	return writeCDT3(w, src, chunkEvents, nil)
+}
+
+// WriteCDT3Stats is WriteCDT3 with a per-section byte breakdown.
+func WriteCDT3Stats(w io.Writer, src Source, chunkEvents int, st *CDT3Stats) (int64, error) {
+	return writeCDT3(w, src, chunkEvents, st)
+}
+
+func writeCDT3(w io.Writer, src Source, chunkEvents int, st *CDT3Stats) (int64, error) {
+	if chunkEvents <= 0 {
+		chunkEvents = DefaultChunkEvents
+	}
+	if chunkEvents > maxChunkEvents {
+		chunkEvents = maxChunkEvents
+	}
+	meta := src.Meta()
+	tb := src.Tables()
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+
+	_ = cw.bytes([]byte(traceMagicV3))
+	cw.str(meta.Name)
+	var flags byte
+	if meta.HasSites {
+		flags |= 1
+	}
+	cw.byte(flags)
+	cw.uvarint(uint64(meta.Events))
+	cw.uvarint(uint64(meta.Refs))
+	cw.uvarint(uint64(meta.Distinct))
+	cw.varint(int64(meta.MaxPage))
+	headerEnd := cw.n
+
+	writeSideTables(cw, tb.Allocs, tb.LockSets, tb.UnlockSets)
+	if meta.HasSites {
+		writeSiteTable(cw, tb.Sites)
+	}
+	tablesEnd := cw.n
+
+	enc := cdt3ChunkWriter{cw: cw, cap: chunkEvents, sites: meta.HasSites, st: st}
+	cur := src.Blocks(CursorOpts{WithSites: meta.HasSites})
+	defer cur.Close()
+	var b Block
+	for cur.Next(&b) {
+		enc.addBlock(&b)
+		if cw.err != nil {
+			break
+		}
+	}
+	if err := cur.Err(); err != nil {
+		return cw.n, err
+	}
+	enc.flush()
+	frameStart := cw.n
+	cw.uvarint(0)
+
+	if cw.err != nil {
+		return cw.n, cw.err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	if st != nil {
+		st.HeaderBytes = headerEnd
+		st.TableBytes = tablesEnd - headerEnd
+		st.FrameBytes += cw.n - frameStart
+		st.TotalBytes = cw.n
+		st.Events = meta.Events
+		st.Refs = meta.Refs
+	}
+	return cw.n, nil
+}
+
+// chunkDir is one buffered directive: ev executes after the chunk's
+// first refsBefore references.
+type chunkDir struct {
+	refsBefore int32
+	ev         Event
+}
+
+// cdt3ChunkWriter accumulates blocks into bounded chunks and flushes
+// each as one framed columnar record.
+type cdt3ChunkWriter struct {
+	cw    *countWriter
+	cap   int
+	sites bool
+	st    *CDT3Stats
+
+	pages    []mem.Page
+	dirs     []chunkDir
+	runs     []siteRun
+	prevPage int64 // carries across chunks
+}
+
+func (e *cdt3ChunkWriter) events() int { return len(e.pages) + len(e.dirs) }
+
+func (e *cdt3ChunkWriter) addBlock(b *Block) {
+	for i, pg := range b.Pages {
+		if e.events() >= e.cap {
+			e.flush()
+		}
+		e.pages = append(e.pages, pg)
+		if e.sites {
+			site := NoSite
+			if b.Sites != nil {
+				site = b.Sites[i]
+			}
+			e.noteRun(site)
+		}
+	}
+	if b.HasDir {
+		if e.events() >= e.cap {
+			e.flush()
+		}
+		e.dirs = append(e.dirs, chunkDir{refsBefore: int32(len(e.pages)), ev: b.Dir})
+		if e.sites {
+			e.noteRun(b.DirSite)
+		}
+	}
+}
+
+// noteRun extends the chunk's site column by one event.
+func (e *cdt3ChunkWriter) noteRun(site int32) {
+	if last := len(e.runs) - 1; last >= 0 && e.runs[last].site == site &&
+		e.runs[last].n < math.MaxInt32 {
+		e.runs[last].n++
+		return
+	}
+	e.runs = append(e.runs, siteRun{n: 1, site: site})
+}
+
+func (e *cdt3ChunkWriter) flush() {
+	n := e.events()
+	if n == 0 {
+		return
+	}
+	cw := e.cw
+	mark := cw.n
+	cw.uvarint(uint64(n))
+	cw.uvarint(uint64(len(e.pages)))
+	if e.st != nil {
+		e.st.FrameBytes += cw.n - mark
+		e.st.Chunks++
+		mark = cw.n
+	}
+	for _, pg := range e.pages {
+		cw.varint(int64(pg) - e.prevPage)
+		e.prevPage = int64(pg)
+	}
+	if e.st != nil {
+		e.st.PageBytes += cw.n - mark
+		mark = cw.n
+	}
+	prevRefs := int32(0)
+	for _, d := range e.dirs {
+		cw.uvarint(uint64(d.refsBefore - prevRefs))
+		cw.byte(byte(d.ev.Kind))
+		cw.varint(int64(d.ev.Arg))
+		prevRefs = d.refsBefore
+	}
+	if e.st != nil {
+		e.st.DirBytes += cw.n - mark
+		mark = cw.n
+	}
+	if e.sites {
+		cw.uvarint(uint64(len(e.runs)))
+		for _, r := range e.runs {
+			cw.uvarint(uint64(r.n))
+			cw.varint(int64(r.site))
+		}
+		if e.st != nil {
+			e.st.SiteBytes += cw.n - mark
+		}
+	}
+	e.pages = e.pages[:0]
+	e.dirs = e.dirs[:0]
+	e.runs = e.runs[:0]
+}
+
+// --- header ---------------------------------------------------------
+
+// cdt3Header is the decoded fixed part of a CDT3 file.
+type cdt3Header struct {
+	name     string
+	hasSites bool
+	events   int64
+	refs     int64
+	distinct int64
+	maxPage  mem.Page
+	allocs   []AllocDirective
+	locks    []LockSet
+	unlocks  [][]mem.Page
+	sites    []Site
+}
+
+// readCDT3Header decodes everything before the chunk stream. The magic
+// has already been consumed.
+func readCDT3Header(cr *countReader) (*cdt3Header, error) {
+	h := &cdt3Header{}
+	h.name = cr.str()
+	flags := cr.byte()
+	if cr.err != nil {
+		return nil, decodeErr("header", -1, cr.err)
+	}
+	if flags&^1 != 0 {
+		return nil, decodeErr("header", -1, fmt.Errorf("unknown flags %#x", flags))
+	}
+	h.hasSites = flags&1 != 0
+	events := cr.uvarint()
+	refs := cr.uvarint()
+	distinct := cr.uvarint()
+	maxPage := cr.varint()
+	if cr.err != nil {
+		return nil, decodeErr("header", -1, cr.err)
+	}
+	const maxTotal = math.MaxInt64 / 4
+	if events > maxTotal || refs > events || distinct > refs {
+		return nil, decodeErr("header", -1, fmt.Errorf("inconsistent totals events=%d refs=%d distinct=%d", events, refs, distinct))
+	}
+	if maxPage < -1 || maxPage > math.MaxInt32 {
+		return nil, decodeErr("header", -1, fmt.Errorf("max page %d out of range", maxPage))
+	}
+	if (refs == 0) != (maxPage == -1) {
+		return nil, decodeErr("header", -1, fmt.Errorf("refs=%d with max page %d", refs, maxPage))
+	}
+	h.events, h.refs, h.distinct = int64(events), int64(refs), int64(distinct)
+	h.maxPage = mem.Page(maxPage)
+
+	var err error
+	h.allocs, h.locks, h.unlocks, err = readSideTables(cr)
+	if err != nil {
+		return nil, err
+	}
+	if h.hasSites {
+		h.sites, err = readSiteTable(cr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+func (h *cdt3Header) sideLen(kind EventKind) int {
+	switch kind {
+	case EvAlloc:
+		return len(h.allocs)
+	case EvLock:
+		return len(h.locks)
+	default:
+		return len(h.unlocks)
+	}
+}
+
+// --- chunk reader ---------------------------------------------------
+
+// cdt3ChunkReader decodes the chunk stream one chunk at a time,
+// validating every count against the header. It is shared by the full
+// decoder (readCDT3) and the streaming cursor (fileCursor).
+type cdt3ChunkReader struct {
+	cr  *countReader
+	hdr *cdt3Header
+
+	// Decoded current chunk; buffers are reused across chunks.
+	pages []mem.Page
+	dirs  []chunkDir
+	runs  []siteRun
+
+	prevPage int64
+	seenEv   int64
+	seenRefs int64
+	chunk    int64 // index of the chunk being decoded, for errors
+	done     bool
+	err      error
+}
+
+// next decodes the next chunk into the reused buffers, returning false
+// at the terminator or on error (check err).
+func (d *cdt3ChunkReader) next() bool {
+	if d.done || d.err != nil {
+		return false
+	}
+	cr := d.cr
+	n := cr.uvarint()
+	if cr.err != nil {
+		d.fail(decodeErr("chunk", d.chunk, cr.err))
+		return false
+	}
+	if n == 0 {
+		if d.seenEv != d.hdr.events || d.seenRefs != d.hdr.refs {
+			d.fail(decodeErr("chunk", d.chunk, fmt.Errorf("stream holds %d events / %d refs, header declares %d / %d",
+				d.seenEv, d.seenRefs, d.hdr.events, d.hdr.refs)))
+			return false
+		}
+		d.done = true
+		return false
+	}
+	if n > maxChunkEvents {
+		d.fail(decodeErr("chunk", d.chunk, fmt.Errorf("chunk of %d events exceeds limit %d", n, maxChunkEvents)))
+		return false
+	}
+	nRefs := cr.uvarint()
+	if cr.err != nil {
+		d.fail(decodeErr("chunk", d.chunk, cr.err))
+		return false
+	}
+	if nRefs > n {
+		d.fail(decodeErr("chunk", d.chunk, fmt.Errorf("%d refs in chunk of %d events", nRefs, n)))
+		return false
+	}
+	if d.seenEv+int64(n) > d.hdr.events || d.seenRefs+int64(nRefs) > d.hdr.refs {
+		d.fail(decodeErr("chunk", d.chunk, fmt.Errorf("chunk overruns header totals")))
+		return false
+	}
+
+	d.pages = d.pages[:0]
+	for i := uint64(0); i < nRefs; i++ {
+		pg := d.prevPage + cr.varint()
+		if cr.err != nil {
+			d.fail(decodeErr("page column", int64(i), cr.err))
+			return false
+		}
+		if pg < 0 || pg > int64(d.hdr.maxPage) {
+			d.fail(decodeErr("page column", int64(i), fmt.Errorf("page %d outside [0, %d]", pg, d.hdr.maxPage)))
+			return false
+		}
+		d.prevPage = pg
+		d.pages = append(d.pages, mem.Page(pg))
+	}
+
+	d.dirs = d.dirs[:0]
+	nDirs := n - nRefs
+	pos := int64(0)
+	for i := uint64(0); i < nDirs; i++ {
+		gap := cr.uvarint()
+		kind := EventKind(cr.byte())
+		arg := cr.varint31()
+		if cr.err != nil {
+			d.fail(decodeErr("dir column", int64(i), cr.err))
+			return false
+		}
+		pos += int64(gap)
+		if pos > int64(nRefs) {
+			d.fail(decodeErr("dir column", int64(i), fmt.Errorf("directive at ref %d of %d", pos, nRefs)))
+			return false
+		}
+		switch kind {
+		case EvAlloc, EvLock, EvUnlock:
+		default:
+			d.fail(decodeErr("dir column", int64(i), fmt.Errorf("unknown kind %d", kind)))
+			return false
+		}
+		if arg < 0 || int(arg) >= d.hdr.sideLen(kind) {
+			d.fail(decodeErr("dir column", int64(i), fmt.Errorf("%v index %d out of range", kind, arg)))
+			return false
+		}
+		d.dirs = append(d.dirs, chunkDir{refsBefore: int32(pos), ev: Event{Kind: kind, Arg: int32(arg)}})
+	}
+
+	d.runs = d.runs[:0]
+	if d.hdr.hasSites {
+		nRuns := cr.uvarint()
+		if cr.err == nil && nRuns > n {
+			cr.err = fmt.Errorf("%d site runs in chunk of %d events", nRuns, n)
+		}
+		var total int64
+		for i := uint64(0); i < nRuns && cr.err == nil; i++ {
+			rn := cr.varint31u()
+			site := cr.varint31()
+			if cr.err != nil {
+				break
+			}
+			if rn == 0 {
+				cr.err = fmt.Errorf("empty site run")
+				break
+			}
+			if int32(site) != NoSite && (site < 0 || int(site) >= len(d.hdr.sites)) {
+				cr.err = fmt.Errorf("site %d of %d", site, len(d.hdr.sites))
+				break
+			}
+			total += int64(rn)
+			d.runs = append(d.runs, siteRun{n: int32(rn), site: int32(site)})
+		}
+		if cr.err == nil && total != int64(n) {
+			cr.err = fmt.Errorf("site runs cover %d of %d events", total, n)
+		}
+		if cr.err != nil {
+			d.fail(decodeErr("site runs", d.chunk, cr.err))
+			return false
+		}
+	}
+
+	d.seenEv += int64(n)
+	d.seenRefs += int64(nRefs)
+	d.chunk++
+	return true
+}
+
+func (d *cdt3ChunkReader) fail(err error) {
+	d.err = err
+	d.done = true
+}
+
+// --- full decode ----------------------------------------------------
+
+// readCDT3 materializes a CDT3 stream as an in-memory Trace, for Read
+// and for format conversion. The magic has already been consumed.
+func readCDT3(cr *countReader) (*Trace, error) {
+	hdr, err := readCDT3Header(cr)
+	if err != nil {
+		return nil, err
+	}
+	t := New(hdr.name)
+	t.Allocs, t.LockSets, t.UnlockSets = hdr.allocs, hdr.locks, hdr.unlocks
+	t.Sites = hdr.sites
+	t.Events = make([]Event, 0, hdr.events)
+
+	d := cdt3ChunkReader{cr: cr, hdr: hdr}
+	for d.next() {
+		di := 0
+		for i := 0; i <= len(d.pages); i++ {
+			for ; di < len(d.dirs) && int(d.dirs[di].refsBefore) == i; di++ {
+				t.Events = append(t.Events, d.dirs[di].ev)
+			}
+			if i < len(d.pages) {
+				t.AddRef(d.pages[i])
+			}
+		}
+		for _, r := range d.runs {
+			t.appendSiteRun(r.n, r.site)
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if int64(t.Distinct) != hdr.distinct {
+		return nil, decodeErr("chunk", -1, fmt.Errorf("stream references %d distinct pages, header declares %d", t.Distinct, hdr.distinct))
+	}
+	if t.maxPageSeen() != hdr.maxPage {
+		return nil, decodeErr("chunk", -1, fmt.Errorf("stream max page %d, header declares %d", t.maxPageSeen(), hdr.maxPage))
+	}
+	if hdr.hasSites {
+		t.sitesOn = true
+		t.curSite = NoSite
+		if err := t.auditSiteRuns(); err != nil {
+			return nil, decodeErr("site runs", -1, err)
+		}
+	}
+	return t, nil
+}
+
+// --- streaming file source ------------------------------------------
+
+// FileSource replays a CDT3 file in O(chunk) memory: the header and
+// side tables are decoded once at open, and each cursor re-opens the
+// file and walks the chunk stream, holding one chunk's columns at a
+// time. It never materializes []Event.
+type FileSource struct {
+	path    string
+	meta    Meta
+	tables  SideTables
+	hdr     *cdt3Header
+	dataOff int64 // file offset of the first chunk
+}
+
+// OpenCDT3 opens path as a streaming CDT3 source, decoding the header
+// and side tables eagerly (so Meta and Tables are O(1)) and nothing
+// else. The file itself is only held open while a cursor is walking it.
+func OpenCDT3(path string) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return nil, decodeErr("magic", -1, err)
+	}
+	if string(magic[:]) != traceMagicV3 {
+		return nil, decodeErr("magic", -1, fmt.Errorf("bad magic %q (want %q)", magic[:], traceMagicV3))
+	}
+	return openCDT3(f, path)
+}
+
+// openCDT3 reads the header from f, positioned just past the magic.
+func openCDT3(f *os.File, path string) (*FileSource, error) {
+	cr := &countReader{r: bufio.NewReader(f)}
+	hdr, err := readCDT3Header(cr)
+	if err != nil {
+		return nil, err
+	}
+	return &FileSource{
+		path: path,
+		meta: Meta{
+			Name:     hdr.name,
+			Events:   int(hdr.events),
+			Refs:     int(hdr.refs),
+			Distinct: int(hdr.distinct),
+			MaxPage:  hdr.maxPage,
+			HasSites: hdr.hasSites,
+		},
+		tables: SideTables{
+			Allocs:     hdr.allocs,
+			LockSets:   hdr.locks,
+			UnlockSets: hdr.unlocks,
+			Sites:      hdr.sites,
+		},
+		hdr:     hdr,
+		dataOff: int64(len(traceMagicV3)) + cr.n,
+	}, nil
+}
+
+// OpenSource opens a trace file of any format as a Source: CDT3 files
+// stream (FileSource); CDT1/CDT2 files decode fully into a Trace.
+func OpenSource(path string) (Source, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return nil, decodeErr("magic", -1, err)
+	}
+	if string(magic[:]) == traceMagicV3 {
+		return openCDT3(f, path)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return Read(f)
+}
+
+// Meta implements Source.
+func (s *FileSource) Meta() Meta { return s.meta }
+
+// Tables implements Source.
+func (s *FileSource) Tables() *SideTables { return &s.tables }
+
+// Blocks implements Source. Each cursor owns an independent *os.File,
+// so concurrent replays of one FileSource do not share a read position.
+func (s *FileSource) Blocks(opts CursorOpts) Cursor {
+	c := &fileCursor{src: s, max: opts.MaxBlock, withSites: opts.WithSites && s.meta.HasSites}
+	f, err := os.Open(s.path)
+	if err != nil {
+		c.dec.fail(err)
+		return c
+	}
+	if _, err := f.Seek(s.dataOff, io.SeekStart); err != nil {
+		f.Close()
+		c.dec.fail(err)
+		return c
+	}
+	c.f = f
+	c.dec = cdt3ChunkReader{cr: &countReader{r: bufio.NewReader(f)}, hdr: s.hdr}
+	return c
+}
+
+var _ Source = (*FileSource)(nil)
+
+// fileCursor serves blocks out of one decoded chunk at a time.
+type fileCursor struct {
+	src *FileSource
+	f   *os.File
+	dec cdt3ChunkReader
+
+	ri, di int // consumed refs/dirs of the current chunk
+
+	max       int
+	withSites bool
+	siteCur   SiteCursor // over the current chunk's runs
+	siteBuf   []int32
+	closed    bool
+}
+
+// Next implements Cursor.
+func (c *fileCursor) Next(b *Block) bool {
+	b.Pages = nil
+	b.Sites = nil
+	b.HasDir = false
+	b.DirSite = NoSite
+	if c.closed || c.dec.err != nil {
+		return false
+	}
+	for c.ri >= len(c.dec.pages) && c.di >= len(c.dec.dirs) {
+		if !c.dec.next() {
+			return false
+		}
+		c.ri, c.di = 0, 0
+		if c.withSites {
+			c.siteCur = SiteCursor{runs: c.dec.runs}
+		}
+	}
+	hi := len(c.dec.pages)
+	dirNext := false
+	if c.di < len(c.dec.dirs) {
+		hi = int(c.dec.dirs[c.di].refsBefore)
+		dirNext = true
+	}
+	if c.max > 0 && hi-c.ri > c.max {
+		hi = c.ri + c.max
+		dirNext = false
+	}
+	b.Pages = c.dec.pages[c.ri:hi]
+	if c.withSites {
+		b.Sites = c.fillSites(len(b.Pages))
+	}
+	c.ri = hi
+	if dirNext {
+		b.HasDir = true
+		b.Dir = c.dec.dirs[c.di].ev
+		if c.withSites {
+			b.DirSite = c.siteCur.Next()
+		}
+		c.di++
+	}
+	return true
+}
+
+func (c *fileCursor) fillSites(n int) []int32 {
+	if cap(c.siteBuf) < n {
+		c.siteBuf = make([]int32, n)
+	}
+	buf := c.siteBuf[:n]
+	for i := range buf {
+		buf[i] = c.siteCur.Next()
+	}
+	return buf
+}
+
+// Err implements Cursor.
+func (c *fileCursor) Err() error { return c.dec.err }
+
+// Close implements Cursor.
+func (c *fileCursor) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.f == nil {
+		return nil
+	}
+	return c.f.Close()
+}
+
+var _ Cursor = (*fileCursor)(nil)

@@ -34,9 +34,15 @@ import (
 //
 // A site-free trace still writes CDT1, byte-identical to pre-side-band
 // output; Read accepts both magics.
+// A third magic, "CDT3", selects the columnar chunked layout of cdt3.go:
+// the same side tables up front, then the reference string as a delta/
+// varint page column with directive events side-banded at their
+// positions, framed in bounded chunks so files stream in O(chunk)
+// memory. Read accepts all three magics.
 const (
 	traceMagic   = "CDT1"
 	traceMagicV2 = "CDT2"
+	traceMagicV3 = "CDT3"
 )
 
 // WriteTo serializes the trace. It implements io.WriterTo.
@@ -52,34 +58,7 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 		return cw.n, err
 	}
 	cw.str(t.Name)
-
-	cw.uvarint(uint64(len(t.Allocs)))
-	for _, a := range t.Allocs {
-		cw.str(a.Label)
-		cw.uvarint(uint64(len(a.Arms)))
-		for _, arm := range a.Arms {
-			cw.varint(int64(arm.PI))
-			cw.varint(int64(arm.X))
-		}
-	}
-
-	cw.uvarint(uint64(len(t.LockSets)))
-	for _, ls := range t.LockSets {
-		cw.varint(int64(ls.PJ))
-		cw.varint(int64(ls.Site))
-		cw.uvarint(uint64(len(ls.Pages)))
-		for _, p := range ls.Pages {
-			cw.varint(int64(p))
-		}
-	}
-
-	cw.uvarint(uint64(len(t.UnlockSets)))
-	for _, ps := range t.UnlockSets {
-		cw.uvarint(uint64(len(ps)))
-		for _, p := range ps {
-			cw.varint(int64(p))
-		}
-	}
+	writeSideTables(cw, t.Allocs, t.LockSets, t.UnlockSets)
 
 	cw.uvarint(uint64(len(t.Events)))
 	for _, e := range t.Events {
@@ -88,13 +67,7 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	}
 
 	if t.sitesOn {
-		cw.uvarint(uint64(len(t.Sites)))
-		for _, s := range t.Sites {
-			cw.str(s.Nest)
-			cw.varint(int64(s.Line))
-			cw.str(s.Array)
-			cw.str(s.Expr)
-		}
+		writeSiteTable(cw, t.Sites)
 		cw.uvarint(uint64(len(t.siteRuns)))
 		for _, r := range t.siteRuns {
 			cw.uvarint(uint64(r.n))
@@ -134,27 +107,52 @@ func decodeErr(section string, index int64, err error) *DecodeError {
 	return &DecodeError{Section: section, Index: index, Err: err}
 }
 
-// Read deserializes a trace written by WriteTo. Any structural defect —
-// truncation, bad magic, out-of-range table indexes, negative pages,
-// values overflowing the on-disk width — is reported as a *DecodeError;
-// Read never panics on corrupt input.
-func Read(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(traceMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, decodeErr("magic", -1, err)
-	}
-	if string(magic) != traceMagic && string(magic) != traceMagicV2 {
-		return nil, decodeErr("magic", -1, fmt.Errorf("bad magic %q", magic))
-	}
-	hasSites := string(magic) == traceMagicV2
-	cr := &countReader{r: br}
-
-	t := New(cr.str())
-	if cr.err != nil {
-		return nil, decodeErr("name", -1, cr.err)
+// writeSideTables serializes the directive side tables, shared by the
+// CDT1/CDT2 and CDT3 encoders.
+func writeSideTables(cw *countWriter, allocs []AllocDirective, locks []LockSet, unlocks [][]mem.Page) {
+	cw.uvarint(uint64(len(allocs)))
+	for _, a := range allocs {
+		cw.str(a.Label)
+		cw.uvarint(uint64(len(a.Arms)))
+		for _, arm := range a.Arms {
+			cw.varint(int64(arm.PI))
+			cw.varint(int64(arm.X))
+		}
 	}
 
+	cw.uvarint(uint64(len(locks)))
+	for _, ls := range locks {
+		cw.varint(int64(ls.PJ))
+		cw.varint(int64(ls.Site))
+		cw.uvarint(uint64(len(ls.Pages)))
+		for _, p := range ls.Pages {
+			cw.varint(int64(p))
+		}
+	}
+
+	cw.uvarint(uint64(len(unlocks)))
+	for _, ps := range unlocks {
+		cw.uvarint(uint64(len(ps)))
+		for _, p := range ps {
+			cw.varint(int64(p))
+		}
+	}
+}
+
+// writeSiteTable serializes the site table.
+func writeSiteTable(cw *countWriter, sites []Site) {
+	cw.uvarint(uint64(len(sites)))
+	for _, s := range sites {
+		cw.str(s.Nest)
+		cw.varint(int64(s.Line))
+		cw.str(s.Array)
+		cw.str(s.Expr)
+	}
+}
+
+// readSideTables decodes the directive side tables into t, shared by the
+// CDT1/CDT2 and CDT3 decoders.
+func readSideTables(cr *countReader) (allocs []AllocDirective, locks []LockSet, unlocks [][]mem.Page, err error) {
 	nAllocs := cr.uvarint()
 	for i := uint64(0); i < nAllocs; i++ {
 		a := AllocDirective{Label: cr.str()}
@@ -163,12 +161,12 @@ func Read(r io.Reader) (*Trace, error) {
 			a.Arms = append(a.Arms, directive.Arm{PI: int(cr.varint31()), X: int(cr.varint31())})
 		}
 		if cr.err != nil {
-			return nil, decodeErr("alloc table", int64(i), cr.err)
+			return nil, nil, nil, decodeErr("alloc table", int64(i), cr.err)
 		}
-		t.Allocs = append(t.Allocs, a)
+		allocs = append(allocs, a)
 	}
 	if cr.err != nil {
-		return nil, decodeErr("alloc table", -1, cr.err)
+		return nil, nil, nil, decodeErr("alloc table", -1, cr.err)
 	}
 
 	nLocks := cr.uvarint()
@@ -179,12 +177,12 @@ func Read(r io.Reader) (*Trace, error) {
 			ls.Pages = append(ls.Pages, mem.Page(cr.page()))
 		}
 		if cr.err != nil {
-			return nil, decodeErr("lock table", int64(i), cr.err)
+			return nil, nil, nil, decodeErr("lock table", int64(i), cr.err)
 		}
-		t.LockSets = append(t.LockSets, ls)
+		locks = append(locks, ls)
 	}
 	if cr.err != nil {
-		return nil, decodeErr("lock table", -1, cr.err)
+		return nil, nil, nil, decodeErr("lock table", -1, cr.err)
 	}
 
 	nUnlocks := cr.uvarint()
@@ -195,12 +193,62 @@ func Read(r io.Reader) (*Trace, error) {
 			ps = append(ps, mem.Page(cr.page()))
 		}
 		if cr.err != nil {
-			return nil, decodeErr("unlock table", int64(i), cr.err)
+			return nil, nil, nil, decodeErr("unlock table", int64(i), cr.err)
 		}
-		t.UnlockSets = append(t.UnlockSets, ps)
+		unlocks = append(unlocks, ps)
 	}
 	if cr.err != nil {
-		return nil, decodeErr("unlock table", -1, cr.err)
+		return nil, nil, nil, decodeErr("unlock table", -1, cr.err)
+	}
+	return allocs, locks, unlocks, nil
+}
+
+// readSiteTable decodes the site table.
+func readSiteTable(cr *countReader) ([]Site, error) {
+	var sites []Site
+	nSites := cr.uvarint()
+	for i := uint64(0); i < nSites; i++ {
+		s := Site{Nest: cr.str(), Line: int(cr.varint31()), Array: cr.str(), Expr: cr.str()}
+		if cr.err != nil {
+			return nil, decodeErr("site table", int64(i), cr.err)
+		}
+		sites = append(sites, s)
+	}
+	if cr.err != nil {
+		return nil, decodeErr("site table", -1, cr.err)
+	}
+	return sites, nil
+}
+
+// Read deserializes a trace written by WriteTo. Any structural defect —
+// truncation, bad magic, out-of-range table indexes, negative pages,
+// values overflowing the on-disk width — is reported as a *DecodeError;
+// Read never panics on corrupt input.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, decodeErr("magic", -1, err)
+	}
+	cr := &countReader{r: br}
+	switch string(magic) {
+	case traceMagic, traceMagicV2:
+	case traceMagicV3:
+		return readCDT3(cr)
+	default:
+		return nil, decodeErr("magic", -1, fmt.Errorf("bad magic %q", magic))
+	}
+	hasSites := string(magic) == traceMagicV2
+
+	t := New(cr.str())
+	if cr.err != nil {
+		return nil, decodeErr("name", -1, cr.err)
+	}
+
+	var err error
+	t.Allocs, t.LockSets, t.UnlockSets, err = readSideTables(cr)
+	if err != nil {
+		return nil, err
 	}
 
 	nEvents := cr.uvarint()
@@ -233,16 +281,9 @@ func Read(r io.Reader) (*Trace, error) {
 		// The decode loop above appended events without noting sites, so
 		// the column is reconstructed wholesale and audited against the
 		// event count afterwards.
-		nSites := cr.uvarint()
-		for i := uint64(0); i < nSites; i++ {
-			s := Site{Nest: cr.str(), Line: int(cr.varint31()), Array: cr.str(), Expr: cr.str()}
-			if cr.err != nil {
-				return nil, decodeErr("site table", int64(i), cr.err)
-			}
-			t.Sites = append(t.Sites, s)
-		}
-		if cr.err != nil {
-			return nil, decodeErr("site table", -1, cr.err)
+		t.Sites, err = readSiteTable(cr)
+		if err != nil {
+			return nil, err
 		}
 		nRuns := cr.uvarint()
 		for i := uint64(0); i < nRuns; i++ {
@@ -319,9 +360,12 @@ func (c *countWriter) str(s string) {
 	_ = c.bytes([]byte(s))
 }
 
-// countReader accumulates read errors.
+// countReader accumulates read errors and counts consumed bytes, so the
+// chunked CDT3 reader can record where the header ends and the chunk
+// stream begins.
 type countReader struct {
 	r   *bufio.Reader
+	n   int64
 	err error
 }
 
@@ -331,25 +375,45 @@ func (c *countReader) byte() byte {
 	}
 	b, err := c.r.ReadByte()
 	c.err = err
+	if err == nil {
+		c.n++
+	}
 	return b
 }
 
+// uvarint decodes a varint byte by byte (rather than via
+// binary.ReadUvarint) so the consumed-byte count stays exact.
 func (c *countReader) uvarint() uint64 {
-	if c.err != nil {
-		return 0
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		b := c.byte()
+		if c.err != nil {
+			return 0
+		}
+		if i == binary.MaxVarintLen64 {
+			c.err = fmt.Errorf("varint overflows 64 bits")
+			return 0
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				c.err = fmt.Errorf("varint overflows 64 bits")
+				return 0
+			}
+			return x | uint64(b)<<s
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
 	}
-	v, err := binary.ReadUvarint(c.r)
-	c.err = err
-	return v
 }
 
 func (c *countReader) varint() int64 {
-	if c.err != nil {
-		return 0
+	ux := c.uvarint()
+	x := int64(ux >> 1)
+	if ux&1 != 0 {
+		x = ^x
 	}
-	v, err := binary.ReadVarint(c.r)
-	c.err = err
-	return v
+	return x
 }
 
 // varint31 reads a varint and rejects values outside the int32 range,
@@ -395,5 +459,6 @@ func (c *countReader) str() string {
 		c.err = err
 		return ""
 	}
+	c.n += int64(len(b))
 	return string(b)
 }

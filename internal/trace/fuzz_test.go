@@ -3,6 +3,8 @@ package trace
 import (
 	"bytes"
 	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -24,6 +26,11 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte("CDT1\x02AB\x00\x00\x00\x03\x00\x04\x00\x06"))
 	// A name length claiming 2^30 bytes.
 	f.Add([]byte{'C', 'D', 'T', '1', 0x80, 0x80, 0x80, 0x80, 0x04})
+	// Columnar seeds: valid CDT3 streams (siteless, sited, tiny chunks)
+	// plus a bare header, so mutations explore the chunk framing.
+	for _, seed := range cdt3Seeds(f) {
+		f.Add(seed)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := Read(bytes.NewReader(data))
@@ -45,6 +52,97 @@ func FuzzDecode(f *testing.F) {
 		if tr2.Refs != tr.Refs || tr2.Distinct != tr.Distinct || len(tr2.Events) != len(tr.Events) {
 			t.Fatalf("round-trip mismatch: refs %d/%d distinct %d/%d events %d/%d",
 				tr.Refs, tr2.Refs, tr.Distinct, tr2.Distinct, len(tr.Events), len(tr2.Events))
+		}
+	})
+}
+
+// cdt3Seeds builds the CDT3 corpus shared by FuzzDecode and
+// FuzzDecodeCDT3.
+func cdt3Seeds(f *testing.F) [][]byte {
+	encode := func(tr *Trace, chunk int) []byte {
+		var buf bytes.Buffer
+		if _, err := WriteCDT3(&buf, tr, chunk); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	full := encode(sampleTrace(), 0)
+	return [][]byte{
+		full,
+		encode(sampleTrace(), 3),
+		encode(sitedSampleTrace(), 7),
+		encode(New("EMPTY"), 0),
+		full[:len(full)-1],         // missing terminator
+		full[:len(full)*3/4],       // truncated mid-chunk
+		[]byte("CDT3"),             // magic only
+		[]byte("CDT3\x00\x02"),     // bad flags
+		[]byte("CDT3\x00\x00\xff"), // totals cut short
+	}
+}
+
+// FuzzDecodeCDT3 cross-checks the two CDT3 decoders on arbitrary bytes:
+// the full materializing decoder (Read) and the O(chunk) streaming
+// cursor (OpenCDT3). Neither may panic, every failure must be a
+// structured *DecodeError, and whenever the full decoder accepts a
+// stream the cursor must replay exactly the declared totals. (The
+// streaming path skips the full decoder's whole-trace audits — distinct
+// count, site-run coverage — so it may accept streams Read rejects, but
+// never vice versa.)
+func FuzzDecodeCDT3(f *testing.F) {
+	for _, seed := range cdt3Seeds(f) {
+		f.Add(seed)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, rerr := Read(bytes.NewReader(data))
+		if rerr != nil {
+			var de *DecodeError
+			if !errors.As(rerr, &de) {
+				t.Fatalf("Read failure is not a *DecodeError: %v", rerr)
+			}
+		}
+
+		path := filepath.Join(t.TempDir(), "fuzz.cdt3")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		src, oerr := OpenCDT3(path)
+		if oerr != nil {
+			var de *DecodeError
+			if !errors.As(oerr, &de) {
+				t.Fatalf("OpenCDT3 failure is not a *DecodeError: %v", oerr)
+			}
+			if rerr == nil && len(data) >= 4 && string(data[:4]) == traceMagicV3 {
+				t.Fatalf("Read accepted what OpenCDT3 rejected: %v", oerr)
+			}
+			return
+		}
+		cur := src.Blocks(CursorOpts{WithSites: true})
+		defer cur.Close()
+		events, refs := 0, 0
+		var b Block
+		for cur.Next(&b) {
+			events += b.Events()
+			refs += len(b.Pages)
+		}
+		if serr := cur.Err(); serr != nil {
+			var de *DecodeError
+			if !errors.As(serr, &de) {
+				t.Fatalf("cursor failure is not a *DecodeError: %v", serr)
+			}
+			if rerr == nil {
+				t.Fatalf("Read accepted what the cursor rejected: %v", serr)
+			}
+			return
+		}
+		meta := src.Meta()
+		if events != meta.Events || refs != meta.Refs {
+			t.Fatalf("stream replayed %d events / %d refs, header declares %d / %d",
+				events, refs, meta.Events, meta.Refs)
+		}
+		if rerr == nil && (len(tr.Events) != events || tr.Refs != refs) {
+			t.Fatalf("stream %d events / %d refs, full decode %d / %d",
+				events, refs, len(tr.Events), tr.Refs)
 		}
 	})
 }

@@ -1,0 +1,109 @@
+package trace
+
+import "fmt"
+
+// Repeat returns a Source that replays src's page references n times,
+// dropping directive events and the site column. The repetition opens a
+// fresh cursor over src for every pass, so encoding a repeated source to
+// CDT3 — or replaying it — stays O(chunk) in memory no matter how large
+// the product stream is. That is its purpose: synthesizing multi-GB
+// reference streams from a small base trace for streaming and
+// memory-ceiling tests, where directives would make the concatenation
+// semantics ambiguous (locks would pile up pass over pass) but a pure
+// reference string concatenates cleanly.
+func Repeat(src Source, n int) Source {
+	if n < 1 {
+		n = 1
+	}
+	return &repeatSource{src: src, n: n}
+}
+
+type repeatSource struct {
+	src Source
+	n   int
+}
+
+// Meta implements Source. The repeated stream is directive-free, so
+// Events equals Refs; the page universe is src's reference universe.
+func (r *repeatSource) Meta() Meta {
+	m := r.src.Meta()
+	return Meta{
+		Name:     fmt.Sprintf("%sx%d", m.Name, r.n),
+		Events:   m.Refs * r.n,
+		Refs:     m.Refs * r.n,
+		Distinct: m.Distinct,
+		MaxPage:  m.MaxPage,
+		HasSites: false,
+	}
+}
+
+// Tables implements Source: a directive-free stream has empty tables.
+func (r *repeatSource) Tables() *SideTables { return &SideTables{} }
+
+// Blocks implements Source.
+func (r *repeatSource) Blocks(opts CursorOpts) Cursor {
+	return &repeatCursor{
+		src:  r.src,
+		opts: CursorOpts{MaxBlock: opts.MaxBlock},
+		n:    r.n,
+	}
+}
+
+// repeatCursor chains n single-pass cursors over the base source,
+// stripping directive events and sites from every block.
+type repeatCursor struct {
+	src  Source
+	opts CursorOpts
+	n    int
+
+	pass   int
+	cur    Cursor
+	err    error
+	closed bool
+}
+
+// Next implements Cursor.
+func (c *repeatCursor) Next(b *Block) bool {
+	for {
+		if c.err != nil || c.closed || c.pass >= c.n {
+			return false
+		}
+		if c.cur == nil {
+			c.cur = c.src.Blocks(c.opts)
+		}
+		if c.cur.Next(b) {
+			b.Sites = nil
+			b.HasDir = false
+			b.DirSite = NoSite
+			if len(b.Pages) == 0 {
+				continue // was a directive-only block; nothing left
+			}
+			return true
+		}
+		err := c.cur.Err()
+		_ = c.cur.Close()
+		c.cur = nil
+		if err != nil {
+			c.err = err
+			return false
+		}
+		c.pass++
+	}
+}
+
+// Err implements Cursor.
+func (c *repeatCursor) Err() error { return c.err }
+
+// Close implements Cursor.
+func (c *repeatCursor) Close() error {
+	c.closed = true
+	if c.cur != nil {
+		err := c.cur.Close()
+		c.cur = nil
+		return err
+	}
+	return nil
+}
+
+var _ Source = (*repeatSource)(nil)
+var _ Cursor = (*repeatCursor)(nil)

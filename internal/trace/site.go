@@ -147,6 +147,8 @@ func (t *Trace) WithoutSites() *Trace {
 		Refs:       t.Refs,
 		Distinct:   t.Distinct,
 		curSite:    NoSite,
+		maxSeen:    t.maxPageSeen(),
+		maxKnown:   true,
 	}
 }
 

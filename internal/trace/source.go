@@ -1,0 +1,248 @@
+// Streaming trace plane: Source/Cursor abstract *where a reference
+// stream comes from* (an in-memory Trace, a fully decoded columnar
+// trace, a chunked CDT3 file) from *how it is replayed*. A Cursor hands
+// the simulator Blocks — runs of consecutive page references terminated
+// by at most one directive event — so the hot loop steps whole batches
+// through a policy.BlockStepper instead of dispatching per event, and a
+// multi-GB on-disk trace replays in O(chunk) memory without ever
+// materializing []Event.
+package trace
+
+import (
+	"cdmm/internal/mem"
+)
+
+// Meta describes a reference stream without materializing it. Sources
+// know their totals up front (the in-memory trace counts as it is built;
+// the CDT3 header carries them), so policies can pre-size dense state and
+// progress callbacks can report completion fractions.
+type Meta struct {
+	// Name identifies the traced program.
+	Name string
+	// Events is the total event count (references + directives).
+	Events int
+	// Refs is R, the number of page references.
+	Refs int
+	// Distinct is V, the number of distinct pages referenced.
+	Distinct int
+	// MaxPage is the largest referenced page, -1 when there are none.
+	MaxPage mem.Page
+	// HasSites reports whether the stream carries a source-site column.
+	HasSites bool
+}
+
+// SideTables holds the directive side tables a stream's directive events
+// index via Event.Arg, plus the site table of the provenance column.
+// All slices are read-only views owned by the source.
+type SideTables struct {
+	Allocs     []AllocDirective
+	LockSets   []LockSet
+	UnlockSets [][]mem.Page
+	Sites      []Site
+}
+
+// Alloc resolves an EvAlloc event.
+func (st *SideTables) Alloc(e Event) AllocDirective { return st.Allocs[e.Arg] }
+
+// Lock resolves an EvLock event.
+func (st *SideTables) Lock(e Event) LockSet { return st.LockSets[e.Arg] }
+
+// Unlock resolves an EvUnlock event.
+func (st *SideTables) Unlock(e Event) []mem.Page { return st.UnlockSets[e.Arg] }
+
+// Block is one batch of a reference stream: zero or more consecutive
+// page references followed by at most one directive event. Directives
+// are rare in real traces, so blocks are long page runs and the
+// per-block bookkeeping amortizes to nothing. The slices are owned by
+// the cursor and valid only until the next Next call.
+type Block struct {
+	// Pages are the consecutive page references of the batch.
+	Pages []mem.Page
+	// Sites are the per-reference site ids, parallel to Pages. Nil
+	// unless the cursor was opened with CursorOpts.WithSites on a
+	// site-carrying stream.
+	Sites []int32
+	// HasDir reports that Dir holds a directive event closing the block.
+	HasDir bool
+	// Dir is the directive event (EvAlloc/EvLock/EvUnlock) after the
+	// references; resolve it against the source's SideTables.
+	Dir Event
+	// DirSite is the site id of Dir when sites were requested.
+	DirSite int32
+}
+
+// Events returns the number of trace events the block covers.
+func (b *Block) Events() int {
+	n := len(b.Pages)
+	if b.HasDir {
+		n++
+	}
+	return n
+}
+
+// CursorOpts configure a cursor.
+type CursorOpts struct {
+	// WithSites asks for per-reference site ids in Block.Sites (and
+	// Block.DirSite). Ignored by streams without a site column.
+	WithSites bool
+	// MaxBlock caps the references per block; 0 means the source's
+	// natural batching (a whole inter-directive run for in-memory
+	// traces, a decode chunk for streamed ones). Progress-reporting
+	// replays cap blocks so callbacks fire at a steady cadence.
+	MaxBlock int
+}
+
+// Cursor walks a reference stream block by block. Cursors are
+// single-use and not safe for concurrent use; obtain a fresh cursor per
+// replay via Source.Blocks.
+type Cursor interface {
+	// Next fills b with the next block and reports whether one was
+	// produced. Block slices are invalidated by the following Next.
+	Next(b *Block) bool
+	// Err returns the error that terminated iteration early, if any
+	// (chunked sources surface decode errors here; in-memory cursors
+	// never fail).
+	Err() error
+	// Close releases resources held by the cursor (open files for
+	// streamed sources). Close is idempotent; Next must not be called
+	// after Close.
+	Close() error
+}
+
+// Source produces cursors over a reference stream. The in-memory
+// *Trace, the fully decoded columnar trace and the chunked CDT3 file
+// reader all implement it, so every simulator entry point replays any
+// of them through one code path.
+type Source interface {
+	// Meta returns the stream's totals.
+	Meta() Meta
+	// Tables returns the directive side tables. The result is shared
+	// and read-only.
+	Tables() *SideTables
+	// Blocks opens a cursor at the start of the stream.
+	Blocks(opts CursorOpts) Cursor
+}
+
+// --- *Trace as a Source ---------------------------------------------
+
+// Meta implements Source. It is O(1): the counters are maintained as
+// events are appended, so asking for hints never forces the memoized
+// views to materialize.
+func (t *Trace) Meta() Meta {
+	return Meta{
+		Name:     t.Name,
+		Events:   len(t.Events),
+		Refs:     t.Refs,
+		Distinct: t.Distinct,
+		MaxPage:  t.maxPageSeen(),
+		HasSites: t.sitesOn,
+	}
+}
+
+// Tables implements Source.
+func (t *Trace) Tables() *SideTables {
+	return &SideTables{
+		Allocs:     t.Allocs,
+		LockSets:   t.LockSets,
+		UnlockSets: t.UnlockSets,
+		Sites:      t.Sites,
+	}
+}
+
+// Blocks implements Source. The cursor serves zero-copy sub-slices of
+// the trace's columnar view — the memoized page column with directive
+// events side-banded at their reference positions — so block-stepped
+// replays touch no per-event structure at all.
+func (t *Trace) Blocks(opts CursorOpts) Cursor {
+	c := t.blockCursor(opts)
+	return &c
+}
+
+// blockCursor returns the concrete cursor by value so the hot in-memory
+// replay path can keep it on the stack.
+func (t *Trace) blockCursor(opts CursorOpts) memCursor {
+	t.mu.Lock()
+	d := t.view()
+	t.mu.Unlock()
+	c := memCursor{
+		pages: d.pages,
+		dirs:  d.dirs,
+		max:   opts.MaxBlock,
+	}
+	if opts.WithSites && t.sitesOn {
+		c.sites = true
+		c.siteCur = t.SiteCursor()
+	}
+	return c
+}
+
+// memCursor iterates the columnar view of an in-memory trace.
+type memCursor struct {
+	pages []mem.Page // full reference string
+	dirs  []dirPos   // directive events at their ref positions
+	max   int        // block cap; 0 = unbounded
+
+	ri int // references consumed
+	di int // directives consumed
+
+	sites   bool
+	siteCur SiteCursor
+	siteBuf []int32
+}
+
+// Next implements Cursor.
+func (c *memCursor) Next(b *Block) bool {
+	b.Pages = nil
+	b.Sites = nil
+	b.HasDir = false
+	b.DirSite = NoSite
+	if c.ri >= len(c.pages) && c.di >= len(c.dirs) {
+		return false
+	}
+	// The block runs to the next directive (or stream end), capped at max.
+	hi := len(c.pages)
+	dirNext := false
+	if c.di < len(c.dirs) {
+		hi = int(c.dirs[c.di].refsBefore)
+		dirNext = true
+	}
+	if c.max > 0 && hi-c.ri > c.max {
+		hi = c.ri + c.max
+		dirNext = false
+	}
+	b.Pages = c.pages[c.ri:hi]
+	if c.sites {
+		b.Sites = c.fillSites(b.Pages)
+	}
+	c.ri = hi
+	if dirNext {
+		b.HasDir = true
+		b.Dir = c.dirs[c.di].ev
+		if c.sites {
+			b.DirSite = c.siteCur.Next()
+		}
+		c.di++
+	}
+	return true
+}
+
+// fillSites advances the site cursor over the block's references.
+func (c *memCursor) fillSites(pages []mem.Page) []int32 {
+	if cap(c.siteBuf) < len(pages) {
+		c.siteBuf = make([]int32, len(pages))
+	}
+	buf := c.siteBuf[:len(pages)]
+	for i := range buf {
+		buf[i] = c.siteCur.Next()
+	}
+	return buf
+}
+
+// Err implements Cursor; in-memory iteration cannot fail.
+func (c *memCursor) Err() error { return nil }
+
+// Close implements Cursor.
+func (c *memCursor) Close() error { return nil }
+
+var _ Source = (*Trace)(nil)
+var _ Cursor = (*memCursor)(nil)

@@ -73,6 +73,14 @@ type Trace struct {
 	allocIndex map[*directive.Allocate]int32
 	seen       map[mem.Page]bool
 
+	// maxSeen tracks the largest referenced page incrementally (valid
+	// while maxKnown), so MaxPage and the streaming Meta view are O(1)
+	// and never force the memoized views to materialize. Traces built
+	// by literal construction (internal views, chaos clones) leave
+	// maxKnown false and fall back to a one-time scan.
+	maxSeen  mem.Page
+	maxKnown bool
+
 	// Site column state (site.go): the RLE runs parallel to Events, the
 	// site stamped on the next appended event, and whether the column
 	// exists at all.
@@ -88,13 +96,26 @@ type Trace struct {
 	views *derived
 }
 
-// derived holds the memoized views of one event-stream snapshot.
+// derived holds the memoized views of one event-stream snapshot. pages
+// and dirs together are the columnar form of the event stream: the
+// reference string as one contiguous page column, with the (rare)
+// directive events side-banded at their reference positions — exactly
+// the shape the block cursor serves zero-copy and the CDT3 wire format
+// stores.
 type derived struct {
 	events   int        // len(t.Events) when built
 	pages    []mem.Page // the reference string, in order
+	dirs     []dirPos   // directive events at their reference positions
 	maxPage  mem.Page   // largest referenced page; -1 when there are none
 	uni      *Universe  // dense-id view, built on first Universe call
 	refsOnly *Trace     // directive-free view, built on first RefsOnly call
+}
+
+// dirPos is one side-banded directive event: ev executes after the
+// first refsBefore entries of the page column.
+type dirPos struct {
+	refsBefore int64
+	ev         Event
 }
 
 // Universe is the dense page-id view of a trace's reference string: every
@@ -119,6 +140,8 @@ func New(name string) *Trace {
 		allocIndex: map[*directive.Allocate]int32{},
 		seen:       map[mem.Page]bool{},
 		curSite:    NoSite,
+		maxSeen:    -1,
+		maxKnown:   true,
 	}
 }
 
@@ -127,10 +150,34 @@ func (t *Trace) AddRef(p mem.Page) {
 	t.Events = append(t.Events, Event{Kind: EvRef, Arg: int32(p)})
 	t.noteSite()
 	t.Refs++
+	if t.maxKnown && p > t.maxSeen {
+		t.maxSeen = p
+	}
 	if !t.seen[p] {
 		t.seen[p] = true
 		t.Distinct++
 	}
+}
+
+// maxPageSeen returns the largest referenced page, computing and caching
+// it with a one-time scan on traces assembled by literal construction.
+func (t *Trace) maxPageSeen() mem.Page {
+	if t.maxKnown {
+		return t.maxSeen
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.maxKnown {
+		maxPg := mem.Page(-1)
+		for _, e := range t.Events {
+			if e.Kind == EvRef && mem.Page(e.Arg) > maxPg {
+				maxPg = mem.Page(e.Arg)
+			}
+		}
+		t.maxSeen = maxPg
+		t.maxKnown = true
+	}
+	return t.maxSeen
 }
 
 // AddAlloc appends an ALLOCATE execution. The arm list of a given
@@ -194,6 +241,8 @@ func (t *Trace) view() *derived {
 				if pg > d.maxPage {
 					d.maxPage = pg
 				}
+			} else {
+				d.dirs = append(d.dirs, dirPos{refsBefore: int64(len(d.pages)), ev: e})
 			}
 		}
 		t.views = d
@@ -211,11 +260,24 @@ func (t *Trace) Pages() []mem.Page {
 }
 
 // MaxPage returns the largest page number the trace references, or -1 for
-// an empty reference string.
+// an empty reference string. It is O(1) on traces built through the
+// Add* methods and never materializes the memoized views.
 func (t *Trace) MaxPage() mem.Page {
+	return t.maxPageSeen()
+}
+
+// ViewsMaterialized reports which memoized derived views have been built
+// (for tests and diagnostics): the columnar page/directive columns, the
+// dense-id Universe, and the directive-free RefsOnly twin. A replay
+// through the cursor API builds only the columnar view; a streamed CDT3
+// replay builds none of them.
+func (t *Trace) ViewsMaterialized() (columnar, universe, refsOnly bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.view().maxPage
+	if t.views == nil {
+		return false, false, false
+	}
+	return true, t.views.uni != nil, t.views.refsOnly != nil
 }
 
 // Universe returns the memoized dense page-id view of the reference
@@ -270,6 +332,8 @@ func (t *Trace) RefsOnly() *Trace {
 			Refs:     len(d.pages),
 			Distinct: t.Distinct,
 			curSite:  NoSite,
+			maxSeen:  d.maxPage,
+			maxKnown: true,
 		}
 		// The site column, when present, is projected onto the
 		// reference-only events (sharing the site table) so attributed

@@ -49,10 +49,21 @@ func setEvictHook(pol policy.Policy, fn func(mem.Page)) func() {
 // emission stays with RunObserved. A trace without a site side-band
 // still works — everything lands in the ledger's unattributed bucket.
 func RunAttributed(tr *trace.Trace, pol policy.Policy, o *obs.Observer) (Result, *attr.Ledger) {
+	res, led, _ := RunAttributedSource(tr, pol, o) // in-memory cursors cannot fail
+	return res, led
+}
+
+// RunAttributedSource is RunAttributed over any Source, streaming the
+// reference and site columns in lockstep, so a chunked CDT3 file can be
+// attributed without materializing the trace. The error is the cursor's,
+// as in RunSource.
+func RunAttributedSource(src trace.Source, pol policy.Policy, o *obs.Observer) (Result, *attr.Ledger, error) {
 	pol.Reset()
-	hintPages(tr, pol)
-	led := attr.NewLedger(tr.Name, pol.Name(), tr.Sites)
-	res := Result{Policy: pol.Name(), Refs: tr.Refs}
+	meta := src.Meta()
+	hintPages(meta, pol)
+	tb := src.Tables()
+	led := attr.NewLedger(meta.Name, pol.Name(), tb.Sites)
+	res := Result{Policy: pol.Name(), Refs: meta.Refs}
 	charger, _ := pol.(policy.Charger) // hoisted from policy.Charge
 	if o == nil {
 		o = DefaultObserver
@@ -61,7 +72,7 @@ func RunAttributed(tr *trace.Trace, pol policy.Policy, o *obs.Observer) (Result,
 
 	// Per-page provenance, dense by page number. Pages outside the
 	// reference universe (possible in directive page sets) are skipped.
-	npages := int(tr.MaxPage()) + 1
+	npages := int(meta.MaxPage) + 1
 	evictKind := make([]uint8, npages)
 	evictSite := make([]int32, npages) // valid while evictKind != evictNone
 	lockSite := make([]int32, npages)  // site of the active LOCK covering the page
@@ -128,38 +139,41 @@ func RunAttributed(tr *trace.Trace, pol policy.Policy, o *obs.Observer) (Result,
 		faults, maxRes        int
 		vt, spaceTime, memSum int64
 	)
-	cur := tr.SiteCursor()
+	cur := src.Blocks(trace.CursorOpts{WithSites: true})
+	defer cur.Close()
 	refIdx := 0
-	for _, e := range tr.Events {
-		src := cur.Next()
-		curSite = src
-		switch e.Kind {
-		case trace.EvRef:
+	var b trace.Block
+	for cur.Next(&b) {
+		for i, pg := range b.Pages {
+			site := trace.NoSite
+			if b.Sites != nil {
+				site = b.Sites[i]
+			}
+			curSite = site
 			evPendKind = evictReplace
-			pg := mem.Page(e.Arg)
 			fault := pol.Ref(pg)
 			refIdx++
 			if prog != nil && refIdx%progressChunk == 0 {
-				prog(refIdx, tr.Refs, vt)
+				prog(refIdx, meta.Refs, vt)
 			}
 			dt := int64(1)
-			st := led.Slot(src)
+			st := led.Slot(site)
 			if fault {
 				faults++
 				dt += policy.FaultService
 				st.Faults++
-				led.FaultLog = append(led.FaultLog, attr.FaultPoint{VT: vt + dt, Site: src, Page: e.Arg})
-				if int(e.Arg) < npages {
-					switch evictKind[e.Arg] {
+				led.FaultLog = append(led.FaultLog, attr.FaultPoint{VT: vt + dt, Site: site, Page: int32(pg)})
+				if int(pg) < npages {
+					switch evictKind[pg] {
 					case evictShrink:
-						led.Slot(evictSite[e.Arg]).ShrinkFaults++
+						led.Slot(evictSite[pg]).ShrinkFaults++
 					case evictRelease:
-						led.Slot(evictSite[e.Arg]).ReleaseFaults++
+						led.Slot(evictSite[pg]).ReleaseFaults++
 					}
-					evictKind[e.Arg] = evictNone
+					evictKind[pg] = evictNone
 				}
-			} else if int(e.Arg) < npages && lockSite[e.Arg] != trace.NoSite {
-				led.Slot(lockSite[e.Arg]).LockedHits++
+			} else if int(pg) < npages && lockSite[pg] != trace.NoSite {
+				led.Slot(lockSite[pg]).LockedHits++
 			}
 			m := pol.Resident()
 			if m > maxRes {
@@ -174,16 +188,23 @@ func RunAttributed(tr *trace.Trace, pol policy.Policy, o *obs.Observer) (Result,
 			st.Refs++
 			st.VTime += dt
 			st.MemSum += float64(m)
+		}
+		if !b.HasDir {
+			continue
+		}
+		site := b.DirSite
+		curSite = site
+		switch e := b.Dir; e.Kind {
 		case trace.EvAlloc:
 			// Evictions during the directive are shrink evictions: the
 			// allocation ceiling dropped and pushed pages out early.
 			evPendKind = evictShrink
-			led.Slot(src).Allocs++
-			pol.Alloc(tr.Alloc(e))
+			led.Slot(site).Allocs++
+			pol.Alloc(tb.Alloc(e))
 			evPendKind = evictReplace
 		case trace.EvLock:
-			ls := tr.Lock(e)
-			led.Slot(src).Locks++
+			ls := tb.Lock(e)
+			led.Slot(site).Locks++
 			// A re-executed lock site replaces its previous cover.
 			for _, pg := range lockCover[ls.Site] {
 				if int(pg) < npages {
@@ -193,13 +214,13 @@ func RunAttributed(tr *trace.Trace, pol policy.Policy, o *obs.Observer) (Result,
 			lockCover[ls.Site] = append(lockCover[ls.Site][:0], ls.Pages...)
 			for _, pg := range ls.Pages {
 				if int(pg) < npages {
-					lockSite[pg] = src
+					lockSite[pg] = site
 				}
 			}
 			pol.Lock(ls)
 		case trace.EvUnlock:
-			pages := tr.Unlock(e)
-			led.Slot(src).Unlocks++
+			pages := tb.Unlock(e)
+			led.Slot(site).Unlocks++
 			for _, pg := range pages {
 				if int(pg) < npages {
 					lockSite[pg] = trace.NoSite
@@ -209,7 +230,7 @@ func RunAttributed(tr *trace.Trace, pol policy.Policy, o *obs.Observer) (Result,
 		}
 	}
 	if prog != nil {
-		prog(tr.Refs, tr.Refs, vt)
+		prog(refIdx, meta.Refs, vt)
 	}
 
 	res.Faults = faults
@@ -227,5 +248,5 @@ func RunAttributed(tr *trace.Trace, pol policy.Policy, o *obs.Observer) (Result,
 	led.Faults = res.Faults
 	led.MemSum = res.MemSum
 	led.VirtualTime = res.VirtualTime
-	return res, led
+	return res, led, cur.Err()
 }

@@ -12,19 +12,31 @@ package vmsim
 import (
 	"fmt"
 
-	"cdmm/internal/mem"
 	"cdmm/internal/obs"
 	"cdmm/internal/policy"
 	"cdmm/internal/trace"
 )
 
-// Job is one program in a multiprogramming mix.
+// Job is one program in a multiprogramming mix. Trace names the job's
+// reference stream; Source, when non-nil, overrides it so a job can
+// replay a streamed (e.g. on-disk CDT3) trace instead of an in-memory
+// one.
 type Job struct {
 	Name   string
 	Trace  *trace.Trace
+	Source trace.Source
 	Policy policy.Policy
 
-	pos       int   // next event index
+	// Stream position: the job consumes its cursor block by block,
+	// pausing inside a block on faults and quantum expiry. Swap-outs
+	// reset the policy, never the stream position.
+	cur     trace.Cursor
+	tables  *trace.SideTables
+	blk     trace.Block
+	bi      int  // next index into blk.Pages
+	dirPend bool // blk's closing directive not yet applied
+	eof     bool
+
 	readyAt   int64 // global tick when the job can run again
 	swappedIn bool
 	done      bool
@@ -104,7 +116,16 @@ func RunMulti(jobs []*Job, cfg MultiConfig) *MultiResult {
 	}
 	for _, j := range jobs {
 		j.Policy.Reset()
-		j.pos = 0
+		src := j.Source
+		if src == nil {
+			src = j.Trace
+		}
+		j.cur = src.Blocks(trace.CursorOpts{})
+		j.tables = src.Tables()
+		j.blk = trace.Block{}
+		j.bi = 0
+		j.dirPend = false
+		j.eof = false
 		j.readyAt = 0
 		j.swappedIn = true
 		j.done = false
@@ -112,6 +133,11 @@ func RunMulti(jobs []*Job, cfg MultiConfig) *MultiResult {
 			cd.Avail = func() int { return cfg.Frames - totalResident(jobs) }
 		}
 	}
+	defer func() {
+		for _, j := range jobs {
+			j.cur.Close()
+		}
+	}()
 
 	res := &MultiResult{Jobs: jobs}
 	var clock int64
@@ -165,17 +191,30 @@ func runQuantum(j *Job, jobs []*Job, cfg MultiConfig, clock int64, res *MultiRes
 		j.swappedIn = true
 	}
 	executed := 0
-	for executed < cfg.Quantum && j.pos < len(j.Trace.Events) {
-		e := j.Trace.Events[j.pos]
-		j.pos++
-		switch e.Kind {
-		case trace.EvRef:
+	for {
+		// Refill: advance the cursor when the current block is consumed.
+		// Refilling before the quantum check means a quantum that expires
+		// exactly at stream end still observes the end immediately.
+		for j.bi >= len(j.blk.Pages) && !j.dirPend && !j.eof {
+			if !j.cur.Next(&j.blk) {
+				j.eof = true
+				break
+			}
+			j.bi = 0
+			j.dirPend = j.blk.HasDir
+		}
+		if j.eof || executed >= cfg.Quantum {
+			break
+		}
+		if j.bi < len(j.blk.Pages) {
+			pg := j.blk.Pages[j.bi]
+			j.bi++
 			// Admission control: if the pool is overcommitted, swap out
 			// the largest other job before serving this reference.
 			if totalResident(jobs) >= cfg.Frames {
 				swapOutVictim(jobs, j, clock, cfg, res)
 			}
-			fault := j.Policy.Ref(mem.Page(e.Arg))
+			fault := j.Policy.Ref(pg)
 			executed++
 			j.Refs++
 			j.MemSum += float64(j.Policy.Resident())
@@ -185,12 +224,17 @@ func runQuantum(j *Job, jobs []*Job, cfg MultiConfig, clock int64, res *MultiRes
 				j.readyAt = clock + policy.FaultService
 				if cfg.Obs != nil {
 					cfg.Obs.Emit(obs.Event{Kind: obs.KindFault, T: clock, Job: j.Name,
-						Page: int(e.Arg), Res: j.Policy.Resident()})
+						Page: int(pg), Res: j.Policy.Resident()})
 				}
 				return clock // yield: fault service overlaps
 			}
+			continue
+		}
+		// The block's closing directive. Directives cost no quantum.
+		j.dirPend = false
+		switch e := j.blk.Dir; e.Kind {
 		case trace.EvAlloc:
-			j.Policy.Alloc(j.Trace.Alloc(e))
+			j.Policy.Alloc(j.tables.Alloc(e))
 			if cd := policy.AsCD(j.Policy); cd != nil && cd.SwapSignals > j.seenSignals {
 				j.seenSignals = cd.SwapSignals
 				// The job's own PI = 1 request was ungrantable: swap out
@@ -199,12 +243,12 @@ func runQuantum(j *Job, jobs []*Job, cfg MultiConfig, clock int64, res *MultiRes
 				return clock
 			}
 		case trace.EvLock:
-			j.Policy.Lock(j.Trace.Lock(e))
+			j.Policy.Lock(j.tables.Lock(e))
 		case trace.EvUnlock:
-			j.Policy.Unlock(j.Trace.Unlock(e))
+			j.Policy.Unlock(j.tables.Unlock(e))
 		}
 	}
-	if j.pos >= len(j.Trace.Events) {
+	if j.eof && !j.done {
 		j.done = true
 		j.Finished = clock
 		j.Policy.Reset() // release frames

@@ -29,22 +29,22 @@ var DefaultObserver *obs.Observer
 // periodic progress delivery — the disabled-path pattern the live
 // telemetry server relies on when no client is connected.
 func RunObserved(tr *trace.Trace, pol policy.Policy, o *obs.Observer) Result {
-	if o == nil {
-		o = DefaultObserver
-	}
-	if !o.Enabled() {
-		return runFastProgress(tr, pol, obs.ProgressOf(o))
-	}
-	return runInstrumented(tr, pol, o)
+	res, _ := RunSource(tr, pol, o) // in-memory cursors cannot fail
+	return res
 }
 
 // runInstrumented is the observed simulation loop. It accumulates the
-// exact same Result as runFast (same fault decisions, same space-time
-// charging) while streaming events and metrics.
-func runInstrumented(tr *trace.Trace, pol policy.Policy, o *obs.Observer) Result {
+// exact same Result as the block-stepped fast path (same fault decisions,
+// same space-time charging) while streaming events and metrics. Every
+// reference takes the per-event Policy.Ref path here — instrumentation
+// needs per-reference visibility — which doubles as the differential
+// oracle the block-stepping tests compare against.
+func runInstrumented(src trace.Source, pol policy.Policy, o *obs.Observer) (Result, error) {
 	pol.Reset()
-	hintPages(tr, pol)
-	res := Result{Policy: pol.Name(), Refs: tr.Refs}
+	meta := src.Meta()
+	hintPages(meta, pol)
+	tb := src.Tables()
+	res := Result{Policy: pol.Name(), Refs: meta.Refs}
 	charger, _ := pol.(policy.Charger) // hoisted from policy.Charge
 
 	var (
@@ -104,23 +104,26 @@ func runInstrumented(tr *trace.Trace, pol policy.Policy, o *obs.Observer) Result
 		defer func() { cd.Hooks = saved }()
 	}
 
-	o.Emit(obs.Event{Kind: obs.KindRun, Label: res.Policy, Refs: tr.Refs})
+	o.Emit(obs.Event{Kind: obs.KindRun, Label: res.Policy, Refs: meta.Refs})
 
 	// The instrumented loop is already paying per-reference work, so
-	// progress rides on a cheap counter check instead of a chunked
-	// outer loop; done/total are in references here.
+	// progress rides on a cheap counter check instead of a capped block
+	// size; done/total are in references here.
 	prog := obs.ProgressOf(o)
+
+	cur := src.Blocks(trace.CursorOpts{})
+	defer cur.Close()
 
 	var lastFaultVT int64
 	prevCharge := -1
 	refIdx := 0
-	for _, e := range tr.Events {
-		switch e.Kind {
-		case trace.EvRef:
-			fault := pol.Ref(mem.Page(e.Arg))
+	var b trace.Block
+	for cur.Next(&b) {
+		for _, pg := range b.Pages {
+			fault := pol.Ref(pg)
 			refIdx++
 			if prog != nil && refIdx%progressChunk == 0 {
-				prog(refIdx, tr.Refs, res.VirtualTime)
+				prog(refIdx, meta.Refs, res.VirtualTime)
 			}
 			dt := int64(1)
 			if fault {
@@ -148,19 +151,24 @@ func runInstrumented(tr *trace.Trace, pol policy.Policy, o *obs.Observer) Result
 					cFaults.Inc()
 					hInter.Observe(float64(res.VirtualTime - lastFaultVT))
 				}
-				o.Emit(obs.Event{Kind: obs.KindFault, T: res.VirtualTime, I: refIdx, Page: int(e.Arg), Res: m})
+				o.Emit(obs.Event{Kind: obs.KindFault, T: res.VirtualTime, I: refIdx, Page: int(pg), Res: m})
 				lastFaultVT = res.VirtualTime
 			}
 			if m != prevCharge {
 				o.Emit(obs.Event{Kind: obs.KindRes, T: res.VirtualTime, I: refIdx, Res: m})
 				prevCharge = m
 			}
+		}
+		if !b.HasDir {
+			continue
+		}
+		switch e := b.Dir; e.Kind {
 		case trace.EvAlloc:
-			d := tr.Alloc(e)
+			d := tb.Alloc(e)
 			o.Emit(obs.Event{Kind: obs.KindAlloc, T: res.VirtualTime, Label: d.Label})
 			pol.Alloc(d)
 		case trace.EvLock:
-			ls := tr.Lock(e)
+			ls := tb.Lock(e)
 			o.Emit(obs.Event{Kind: obs.KindLock, T: res.VirtualTime, PJ: ls.PJ, Site: ls.Site, Pages: len(ls.Pages)})
 			for _, pg := range ls.Pages {
 				if _, ok := lockAt[pg]; !ok {
@@ -169,7 +177,7 @@ func runInstrumented(tr *trace.Trace, pol policy.Policy, o *obs.Observer) Result
 			}
 			pol.Lock(ls)
 		case trace.EvUnlock:
-			pages := tr.Unlock(e)
+			pages := tb.Unlock(e)
 			o.Emit(obs.Event{Kind: obs.KindUnlock, T: res.VirtualTime, Pages: len(pages)})
 			for _, pg := range pages {
 				closeHold(pg)
@@ -189,10 +197,10 @@ func runInstrumented(tr *trace.Trace, pol policy.Policy, o *obs.Observer) Result
 		reg.Gauge("mem_avg").Set(res.MEM())
 	}
 	if prog != nil {
-		prog(tr.Refs, tr.Refs, res.VirtualTime)
+		prog(refIdx, meta.Refs, res.VirtualTime)
 	}
 	o.Emit(obs.Event{Kind: obs.KindEnd, T: res.VirtualTime, Refs: res.Refs, Faults: res.Faults, Mem: res.MEM()})
-	return res
+	return res, cur.Err()
 }
 
 // SweepLRUObserved is SweepLRU emitting one summary event and metric

@@ -1,0 +1,79 @@
+package vmsim
+
+import (
+	"bytes"
+	"testing"
+
+	"cdmm/internal/policy"
+	"cdmm/internal/trace"
+	"cdmm/internal/workloads"
+)
+
+// Satellite guarantee of the streaming plane: the trace's memoized
+// derived views recompute only on demand. A cursor replay of an
+// in-memory trace builds the columnar view and nothing else; Meta and
+// MaxPage (the O(1) hint surface) build none; and a streamed CDT3 replay
+// never holds a *Trace at all, so it cannot touch any of them.
+func TestRunMaterializesOnlyColumnarView(t *testing.T) {
+	w, err := workloads.Get("CONDUCT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := workloads.Compile(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compilation itself consults the views (directive planning walks the
+	// reference string), so round-trip through the codec for a trace whose
+	// views are untouched.
+	var buf bytes.Buffer
+	if _, err := c.Trace.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if col, uni, ro := tr.ViewsMaterialized(); col || uni || ro {
+		t.Fatalf("freshly decoded trace already has views (columnar=%v universe=%v refsOnly=%v)", col, uni, ro)
+	}
+	_ = tr.Meta()
+	_ = tr.MaxPage()
+	if col, uni, ro := tr.ViewsMaterialized(); col || uni || ro {
+		t.Fatalf("Meta/MaxPage materialized views (columnar=%v universe=%v refsOnly=%v)", col, uni, ro)
+	}
+
+	Run(tr, policy.NewCD(c.Program.DefaultSet().Selector(), 2))
+	col, uni, ro := tr.ViewsMaterialized()
+	if !col {
+		t.Fatal("cursor replay did not build the columnar view")
+	}
+	if uni || ro {
+		t.Fatalf("cursor replay materialized extra views (universe=%v refsOnly=%v)", uni, ro)
+	}
+
+	// The CDT3 encoder also streams through the cursor: still no extra
+	// views.
+	cdt3 := writeCDT3Temp(t, tr)
+	if _, uni, ro := tr.ViewsMaterialized(); uni || ro {
+		t.Fatalf("CDT3 encode materialized extra views (universe=%v refsOnly=%v)", uni, ro)
+	}
+
+	// A streamed replay of the file involves no *Trace anywhere.
+	src, err := trace.OpenCDT3(cdt3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSource(src, policy.NewLRU(c.V()/2+1), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// The heavier views still come up on demand.
+	if u := tr.Universe(); u == nil || u.NumPages == 0 {
+		t.Fatal("Universe() returned nothing")
+	}
+	if _, uni, _ := tr.ViewsMaterialized(); !uni {
+		t.Fatal("Universe() did not memoize")
+	}
+}

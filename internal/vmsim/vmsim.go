@@ -14,7 +14,6 @@ package vmsim
 import (
 	"fmt"
 
-	"cdmm/internal/mem"
 	"cdmm/internal/obs"
 	"cdmm/internal/policy"
 	"cdmm/internal/trace"
@@ -94,13 +93,30 @@ func Run(tr *trace.Trace, pol policy.Policy) Result {
 	return RunObserved(tr, pol, nil)
 }
 
+// RunSource replays any reference-stream Source — an in-memory trace or
+// a chunked CDT3 file — under the policy, streaming block by block in
+// O(chunk) memory. Observation works as in RunObserved (nil o falls back
+// to DefaultObserver). The error is the cursor's: an on-disk source can
+// fail mid-stream (truncation, corruption, IO), in which case the Result
+// is valid up to the failure point. In-memory sources never fail.
+func RunSource(src trace.Source, pol policy.Policy, o *obs.Observer) (Result, error) {
+	if o == nil {
+		o = DefaultObserver
+	}
+	if !o.Enabled() {
+		return runBlocks(src, pol, obs.ProgressOf(o))
+	}
+	return runInstrumented(src, pol, o)
+}
+
 // hintPages pre-sizes a policy's dense page-indexed state from the
-// trace's page universe, seeing through Unwrap wrappers, so the first
-// replay assigns page slots without growth reallocations.
-func hintPages(tr *trace.Trace, pol policy.Policy) {
+// stream's page universe, seeing through Unwrap wrappers, so the first
+// replay assigns page slots without growth reallocations. Meta is O(1)
+// for every source, so the hint never materializes trace views.
+func hintPages(meta trace.Meta, pol policy.Policy) {
 	for p := pol; p != nil; {
 		if h, ok := p.(policy.PageHinter); ok {
-			h.HintPages(tr.MaxPage(), tr.Distinct)
+			h.HintPages(meta.MaxPage, meta.Distinct)
 			return
 		}
 		u, ok := p.(interface{ Unwrap() policy.Policy })
@@ -114,7 +130,8 @@ func hintPages(tr *trace.Trace, pol policy.Policy) {
 // runFast is the un-instrumented simulation loop — the hot path when
 // observability is off.
 func runFast(tr *trace.Trace, pol policy.Policy) Result {
-	return runFastProgress(tr, pol, nil)
+	res, _ := runBlocks(tr, pol, nil) // in-memory cursors cannot fail
+	return res
 }
 
 // progressChunk is how many trace events the fast path executes between
@@ -124,104 +141,118 @@ func runFast(tr *trace.Trace, pol policy.Policy) Result {
 // updates per second on big traces.
 const progressChunk = 1 << 15
 
-// runFastProgress is runFast with an optional periodic progress callback.
-// The inner loops are identical to the bare hot path — progress is
-// delivered from a chunked *outer* loop, so a nil prog costs nothing and
-// a non-nil prog costs one callback per progressChunk events rather than
-// any per-reference work. The indexes accumulate in int64: every charge
-// and time step is an integer, so the sums are exact (the float64 Result
-// fields would start rounding past 2^53). prog receives the event index
-// reached (out of len(tr.Events)) and the virtual time.
-func runFastProgress(tr *trace.Trace, pol policy.Policy, prog obs.ProgressFunc) Result {
+// applyDir feeds a block-closing directive event to the policy.
+func applyDir(pol policy.Policy, tb *trace.SideTables, e trace.Event) {
+	switch e.Kind {
+	case trace.EvAlloc:
+		pol.Alloc(tb.Alloc(e))
+	case trace.EvLock:
+		pol.Lock(tb.Lock(e))
+	case trace.EvUnlock:
+		pol.Unlock(tb.Unlock(e))
+	}
+}
+
+// runBlocks is the un-instrumented simulation loop, streaming the source
+// block by block with an optional periodic progress callback. Policies
+// implementing policy.BlockStepper replay each directive-free run of
+// references in one call — loop-invariant work (interface dispatch,
+// fixed-partition charges, degraded checks) hoists out of the per-
+// reference path; other policies fall back to per-reference stepping
+// inside the same block loop, and the old per-reference accounting
+// remains available as the differential oracle (see RunChecked and the
+// blockstep tests).
+//
+// The indexes accumulate in int64: every charge and time step is an
+// integer, so the sums are exact (the float64 Result fields would start
+// rounding past 2^53). prog receives the event index reached (out of
+// Meta().Events) and the virtual time; a nil prog leaves blocks at the
+// source's natural size, a non-nil one caps them at progressChunk so
+// callbacks fire at a steady cadence.
+func runBlocks(src trace.Source, pol policy.Policy, prog obs.ProgressFunc) (Result, error) {
 	pol.Reset()
-	hintPages(tr, pol)
-	res := Result{Policy: pol.Name(), Refs: tr.Refs}
+	meta := src.Meta()
+	hintPages(meta, pol)
+	tb := src.Tables()
+	res := Result{Policy: pol.Name(), Refs: meta.Refs}
 	charger, _ := pol.(policy.Charger) // hoisted from policy.Charge
-	var (
-		faults, maxRes        int
-		vt, spaceTime, memSum int64
-	)
+	bst, isBlock := pol.(policy.BlockStepper)
 	st, isStepper := pol.(policy.Stepper)
-	events := tr.Events
-	for lo := 0; ; {
-		hi := len(events)
-		if prog != nil && hi-lo > progressChunk {
-			hi = lo + progressChunk
-		}
-		if isStepper {
+
+	opts := trace.CursorOpts{}
+	if prog != nil {
+		opts.MaxBlock = progressChunk
+	}
+	cur := src.Blocks(opts)
+	defer cur.Close()
+
+	var out policy.BlockResult
+	done := 0 // events consumed, for progress reporting
+	var b trace.Block
+	for cur.Next(&b) {
+		switch {
+		case isBlock:
+			bst.StepBlock(b.Pages, &out)
+		case isStepper:
 			// One dynamic dispatch per reference instead of three.
-			for _, e := range events[lo:hi] {
-				switch e.Kind {
-				case trace.EvRef:
-					fault, r, m := st.Step(mem.Page(e.Arg))
-					dt := int64(1)
-					if fault {
-						faults++
-						dt += policy.FaultService
-					}
-					if r > maxRes {
-						maxRes = r
-					}
-					vt += dt
-					spaceTime += int64(m) * dt
-					memSum += int64(m)
-				case trace.EvAlloc:
-					pol.Alloc(tr.Alloc(e))
-				case trace.EvLock:
-					pol.Lock(tr.Lock(e))
-				case trace.EvUnlock:
-					pol.Unlock(tr.Unlock(e))
+			for _, pg := range b.Pages {
+				fault, r, m := st.Step(pg)
+				dt := int64(1)
+				if fault {
+					out.Faults++
+					dt += policy.FaultService
 				}
+				if r > out.MaxResident {
+					out.MaxResident = r
+				}
+				out.VTime += dt
+				out.SpaceTime += int64(m) * dt
+				out.MemSum += int64(m)
 			}
-		} else {
-			for _, e := range events[lo:hi] {
-				switch e.Kind {
-				case trace.EvRef:
-					fault := pol.Ref(mem.Page(e.Arg))
-					dt := int64(1)
-					if fault {
-						faults++
-						dt += policy.FaultService
-					}
-					m := pol.Resident()
-					if m > maxRes {
-						maxRes = m
-					}
-					if charger != nil {
-						m = charger.Charged()
-					}
-					vt += dt
-					spaceTime += int64(m) * dt
-					memSum += int64(m)
-				case trace.EvAlloc:
-					pol.Alloc(tr.Alloc(e))
-				case trace.EvLock:
-					pol.Lock(tr.Lock(e))
-				case trace.EvUnlock:
-					pol.Unlock(tr.Unlock(e))
+		default:
+			for _, pg := range b.Pages {
+				fault := pol.Ref(pg)
+				dt := int64(1)
+				if fault {
+					out.Faults++
+					dt += policy.FaultService
 				}
+				m := pol.Resident()
+				if m > out.MaxResident {
+					out.MaxResident = m
+				}
+				if charger != nil {
+					m = charger.Charged()
+				}
+				out.VTime += dt
+				out.SpaceTime += int64(m) * dt
+				out.MemSum += int64(m)
 			}
 		}
-		lo = hi
+		if b.HasDir {
+			applyDir(pol, tb, b.Dir)
+		}
 		if prog != nil {
-			prog(lo, len(events), vt)
-		}
-		if lo >= len(events) {
-			break
+			done += b.Events()
+			prog(done, meta.Events, out.VTime)
 		}
 	}
-	res.Faults = faults
-	res.MaxResident = maxRes
-	res.VirtualTime = vt
-	res.SpaceTime = float64(spaceTime)
-	res.MemSum = float64(memSum)
+	if prog != nil && done < meta.Events {
+		// The stream ended early (cursor error): report where it stopped.
+		prog(done, meta.Events, out.VTime)
+	}
+	res.Faults = out.Faults
+	res.MaxResident = out.MaxResident
+	res.VirtualTime = out.VTime
+	res.SpaceTime = float64(out.SpaceTime)
+	res.MemSum = float64(out.MemSum)
 	if cd := policy.AsCD(pol); cd != nil {
 		res.SwapSignals = cd.SwapSignals
 		res.LockReleases = cd.LockReleases
 		res.Degraded = cd.Degraded()
 		res.DegradedReason = cd.DegradedReason()
 	}
-	return res
+	return res, cur.Err()
 }
 
 // SweepLRU runs LRU at every allocation in [1, maxFrames] and returns the

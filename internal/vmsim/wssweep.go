@@ -130,7 +130,8 @@ func (s *WSSweep) RunObserved(tau int, o *obs.Observer) Result {
 	if !o.Enabled() {
 		return runFast(s.tr.RefsOnly(), policy.NewWS(tau))
 	}
-	return runInstrumented(s.tr, policy.NewWS(tau), o)
+	res, _ := runInstrumented(s.tr, policy.NewWS(tau), o) // in-memory cursors cannot fail
+	return res
 }
 
 // TauForMEM returns the window size whose average working-set size is
