@@ -1,0 +1,106 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cdmm/internal/kernel"
+)
+
+// cmdKernel runs the sharded multiprogrammed CD kernel: thousands of
+// synthesized tenants over one overcommitted frame pool, with admission
+// control, pressure-driven reclamation and aging — the paper's §4
+// operating-system component at population scale.
+func cmdKernel(args []string) error {
+	fs := flag.NewFlagSet("kernel", flag.ExitOnError)
+	tenants := fs.Int("tenants", 1000, "tenant population size")
+	frames := fs.Int("frames", 0, "global frame pool (0 = derive from -overcommit)")
+	overcommit := fs.Float64("overcommit", 4, "declared-estimate-to-frames ratio when -frames is 0")
+	shards := fs.Int("shards", 0, "shard count (0 = ~1 per 256 tenants; fixes the result, not -j)")
+	seed := fs.Uint64("seed", 1, "base seed for tenant synthesis and chaos")
+	pool := fs.String("pool", "cd", "per-tenant policy: cd, lru, ws")
+	level := fs.Int("level", 2, "CD directive-set stratum")
+	quantum := fs.Int("quantum", 512, "scheduler quantum in references")
+	chaosSel := fs.String("chaos", "", "comma-separated faults: kill, oscillate, corrupt (or 'all')")
+	intensity := fs.Float64("intensity", 0.4, "chaos intensity in [0,1]")
+	checked := fs.Bool("checked", true, "verify kernel-wide invariants during and after the run")
+	quick := fs.Bool("quick", false, "smoke mode: quarter-length tenant workloads")
+	memCeil := fs.Int("memceil", 0, "fail if peak RSS exceeds this many MiB (Linux VmHWM; 0 = no check)")
+	j := registerJFlag(fs)
+	of := registerObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := kernel.Config{
+		Tenants:    *tenants,
+		Frames:     *frames,
+		Overcommit: *overcommit,
+		Shards:     *shards,
+		Seed:       *seed,
+		Pool:       *pool,
+		Level:      *level,
+		Quantum:    *quantum,
+		Checked:    *checked,
+	}
+	if *quick {
+		cfg.Scale = 0.25
+	}
+	if *chaosSel != "" {
+		cfg.Chaos.Intensity = *intensity
+		for _, name := range strings.Split(*chaosSel, ",") {
+			switch strings.TrimSpace(name) {
+			case "kill":
+				cfg.Chaos.Kill = true
+			case "oscillate":
+				cfg.Chaos.Oscillate = true
+			case "corrupt":
+				cfg.Chaos.Corrupt = true
+			case "all":
+				cfg.Chaos.Kill, cfg.Chaos.Oscillate, cfg.Chaos.Corrupt = true, true, true
+			default:
+				return fmt.Errorf("kernel: unknown chaos fault %q (want kill, oscillate, corrupt or all)", name)
+			}
+		}
+	}
+
+	return of.withObs(func() error {
+		eng := newEngine(*j) // after activate: a -serve tracker attaches here
+		start := time.Now()
+		res, err := kernel.Run(cfg, eng)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		fmt.Println(res)
+		if s := elapsed.Seconds(); s > 0 {
+			fmt.Fprintf(os.Stderr, "kernel: %d refs in %.2fs (%.1fM refs/s aggregate)\n",
+				res.Refs, s, float64(res.Refs)/s/1e6)
+		}
+		if store := of.explainStore(); store != nil {
+			store.Put("kernel/"+res.Pool, res.Ledger(256))
+		}
+		if *memCeil > 0 {
+			kb, err := peakRSSKiB()
+			if err != nil {
+				return fmt.Errorf("-memceil: %w", err)
+			}
+			fmt.Printf("peak RSS: %.1f MiB (ceiling %d MiB)\n", float64(kb)/1024, *memCeil)
+			if kb > int64(*memCeil)<<10 {
+				return fmt.Errorf("peak RSS %.1f MiB exceeds the %d MiB ceiling: tenant materialization is not bounded by the multiprogramming level",
+					float64(kb)/1024, *memCeil)
+			}
+		}
+		if n := len(res.Violations); n > 0 {
+			return fmt.Errorf("kernel: %d invariant violations (first: %s)", n, res.Violations[0])
+		}
+		if res.Starved > 0 {
+			return fmt.Errorf("kernel: %d starved resumes (max suspend wait %d exceeds bound %d)",
+				res.Starved, res.MaxSuspendWait, res.StarveBound)
+		}
+		return nil
+	})
+}

@@ -149,6 +149,8 @@ func runCommand(cmd string, args []string) error {
 		err = cmdProfile(args)
 	case "chaos":
 		err = cmdChaos(args)
+	case "kernel":
+		err = cmdKernel(args)
 	case "bench":
 		err = cmdBench(args)
 	case "serve":
@@ -209,6 +211,15 @@ commands:
       -progs A,B/set               programs (optionally program/set)
       -faults a,b -intensity x,y   restrict the matrix
       -list                        list the registered fault injectors
+  kernel   [flags]          sharded multi-tenant CD kernel: admission
+                            control, pressure reclaim, aging, thrash
+                            shedding over one overcommitted frame pool
+      -tenants N -seed S           population (default 1000)
+      -frames F | -overcommit X    pool size, explicit or derived (default 4x)
+      -pool cd|lru|ws -level N     per-tenant policy (default cd, level 2)
+      -chaos kill,oscillate,corrupt|all -intensity x   fault injection
+      -checked=false               skip invariant verification
+      -shards N                    fix the shard split (determines results)
   bench    [flags]          measure the simulation hot path (ns/ref,
                             allocs/ref, fault anchors) as JSON baselines
       -quick                       short windows (CI smoke mode)

@@ -85,6 +85,15 @@ var faults = []Fault{
 	{Name: "mem-pressure", Class: ClassMachine,
 		Desc:     "mid-run capacity spikes shrink available memory by up to intensity",
 		Pressure: memPressure},
+	// New faults append here: the matrix derives per-cell seeds from the
+	// fault name, but rows render in registry order, so appending keeps
+	// every existing cell byte-identical.
+	{Name: "tenant-kill", Class: ClassTrace,
+		Desc:    "the program is killed mid-run 1-3 times and restarted from the beginning, replaying all directives",
+		Perturb: tenantKill},
+	{Name: "pressure-oscillate", Class: ClassMachine,
+		Desc:     "capacity square-waves between full and a few frames for the whole run (periodic co-tenant)",
+		Pressure: pressureOscillate},
 }
 
 // Faults returns the registry in its fixed matrix order. The returned

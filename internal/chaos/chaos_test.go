@@ -189,3 +189,72 @@ func TestMemPressureSchedulesBite(t *testing.T) {
 		}
 	}
 }
+
+// TestRegistryOrderStable pins the registry: the original eleven faults
+// in their matrix order, with later additions strictly appended, so
+// every historical cell seed keeps its meaning.
+func TestRegistryOrderStable(t *testing.T) {
+	want := []string{
+		"drop-directives", "dup-directives", "reorder-directives",
+		"corrupt-priorities", "lock-no-unlock", "unknown-segment",
+		"stale-directives", "bitflip-pages", "truncate", "wild-pages",
+		"mem-pressure",
+		"tenant-kill", "pressure-oscillate",
+	}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("registry order changed:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestTenantKill: the perturbed trace must end with one complete replay
+// (the successful attempt), preceded by prefix-shaped partial attempts.
+func TestTenantKill(t *testing.T) {
+	base := testTrace()
+	out := tenantKill(base, NewRand(11), 1.0)
+	n := len(base.Events)
+	if len(out.Events) < n {
+		t.Fatalf("perturbed trace shorter than the original: %d < %d", len(out.Events), n)
+	}
+	if !reflect.DeepEqual(out.Events[len(out.Events)-n:], base.Events) {
+		t.Error("perturbed trace does not end with a complete replay")
+	}
+	// The partial attempts are prefixes, so the whole output replays only
+	// pages (and directives) the original trace contains.
+	if out.Refs < base.Refs {
+		t.Errorf("refs = %d, want >= %d", out.Refs, base.Refs)
+	}
+	if out.Distinct != base.Distinct {
+		t.Errorf("distinct = %d, want %d (prefixes introduce no new pages)", out.Distinct, base.Distinct)
+	}
+}
+
+// TestPressureOscillate: the schedule must be a biting square wave —
+// alternating full/floor half-periods spanning the run.
+func TestPressureOscillate(t *testing.T) {
+	for _, intensity := range []float64{0.2, 0.6, 1.0} {
+		s := pressureOscillate(80, 12000, NewRand(5), intensity)
+		if len(s.Spikes) < 2 {
+			t.Fatalf("intensity %g: only %d low half-periods", intensity, len(s.Spikes))
+		}
+		floor := s.Spikes[0].Cap
+		if floor < 1 || floor > 11 {
+			t.Errorf("intensity %g: floor %d outside [1,11]", intensity, floor)
+		}
+		var prev Spike
+		for i, sp := range s.Spikes {
+			if sp.Cap != floor {
+				t.Errorf("intensity %g: spike %d cap %d != floor %d (square wave must be uniform)", intensity, i, sp.Cap, floor)
+			}
+			if sp.To-sp.From != s.Spikes[0].To-s.Spikes[0].From {
+				t.Errorf("intensity %g: uneven half-period at spike %d", intensity, i)
+			}
+			if i > 0 && sp.From-prev.To != sp.To-sp.From {
+				t.Errorf("intensity %g: high half-period between spikes %d and %d is not one period", intensity, i-1, i)
+			}
+			prev = sp
+		}
+		if last := s.Spikes[len(s.Spikes)-1]; last.From >= 12000 {
+			t.Errorf("intensity %g: last spike starts past the run", intensity)
+		}
+	}
+}

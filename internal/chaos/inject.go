@@ -229,3 +229,25 @@ func wildPages(tr *trace.Trace, rng *Rand, intensity float64) *trace.Trace {
 	}
 	return rebuild(out)
 }
+
+// tenantKill models a program killed mid-run and restarted from the
+// beginning: the trace becomes 1-3 partial attempts (random prefixes,
+// more and longer with higher intensity) followed by the complete run.
+// Every directive in a killed attempt replays on restart, so allocation
+// and locking must be idempotent across re-execution — the same contract
+// the kernel's chaos kill exercises at the scheduler level.
+func tenantKill(tr *trace.Trace, rng *Rand, intensity float64) *trace.Trace {
+	out := clone(tr, "kill")
+	if len(out.Events) == 0 || intensity <= 0 {
+		return out
+	}
+	attempts := 1 + int(intensity*2)
+	events := make([]trace.Event, 0, (attempts+1)*len(out.Events))
+	for i := 0; i < attempts; i++ {
+		cut := rng.Intn(len(out.Events))
+		events = append(events, out.Events[:cut]...)
+	}
+	events = append(events, out.Events...)
+	out.Events = events
+	return rebuild(out)
+}

@@ -118,3 +118,31 @@ func (p *Pressured) Reset() {
 
 var _ policy.Policy = (*Pressured)(nil)
 var _ policy.Charger = (*Pressured)(nil)
+
+// pressureOscillate builds a square wave over capacity: alternating
+// full-capacity and floor-capacity half-periods for the whole run,
+// modeling a periodic co-tenant (a cron job, a compaction cycle) rather
+// than mem-pressure's isolated spikes. The floor is 1-3 frames at full
+// intensity, up to ~11 at low intensity; the period is drawn so the run
+// sees 3-8 full cycles.
+func pressureOscillate(v, refs int, rng *Rand, intensity float64) *Schedule {
+	if v < 1 {
+		v = 1
+	}
+	s := &Schedule{Total: v}
+	if refs <= 0 || intensity <= 0 {
+		return s
+	}
+	period := refs / (6 + rng.Intn(10))
+	if period < 1 {
+		period = 1
+	}
+	floor := 1 + rng.Intn(3+int((1-intensity)*8))
+	if floor > v {
+		floor = v
+	}
+	for from := period; from < refs; from += 2 * period {
+		s.Spikes = append(s.Spikes, Spike{From: from, To: from + period, Cap: floor})
+	}
+	return s
+}

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"cdmm/internal/chaos"
 	"cdmm/internal/engine"
 	"cdmm/internal/obs"
 )
@@ -31,8 +32,8 @@ func TestChaosMatrixCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 11 {
-		t.Fatalf("rows = %d, want 11 (one per registered fault)", len(rows))
+	if want := len(chaos.Faults()); len(rows) != want {
+		t.Fatalf("rows = %d, want %d (one per registered fault)", len(rows), want)
 	}
 	for _, r := range rows {
 		if r.Err != "" {

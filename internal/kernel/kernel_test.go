@@ -1,0 +1,253 @@
+package kernel
+
+import (
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"cdmm/internal/directive"
+	"cdmm/internal/engine"
+)
+
+// testConfig is the base chaos-free checked configuration the tests
+// perturb.
+func testConfig(tenants int) Config {
+	return Config{
+		Tenants: tenants,
+		Seed:    1,
+		Scale:   0.25,
+		Checked: true,
+	}
+}
+
+func mustRun(t *testing.T, cfg Config, eng *engine.Engine) *Result {
+	t.Helper()
+	res, err := Run(cfg, eng)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestSynthSpecDeterministicAndValid(t *testing.T) {
+	for id := 0; id < 50; id++ {
+		a := NewSynthSpec(7, id, 1)
+		b := NewSynthSpec(7, id, 1)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("spec %d not deterministic: %+v vs %+v", id, a, b)
+		}
+		if a.Est <= 0 || a.V < a.Est {
+			t.Fatalf("spec %d: Est=%d V=%d", id, a.Est, a.V)
+		}
+		for _, ph := range a.Phases {
+			arms := []directive.Arm{{PI: 2, X: ph.W + ph.Lock}, {PI: 1, X: ph.W}}
+			if err := directive.ValidateArms(arms, a.V); err != nil {
+				t.Fatalf("spec %d: invalid arms %v: %v", id, arms, err)
+			}
+		}
+		tr := a.Materialize()
+		if tr.Refs != a.Refs {
+			t.Fatalf("spec %d: materialized %d refs, spec says %d", id, tr.Refs, a.Refs)
+		}
+	}
+}
+
+// TestDeterministicAcrossWorkers is the acceptance criterion's core:
+// the full Result — per-tenant accounting, violation lists, the rendered
+// summary — must be byte-identical whether the shards run on one worker
+// or eight.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	cfg := testConfig(64)
+	cfg.Shards = 4
+	cfg.Chaos = Chaos{Kill: true, Oscillate: true, Corrupt: true, Intensity: 0.8}
+	a := mustRun(t, cfg, engine.New(1))
+	b := mustRun(t, cfg, engine.New(8))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("results differ across -j:\n%v\nvs\n%v", a, b)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("summaries differ across -j")
+	}
+}
+
+func TestSeedStability(t *testing.T) {
+	cfg := testConfig(48)
+	a := mustRun(t, cfg, engine.New(2))
+	b := mustRun(t, cfg, engine.New(2))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different results")
+	}
+	cfg.Seed = 2
+	c := mustRun(t, cfg, engine.New(2))
+	if a.Faults == c.Faults && a.Refs == c.Refs && a.MemSum == c.MemSum {
+		t.Fatalf("different seeds produced identical accounting (refs=%d pf=%d)", a.Refs, a.Faults)
+	}
+}
+
+// TestCleanOvercommit: at the default overcommit of 4 with no chaos,
+// every tenant completes, nothing is shed or starved, and checked mode
+// records zero violations.
+func TestCleanOvercommit(t *testing.T) {
+	cfg := testConfig(128)
+	res := mustRun(t, cfg, engine.New(4))
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.Done != int64(cfg.Tenants) || res.Shed != 0 {
+		t.Fatalf("done=%d shed=%d want done=%d shed=0", res.Done, res.Shed, cfg.Tenants)
+	}
+	if res.Starved != 0 {
+		t.Fatalf("starved=%d (max suspend wait %d, bound %d)", res.Starved, res.MaxSuspendWait, res.StarveBound)
+	}
+	if res.Refs == 0 || res.Faults == 0 {
+		t.Fatalf("degenerate run: refs=%d pf=%d", res.Refs, res.Faults)
+	}
+	for _, tr := range res.PerTenant {
+		if tr.State != "done" {
+			t.Fatalf("tenant %s final state %s", tr.Name, tr.State)
+		}
+	}
+}
+
+// TestBoundedWait pins the aging scheduler's starvation guarantee under
+// heavier overcommit: no suspension wait may exceed the starve bound.
+func TestBoundedWait(t *testing.T) {
+	cfg := testConfig(96)
+	cfg.Overcommit = 8
+	res := mustRun(t, cfg, engine.New(4))
+	if res.MaxSuspendWait > res.StarveBound {
+		t.Fatalf("max suspend wait %d exceeds bound %d", res.MaxSuspendWait, res.StarveBound)
+	}
+	if res.Starved != 0 {
+		t.Fatalf("starved=%d", res.Starved)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+}
+
+// TestChaosMatrix runs every chaos combination through checked mode: the
+// kernel must absorb kills, capacity oscillation and corrupt directive
+// streams by restarting, degrading or shedding — never by violating an
+// invariant or leaving a tenant unfinished.
+func TestChaosMatrix(t *testing.T) {
+	combos := []Chaos{
+		{Kill: true},
+		{Oscillate: true},
+		{Corrupt: true},
+		{Kill: true, Oscillate: true},
+		{Kill: true, Corrupt: true},
+		{Oscillate: true, Corrupt: true},
+		{Kill: true, Oscillate: true, Corrupt: true},
+	}
+	for _, c := range combos {
+		c.Intensity = 1
+		cfg := testConfig(96)
+		cfg.Chaos = c
+		res := mustRun(t, cfg, engine.New(4))
+		if len(res.Violations) != 0 {
+			t.Fatalf("chaos %+v: violations: %v", c, res.Violations)
+		}
+		if res.Done+res.Shed != int64(cfg.Tenants) {
+			t.Fatalf("chaos %+v: done=%d shed=%d want sum %d", c, res.Done, res.Shed, cfg.Tenants)
+		}
+		if res.Starved != 0 {
+			t.Fatalf("chaos %+v: starved=%d", c, res.Starved)
+		}
+		if c.Kill && res.Kills == 0 {
+			t.Fatalf("chaos %+v: kill enabled at intensity 1 but no kills over %d tenants", c, cfg.Tenants)
+		}
+		if c.Corrupt && res.Degraded == 0 {
+			t.Fatalf("chaos %+v: corrupt enabled at intensity 1 but no degradations", c)
+		}
+	}
+}
+
+// TestComparisonPools: the LRU and WS pools (the overload study's
+// baselines) complete cleanly under the same kernel.
+func TestComparisonPools(t *testing.T) {
+	for _, pool := range []string{"lru", "ws"} {
+		cfg := testConfig(64)
+		cfg.Pool = pool
+		res := mustRun(t, cfg, engine.New(4))
+		if len(res.Violations) != 0 {
+			t.Fatalf("pool %s: violations: %v", pool, res.Violations)
+		}
+		if res.Done != int64(cfg.Tenants) {
+			t.Fatalf("pool %s: done=%d want %d", pool, res.Done, cfg.Tenants)
+		}
+	}
+}
+
+// TestOversizeShed: an explicit frame pool smaller than some tenants'
+// declared estimates sheds exactly those tenants and completes the rest.
+func TestOversizeShed(t *testing.T) {
+	cfg := testConfig(64)
+	cfg.Frames = 64
+	cfg.Shards = 4 // 16 frames per shard: estimates above that are shed
+	res := mustRun(t, cfg, engine.New(2))
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.Done+res.Shed != int64(cfg.Tenants) {
+		t.Fatalf("done=%d shed=%d want sum %d", res.Done, res.Shed, cfg.Tenants)
+	}
+	if res.Shed == 0 {
+		t.Fatalf("expected oversize tenants at 16 frames/shard, none shed")
+	}
+	for _, tr := range res.PerTenant {
+		if tr.State == "shed" && tr.Est <= 16 {
+			t.Fatalf("tenant %s (est %d) shed despite fitting", tr.Name, tr.Est)
+		}
+	}
+}
+
+func TestLedgerConservation(t *testing.T) {
+	cfg := testConfig(64)
+	res := mustRun(t, cfg, engine.New(2))
+	l := res.Ledger(16)
+	if err := l.Conservation(); err != nil {
+		t.Fatalf("ledger conservation: %v", err)
+	}
+	if len(l.Sites) == 0 || len(l.Sites) > 16 {
+		t.Fatalf("ledger sites: %d", len(l.Sites))
+	}
+}
+
+// TestKernelSoak is the CI soak: 10k tenants, full chaos, checked mode,
+// goroutine-leak checked. Gated behind CDMM_KERNEL_SOAK=1 so the tier-1
+// suite stays fast.
+func TestKernelSoak(t *testing.T) {
+	if os.Getenv("CDMM_KERNEL_SOAK") != "1" {
+		t.Skip("set CDMM_KERNEL_SOAK=1 to run the kernel soak")
+	}
+	before := runtime.NumGoroutine()
+	cfg := Config{
+		Tenants: 10000,
+		Seed:    1,
+		Checked: true,
+		Chaos:   Chaos{Kill: true, Oscillate: true, Corrupt: true, Intensity: 0.8},
+	}
+	res := mustRun(t, cfg, engine.New(runtime.GOMAXPROCS(0)))
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.Done+res.Shed != int64(cfg.Tenants) {
+		t.Fatalf("done=%d shed=%d want sum %d", res.Done, res.Shed, cfg.Tenants)
+	}
+	if res.Starved != 0 {
+		t.Fatalf("starved=%d (max wait %d, bound %d)", res.Starved, res.MaxSuspendWait, res.StarveBound)
+	}
+	// Engine workers park between maps; give them a beat, then require
+	// the goroutine count back near the baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutine leak: %d before, %d after", before, after)
+	}
+}

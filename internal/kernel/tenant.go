@@ -1,0 +1,326 @@
+// Package kernel is the sharded multiprogrammed CD kernel: one global
+// page-frame pool shared by thousands of simulated tenants, managed the
+// way the paper's §4 operating-system component would manage it at
+// scale. Where vmsim.RunMulti interleaves a handful of jobs under one
+// sequential clock, the kernel partitions the pool into shards — each an
+// independent deterministic discrete-event simulation — and runs the
+// shards on the engine's worker pool, so results are byte-identical at
+// any -j while aggregate throughput scales with cores.
+//
+// Robustness is the design center, in four layers:
+//
+//   - Admission control: tenants declare a footprint estimate (their
+//     largest outer-arm ALLOCATE request); a hysteresis gate admits new
+//     tenants only while the sum of admitted estimates is below the
+//     shard's frames, and queues them FIFO otherwise, so overload turns
+//     into queueing delay instead of thrash.
+//   - Pressure-driven reclamation: when residency exceeds capacity the
+//     shard runs a reclaim wave — PJ-ordered soft-lock release and LRU
+//     eviction via CD.Reclaim first, then whole-tenant suspension under
+//     a deterministic largest-resident victim policy. Tenants whose
+//     directive streams misbehave degrade to a WS fallback
+//     (policy.CheckConfig) instead of poisoning the pool.
+//   - Fairness: suspended tenants sit in a FIFO and are force-resumed
+//     after AgingTicks even under pressure (one-quantum grace on
+//     resume), giving a provable bound on suspension wait; an aggregate
+//     fault-rate watermark detects thrash and sheds load instead of
+//     collapsing.
+//   - Checked runs: kernel-wide invariants (frame conservation, lock
+//     bookkeeping audits, every admitted tenant terminates) are verified
+//     during and after the run and reported as Violations, never panics.
+package kernel
+
+import (
+	"fmt"
+	"strconv"
+
+	"cdmm/internal/chaos"
+	"cdmm/internal/directive"
+	"cdmm/internal/mem"
+	"cdmm/internal/policy"
+	"cdmm/internal/trace"
+)
+
+// State is a tenant's position in the kernel's lifecycle state machine:
+//
+//	Queued ──admit──▶ Running ──eof──▶ Done
+//	   │                │  ▲
+//	   │            suspend │ resume (aging-bounded)
+//	   │                ▼  │
+//	   │             Suspended
+//	   └──shed──▶ Shed            (never-admitted tenants only)
+type State int32
+
+const (
+	StateQueued State = iota
+	StateRunning
+	StateSuspended
+	StateDone
+	StateShed
+)
+
+// String renders the state for summaries and violations.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateSuspended:
+		return "suspended"
+	case StateDone:
+		return "done"
+	case StateShed:
+		return "shed"
+	}
+	return "unknown"
+}
+
+// phase is one locality phase of a synthesized tenant: a working-set
+// window swept cyclically, preceded by an ALLOCATE sized to the window
+// and optionally covered by a soft LOCK over its first pages.
+type phase struct {
+	Base int // first page of the window
+	W    int // working-set size in pages
+	Refs int // references executed in the phase
+	Lock int // pages locked for the phase's duration (0 = no LOCK)
+	PJ   int // lock priority of the phase's LOCK
+}
+
+// SynthSpec describes one synthesized tenant. Specs are pure functions
+// of (seed, id, scale) — see NewSynthSpec — so the whole population is
+// reproducible without storing anything, and a spec is a few dozen bytes
+// until the tenant is admitted and its trace materialized.
+type SynthSpec struct {
+	ID     int
+	Name   string
+	Phases []phase
+	// V is the tenant's address-space size in pages (CheckConfig.MaxPage).
+	V int
+	// Est is the declared footprint the admission gate charges: the
+	// largest outer-arm ALLOCATE request across phases.
+	Est int
+	// Refs is the total reference count of the materialized trace.
+	Refs int
+}
+
+// NewSynthSpec derives tenant id's workload from the kernel seed. The
+// generator draws 1-3 phases with working sets of 3-20 pages, reference
+// counts of 400-2600 per phase (scaled by scale, floor 32), and a 40%
+// chance of a 1-3 page LOCK with priority 1-3. The FORAY-GEN-style
+// point: diversity comes from the seeded draw, not hand-written
+// programs, so ten thousand tenants cost nothing to define.
+func NewSynthSpec(seed uint64, id int, scale float64) SynthSpec {
+	rng := chaos.NewRand(chaos.DeriveSeed(seed, "tenant", strconv.Itoa(id)))
+	s := SynthSpec{ID: id, Name: fmt.Sprintf("t%05d", id)}
+	n := 1 + rng.Intn(3)
+	for p := 0; p < n; p++ {
+		ph := phase{
+			Base: rng.Intn(24),
+			W:    3 + rng.Intn(18),
+			Refs: 400 + rng.Intn(2200),
+		}
+		if scale > 0 && scale != 1 {
+			ph.Refs = int(float64(ph.Refs) * scale)
+			if ph.Refs < 32 {
+				ph.Refs = 32
+			}
+		}
+		if rng.Bool(0.4) {
+			ph.Lock = 1 + rng.Intn(3)
+			if ph.Lock > ph.W {
+				ph.Lock = ph.W
+			}
+			ph.PJ = 1 + rng.Intn(3)
+		}
+		s.Phases = append(s.Phases, ph)
+		if est := ph.W + ph.Lock; est > s.Est {
+			s.Est = est
+		}
+		// V must cover both the referenced pages and the largest request,
+		// or the tenant's own directives would trip its validator.
+		if v := ph.Base + ph.W; v > s.V {
+			s.V = v
+		}
+		if v := ph.W + ph.Lock; v > s.V {
+			s.V = v
+		}
+		s.Refs += ph.Refs
+	}
+	return s
+}
+
+// Materialize builds the tenant's reference stream: per phase, an
+// ALLOCATE else-chain ((2, W+L) else (1, W)) honoring the §3 contract,
+// an optional LOCK over the window's first pages, a cyclic sweep of the
+// window, and the closing UNLOCK. Traces are built at admission and
+// freed at completion, bounding materialized memory by the
+// multiprogramming level rather than the population.
+func (s *SynthSpec) Materialize() *trace.Trace {
+	tr := trace.New(s.Name)
+	for i := range s.Phases {
+		ph := &s.Phases[i]
+		tr.AddAlloc(&directive.Allocate{Arms: []directive.Arm{
+			{PI: 2, X: ph.W + ph.Lock},
+			{PI: 1, X: ph.W},
+		}})
+		var locked []mem.Page
+		if ph.Lock > 0 {
+			locked = make([]mem.Page, ph.Lock)
+			for j := range locked {
+				locked[j] = mem.Page(ph.Base + j)
+			}
+			tr.AddLock(ph.PJ, i, locked)
+		}
+		for r := 0; r < ph.Refs; r++ {
+			tr.AddRef(mem.Page(ph.Base + r%ph.W))
+		}
+		if locked != nil {
+			tr.AddUnlock(locked)
+		}
+	}
+	return tr
+}
+
+// TenantResult is one tenant's final accounting, deterministic across
+// shard parallelism and seeds.
+type TenantResult struct {
+	ID    int    `json:"id"`
+	Name  string `json:"name"`
+	State string `json:"state"`
+
+	Refs   int64 `json:"refs"`
+	Faults int64 `json:"pf"`
+	MemSum int64 `json:"memSum"`
+	VTime  int64 `json:"vtime"`
+
+	Est int `json:"est"`
+	V   int `json:"v"`
+
+	Swaps    int `json:"swaps"`
+	Restarts int `json:"restarts,omitempty"`
+
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degradedReason,omitempty"`
+	ShedReason     string `json:"shedReason,omitempty"`
+
+	QueueWait      int64 `json:"queueWait"`
+	MaxSuspendWait int64 `json:"maxSuspendWait"`
+	Finished       int64 `json:"finished"`
+}
+
+// tenant is the kernel-side runtime state of one admitted (or queued)
+// tenant. The stream-position fields mirror vmsim.Job: suspension resets
+// the policy (frames are released and refault on resume) but never the
+// stream position; only a chaos kill rewinds the stream.
+type tenant struct {
+	spec  SynthSpec
+	state State
+
+	pol  policy.Policy
+	step policy.BlockStepper
+	cd   *policy.CD // non-nil only for the CD pool
+
+	src     *trace.Trace
+	cur     trace.Cursor
+	tables  *trace.SideTables
+	blk     trace.Block
+	bi      int
+	dirPend bool
+	eof     bool
+
+	readyAt int64
+	// grace marks a tenant resumed this quantum: pressure waves skip it
+	// until it has run once, so aging-forced resumes make real progress.
+	grace bool
+	// seenSignals tracks CD swap signals already acted on since the last
+	// policy reset.
+	seenSignals int
+
+	// Chaos plan (fixed per tenant at kernel start).
+	corrupt     string // perturbing injector name, "" when clean
+	killAt      int64  // refs threshold for a chaos kill; 0 = never
+	maxRestarts int
+
+	queuedAt    int64
+	suspendedAt int64
+	admitSeq    int
+
+	// Folded accumulators (survive policy resets and restarts).
+	refs, faults, memSum, vtime int64
+	swaps, restarts             int
+	signals, lockReleases       int64
+	degraded                    bool
+	degradedReason              string
+	shedReason                  string
+	queueWait                   int64
+	maxSuspendWait              int64
+	finished                    int64
+}
+
+// openStream positions the tenant at the start of its materialized
+// trace.
+func (t *tenant) openStream() {
+	t.cur = t.src.Blocks(trace.CursorOpts{})
+	t.tables = t.src.Tables()
+	t.blk = trace.Block{}
+	t.bi = 0
+	t.dirPend = false
+	t.eof = false
+}
+
+// closeStream releases the cursor and, when drop is set, the
+// materialized trace itself (terminal states only).
+func (t *tenant) closeStream(drop bool) {
+	if t.cur != nil {
+		t.cur.Close()
+		t.cur = nil
+	}
+	t.blk = trace.Block{}
+	t.tables = nil
+	if drop {
+		t.src = nil
+	}
+}
+
+// foldPolicy folds the policy's per-reset counters and degradation latch
+// into the tenant's accumulators. Call immediately before every
+// pol.Reset(); the degraded latch is recorded at most once per tenant
+// even if the policy re-degrades after a reset.
+func (t *tenant) foldPolicy() (newlyDegraded bool) {
+	if t.cd == nil {
+		return false
+	}
+	t.signals += int64(t.cd.SwapSignals)
+	t.lockReleases += int64(t.cd.LockReleases)
+	t.seenSignals = 0
+	if t.cd.Degraded() && !t.degraded {
+		t.degraded = true
+		t.degradedReason = t.cd.DegradedReason()
+		return true
+	}
+	return false
+}
+
+// result snapshots the tenant's final accounting.
+func (t *tenant) result() TenantResult {
+	return TenantResult{
+		ID:             t.spec.ID,
+		Name:           t.spec.Name,
+		State:          t.state.String(),
+		Refs:           t.refs,
+		Faults:         t.faults,
+		MemSum:         t.memSum,
+		VTime:          t.vtime,
+		Est:            t.spec.Est,
+		V:              t.spec.V,
+		Swaps:          t.swaps,
+		Restarts:       t.restarts,
+		Degraded:       t.degraded,
+		DegradedReason: t.degradedReason,
+		ShedReason:     t.shedReason,
+		QueueWait:      t.queueWait,
+		MaxSuspendWait: t.maxSuspendWait,
+		Finished:       t.finished,
+	}
+}

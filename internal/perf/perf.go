@@ -16,6 +16,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cdmm/internal/engine"
+	"cdmm/internal/kernel"
 	"cdmm/internal/obs"
 	"cdmm/internal/policy"
 	"cdmm/internal/trace"
@@ -136,6 +138,9 @@ func Collect(quick bool) (*Baseline, error) {
 		return nil, err
 	}
 	if err := collectAttrOverhead(b, target); err != nil {
+		return nil, err
+	}
+	if err := collectKernelStep(b, target); err != nil {
 		return nil, err
 	}
 	return b, nil
@@ -369,6 +374,36 @@ func collectAttrOverhead(b *Baseline, target time.Duration) error {
 		median = (ratios[mid-1] + ratios[mid]) / 2
 	}
 	b.AttrOverhead = median - 1
+	return nil
+}
+
+// collectKernelStep measures the multi-tenant kernel end to end: a
+// fixed 96-tenant population over two shards on one worker, so the
+// number covers tenant synthesis, the admission/reclaim scheduler loop
+// and block-stepped replay together. Per-ref allocations are nonzero
+// here by design (each iteration materializes the population); the
+// anchor is the aggregate fault count, which is deterministic for a
+// fixed config on any machine.
+func collectKernelStep(b *Baseline, target time.Duration) error {
+	cfg := kernel.Config{Tenants: 96, Shards: 2, Seed: 1, Scale: 0.25}
+	eng := engine.New(1)
+	warm, err := kernel.Run(cfg, eng)
+	if err != nil {
+		return err
+	}
+	if len(warm.Violations) > 0 {
+		return fmt.Errorf("perf: kernel warmup violated invariants: %s", warm.Violations[0])
+	}
+	cs := measure(target, int(warm.Refs), func() {
+		if _, err := kernel.Run(cfg, eng); err != nil {
+			panic(err)
+		}
+	})
+	cs.Name = "kernel_step"
+	cs.Workload = "synthetic/96"
+	cs.Refs = int(warm.Refs)
+	cs.Faults = int(warm.Faults)
+	b.Cases = append(b.Cases, cs)
 	return nil
 }
 

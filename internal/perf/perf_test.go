@@ -107,6 +107,16 @@ func TestCollectQuick(t *testing.T) {
 		if c.NsPerRef <= 0 || c.Refs <= 0 || c.Faults <= 0 {
 			t.Fatalf("%s: implausible measurement %+v", c.Name, c)
 		}
+		if c.Name == "kernel_step" {
+			// End-to-end case: each iteration synthesizes and materializes
+			// the tenant population, so it allocates by design — but the
+			// amortized rate must stay far below one allocation per
+			// simulated reference.
+			if c.AllocsPerRef > 0.5 {
+				t.Fatalf("%s: kernel run allocates %.4f allocs/ref, want amortized < 0.5", c.Name, c.AllocsPerRef)
+			}
+			continue
+		}
 		if c.AllocsPerRef > 0.001 {
 			t.Fatalf("%s: hot path allocates %.4f allocs/ref, want 0", c.Name, c.AllocsPerRef)
 		}

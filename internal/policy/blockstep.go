@@ -223,6 +223,8 @@ func (p *DWS) StepBlock(pages []mem.Page, out *BlockResult) {
 // multiply per fault-to-fault run instead of three per reference — and
 // the nondecreasing count makes the end-of-block value the block max.
 func (p *CD) StepBlock(pages []mem.Page, out *BlockResult) {
+	p.acquire("StepBlock")
+	defer p.release()
 	if p.degraded {
 		p.fallback.StepBlock(pages, out)
 		return

@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"sync/atomic"
+
 	"cdmm/internal/directive"
 	"cdmm/internal/mem"
 	"cdmm/internal/trace"
@@ -68,6 +70,14 @@ func SelectLevels(def int, overrides map[string]int) ArmSelector {
 // soft page locks honored until memory pressure forces their release in
 // increasing lock-priority order (largest PJ first), and a swap trigger
 // when a PI = 1 request cannot be granted.
+//
+// Concurrency contract: a CD instance is not safe for concurrent use.
+// In particular Reclaim — the operating system's pressure valve — must
+// be serialized with StepBlock/Ref by the caller (the kernel and the
+// multiprogramming driver run each tenant's policy on a single
+// simulation thread; anything else needs an external mutex). The
+// mutators enforce this with a cheap in-flight guard that panics with a
+// clear message instead of corrupting the LRU list silently.
 type CD struct {
 	selector ArmSelector
 	minAlloc int
@@ -114,7 +124,24 @@ type CD struct {
 	// report through Hooks.LockRelease instead so the attribution layer
 	// can tell the two apart.
 	onEvict func(mem.Page)
+
+	// busy guards the list-mutating entry points (StepBlock, Reclaim)
+	// against overlapping calls — see the concurrency contract above.
+	busy atomic.Int32
 }
+
+// acquire marks a list-mutating operation in flight. Overlap — whether
+// from another goroutine or from a hook reentering the policy — is a
+// caller bug that would corrupt the LRU list, so it fails loudly and
+// deterministically rather than racing.
+func (p *CD) acquire(op string) {
+	if !p.busy.CompareAndSwap(0, 1) {
+		panic("policy: CD." + op + " called while another StepBlock/Reclaim is in flight: " +
+			"CD is not safe for concurrent use; serialize access externally")
+	}
+}
+
+func (p *CD) release() { p.busy.Store(0) }
 
 // CDHooks are optional callbacks into CD's internal transitions. Any
 // field may be nil.
@@ -400,7 +427,12 @@ func (p *CD) ForceRelease(k int) int {
 // force-released in increasing lock priority. It returns the number of
 // frames actually reclaimed. A degraded policy reclaims nothing — its WS
 // fallback is variable-allocation and sizes itself.
+//
+// Reclaim must be serialized with StepBlock/Ref on the same instance
+// (see the CD concurrency contract); an overlapping call panics.
 func (p *CD) Reclaim(k int) int {
+	p.acquire("Reclaim")
+	defer p.release()
 	if p.degraded {
 		return 0
 	}

@@ -1,0 +1,74 @@
+package policy
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"cdmm/internal/directive"
+	"cdmm/internal/mem"
+	"cdmm/internal/trace"
+)
+
+// TestCDReclaimSerializedWithStepBlock is the documented way to share a
+// CD instance between a stepping thread and a pressure thread: an
+// external mutex. Run under -race this doubles as the proof that the
+// serialized pattern is data-race-free.
+func TestCDReclaimSerializedWithStepBlock(t *testing.T) {
+	cd := NewCD(SelectLevel(1), 2)
+	cd.Alloc(trace.AllocDirective{Arms: []directive.Arm{{PI: 1, X: 8}}})
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	pages := make([]mem.Page, 256)
+	for i := range pages {
+		pages[i] = mem.Page(i % 16)
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		var out BlockResult
+		for i := 0; i < 200; i++ {
+			mu.Lock()
+			cd.StepBlock(pages, &out)
+			mu.Unlock()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			mu.Lock()
+			cd.Reclaim(3)
+			mu.Unlock()
+		}
+	}()
+	wg.Wait()
+	if r := cd.Resident(); r > 8 {
+		t.Errorf("resident %d exceeds allocation 8 after interleaved reclaim", r)
+	}
+}
+
+// TestCDReentrantReclaimPanics pins the guard: reentering the policy
+// from inside a StepBlock (here via the eviction hook) must fail loudly
+// with the contract message, not corrupt the LRU list.
+func TestCDReentrantReclaimPanics(t *testing.T) {
+	cd := NewCD(SelectLevel(1), 2)
+	cd.Alloc(trace.AllocDirective{Arms: []directive.Arm{{PI: 1, X: 2}}})
+	cd.SetEvictHook(func(mem.Page) {
+		cd.Reclaim(1) // caller bug: reentrant mutation
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("reentrant Reclaim inside StepBlock did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "CD.Reclaim") || !strings.Contains(msg, "not safe for concurrent use") {
+			t.Fatalf("panic message does not state the contract: %v", r)
+		}
+	}()
+	var out BlockResult
+	// Three distinct pages under a 2-frame allocation force a replacement
+	// eviction, which fires the hook.
+	cd.StepBlock([]mem.Page{0, 1, 2}, &out)
+}

@@ -261,14 +261,24 @@ func runQuantum(j *Job, jobs []*Job, cfg MultiConfig, clock int64, res *MultiRes
 }
 
 // swapOutVictim deactivates the job (other than cur) holding the most
-// frames.
+// frames. Ties are broken explicitly so the victim sequence is a stable
+// function of the plan: fewest prior swap-outs first (rotating the
+// burden instead of repeatedly deactivating one job), then declaration
+// order. The strict better() comparison means equal candidates never
+// displace an earlier choice.
 func swapOutVictim(jobs []*Job, cur *Job, clock int64, cfg MultiConfig, res *MultiResult) {
+	better := func(a, b *Job) bool {
+		if ra, rb := a.Policy.Resident(), b.Policy.Resident(); ra != rb {
+			return ra > rb
+		}
+		return a.Swaps < b.Swaps
+	}
 	var victim *Job
 	for _, j := range jobs {
 		if j == cur || j.done || !j.swappedIn {
 			continue
 		}
-		if victim == nil || j.Policy.Resident() > victim.Policy.Resident() {
+		if victim == nil || better(j, victim) {
 			victim = j
 		}
 	}
