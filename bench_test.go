@@ -22,6 +22,7 @@ import (
 	"cdmm/internal/experiments"
 	"cdmm/internal/obs"
 	"cdmm/internal/policy"
+	"cdmm/internal/sweep"
 	"cdmm/internal/trace"
 	"cdmm/internal/vmsim"
 	"cdmm/internal/workloads"
@@ -207,12 +208,14 @@ func BenchmarkPolicyReplay(b *testing.B) {
 }
 
 // BenchmarkLRUSweepAnalytic measures the one-pass all-allocations LRU
-// sweep against the trace size.
+// curve against the trace size.
 func BenchmarkLRUSweepAnalytic(b *testing.B) {
 	tr := compiledTrace(b, "CONDUCT")
 	b.SetBytes(int64(tr.Refs))
 	for i := 0; i < b.N; i++ {
-		vmsim.NewLRUSweep(tr)
+		if _, err := sweep.NewLRU(tr); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -221,7 +224,9 @@ func BenchmarkWSSweepAnalytic(b *testing.B) {
 	tr := compiledTrace(b, "CONDUCT")
 	b.SetBytes(int64(tr.Refs))
 	for i := 0; i < b.N; i++ {
-		vmsim.NewWSSweep(tr)
+		if _, err := sweep.NewWS(tr); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

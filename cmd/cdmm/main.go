@@ -16,11 +16,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"cdmm/internal/advisor"
 	"cdmm/internal/bli"
@@ -29,6 +32,7 @@ import (
 	"cdmm/internal/experiments"
 	"cdmm/internal/policy"
 	"cdmm/internal/report"
+	"cdmm/internal/sweep"
 	"cdmm/internal/trace"
 	"cdmm/internal/vmsim"
 	"cdmm/internal/workloads"
@@ -306,10 +310,11 @@ func cmdFamily(args []string) error {
 func cmdDetune(args []string) error {
 	fs := flag.NewFlagSet("detune", flag.ContinueOnError)
 	j := registerJFlag(fs)
+	cell := fs.Bool("cellmode", false, "replay one full simulation per detune factor instead of the lockstep one-pass grid (the differential oracle)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows, err := experiments.DetuneStudy(newEngine(*j), nil, nil)
+	rows, err := experiments.DetuneStudy(newEngine(*j).WithCellMode(*cell), nil, nil)
 	if err != nil {
 		return err
 	}
@@ -381,42 +386,275 @@ func cmdSim(args []string) error {
 }
 
 func cmdSweep(args []string) error {
-	return withProgram(args, func(p *core.Program, _ []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("missing program name, source file or trace file")
+	}
+	target := args[0]
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	polName := fs.String("policy", "", "curve policy: lru, ws, fifo, cd (empty: CD-levels summary)")
+	grid := fs.String("grid", "", "comma-separated curve grid: allocations (lru/fifo), windows (ws), detune factors (cd)")
+	level := fs.Int("level", 1, "CD directive-set stratum (policy cd)")
+	asJSON := fs.Bool("json", false, "emit the curve as JSON")
+	j := registerJFlag(fs)
+	of := registerObsFlags(fs)
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	return of.withObs(func() error {
+		newEngine(*j) // after activate: a -serve tracker attaches here
+		if *polName == "" {
+			return sweepSummary(target)
+		}
+		return sweepCurve(os.Stdout, target, *polName, *grid, *level, *asJSON)
+	})
+}
+
+// sweepSummary is the original sweep report: CD at every directive
+// stratum versus the tuned LRU and WS minima.
+func sweepSummary(target string) error {
+	p, err := loadProgram(target)
+	if err != nil {
+		return err
+	}
+	tr, err := p.Trace()
+	if err != nil {
+		return err
+	}
+	lru, err := p.LRUSweep()
+	if err != nil {
+		return err
+	}
+	ws, err := p.WSSweep()
+	if err != nil {
+		return err
+	}
+	mBest, lruST := lru.MinST()
+	tauBest, wsRes, err := ws.MinST()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: V=%d R=%d\n", p.Name, p.V(), tr.Refs)
+	fmt.Printf("best LRU: ST=%.4g at m=%d (PF=%d)\n", lruST, mBest, lru.Faults(mBest))
+	fmt.Printf("best WS : ST=%.4g at tau=%d (PF=%d, MEM=%.2f)\n", wsRes.ST(), tauBest, wsRes.Faults, wsRes.MEM())
+	for lvl := 1; lvl <= p.MaxPI(); lvl++ {
+		res, err := p.RunCD(core.CDOptions{Level: lvl})
+		if err != nil {
+			return err
+		}
+		marker := ""
+		if res.ST() < lruST && res.ST() < wsRes.ST() {
+			marker = "   <- beats both"
+		}
+		fmt.Printf("CD level %d: PF=%-6d MEM=%-8.2f ST=%.4g%s\n", lvl, res.Faults, res.MEM(), res.ST(), marker)
+	}
+	return nil
+}
+
+// sweepSource resolves the sweep target: a saved trace file (CDT3 files
+// stream block by block) or a workload/source program's trace.
+func sweepSource(target string) (trace.Source, error) {
+	if strings.HasSuffix(target, ".cdt1") || strings.HasSuffix(target, ".cdt2") || strings.HasSuffix(target, ".cdt3") {
+		return trace.OpenSource(target)
+	}
+	p, err := loadProgram(target)
+	if err != nil {
+		return nil, err
+	}
+	return p.Trace()
+}
+
+// curvePoint is one (parameter, result) pair of a policy curve, the JSON
+// row of `cdmm sweep -policy ... -json`.
+type curvePoint struct {
+	Policy string  `json:"policy"`
+	Param  float64 `json:"param"`
+	PF     int     `json:"pf"`
+	MEM    float64 `json:"mem"`
+	ST     float64 `json:"st"`
+	MaxRes int     `json:"max_resident"`
+}
+
+// sweepCurve computes a whole policy curve from one traversal of the
+// reference stream and renders it as a table or JSON.
+func sweepCurve(w io.Writer, target, polName, gridSpec string, level int, asJSON bool) error {
+	var points []curvePoint
+	switch polName {
+	case "lru", "ws", "fifo":
+		src, err := sweepSource(target)
+		if err != nil {
+			return err
+		}
+		points, err = refCurve(src, polName, gridSpec)
+		if err != nil {
+			return err
+		}
+	case "cd":
+		// CD needs the program's directive side-band and selector, so the
+		// target must be a program; the grid detunes every granted
+		// allocation by each factor.
+		p, err := loadProgram(target)
+		if err != nil {
+			return err
+		}
 		tr, err := p.Trace()
 		if err != nil {
 			return err
 		}
-		lru, err := p.LRUSweep()
+		factors, err := parseFloatGrid(gridSpec, []float64{0.5, 0.75, 0.9, 1.0, 1.1, 1.5, 2.0})
 		if err != nil {
 			return err
 		}
-		ws, err := p.WSSweep()
+		pols := make([]policy.Policy, len(factors))
+		for i, f := range factors {
+			pols[i] = policy.NewCD(experiments.Detune(policy.SelectLevel(level), f), 2)
+		}
+		results, err := sweep.Multi(tr, pols)
 		if err != nil {
 			return err
 		}
-		mBest, lruST := lru.MinST()
-		tauBest, wsRes := ws.MinST()
-		fmt.Printf("%s: V=%d R=%d\n", p.Name, p.V(), tr.Refs)
-		fmt.Printf("best LRU: ST=%.4g at m=%d (PF=%d)\n", lruST, mBest, lru.Faults(mBest))
-		fmt.Printf("best WS : ST=%.4g at tau=%d (PF=%d, MEM=%.2f)\n", wsRes.ST(), tauBest, wsRes.Faults, wsRes.MEM())
-		for lvl := 1; lvl <= p.MaxPI(); lvl++ {
-			res, err := p.RunCD(core.CDOptions{Level: lvl})
-			if err != nil {
-				return err
-			}
-			marker := ""
-			if res.ST() < lruST && res.ST() < wsRes.ST() {
-				marker = "   <- beats both"
-			}
-			fmt.Printf("CD level %d: PF=%-6d MEM=%-8.2f ST=%.4g%s\n", lvl, res.Faults, res.MEM(), res.ST(), marker)
+		for i, r := range results {
+			points = append(points, curvePoint{
+				Policy: r.Policy, Param: factors[i], PF: r.Faults,
+				MEM: r.MEM(), ST: r.ST(), MaxRes: r.MaxResident,
+			})
 		}
-		return nil
-	})
+	default:
+		return fmt.Errorf("unknown sweep policy %q (want lru, ws, fifo or cd)", polName)
+	}
+
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(points)
+	}
+	fmt.Fprintf(w, "%-16s %10s %8s %10s %14s %8s\n", "POLICY", "param", "PF", "MEM", "ST", "maxres")
+	for _, pt := range points {
+		fmt.Fprintf(w, "%-16s %10g %8d %10.2f %14.6g %8d\n",
+			pt.Policy, pt.Param, pt.PF, pt.MEM, pt.ST, pt.MaxRes)
+	}
+	return nil
+}
+
+// refCurve computes the lru/ws/fifo curve over a reference stream.
+func refCurve(src trace.Source, polName, gridSpec string) ([]curvePoint, error) {
+	meta := src.Meta()
+	var points []curvePoint
+	switch polName {
+	case "lru":
+		curve, err := sweep.NewLRU(src)
+		if err != nil {
+			return nil, err
+		}
+		grid, err := parseIntGrid(gridSpec, capLadder(curve.V))
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range grid {
+			r := curve.Result(m)
+			points = append(points, curvePoint{
+				Policy: r.Policy, Param: float64(m), PF: r.Faults,
+				MEM: r.MEM(), ST: r.ST(), MaxRes: r.MaxResident,
+			})
+		}
+	case "ws":
+		ws, err := sweep.NewWS(src)
+		if err != nil {
+			return nil, err
+		}
+		grid, err := parseIntGrid(gridSpec, vmsim.DefaultTaus(meta.Refs))
+		if err != nil {
+			return nil, err
+		}
+		results, err := ws.Curve(grid)
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range results {
+			points = append(points, curvePoint{
+				Policy: r.Policy, Param: float64(grid[i]), PF: r.Faults,
+				MEM: r.MEM(), ST: r.ST(), MaxRes: r.MaxResident,
+			})
+		}
+	case "fifo":
+		grid, err := parseIntGrid(gridSpec, capLadder(meta.Distinct))
+		if err != nil {
+			return nil, err
+		}
+		results, err := sweep.FIFOCurve(src, grid)
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range results {
+			points = append(points, curvePoint{
+				Policy: r.Policy, Param: float64(grid[i]), PF: r.Faults,
+				MEM: r.MEM(), ST: r.ST(), MaxRes: r.MaxResident,
+			})
+		}
+	}
+	return points, nil
+}
+
+// capLadder is the default capacity grid: every allocation up to 16,
+// then ~12% geometric steps to v.
+func capLadder(v int) []int {
+	var grid []int
+	for m := 1; m <= v; {
+		grid = append(grid, m)
+		if m < 16 {
+			m++
+		} else if next := m + m/8; next > m {
+			m = next
+		} else {
+			m++
+		}
+	}
+	if len(grid) == 0 || grid[len(grid)-1] != v {
+		grid = append(grid, v)
+	}
+	return grid
+}
+
+// parseIntGrid parses a comma-separated integer grid, or returns def
+// when the spec is empty.
+func parseIntGrid(spec string, def []int) ([]int, error) {
+	if spec == "" {
+		return def, nil
+	}
+	parts := strings.Split(spec, ",")
+	grid := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad grid point %q: %w", p, err)
+		}
+		grid = append(grid, n)
+	}
+	return grid, nil
+}
+
+// parseFloatGrid parses a comma-separated float grid, or returns def
+// when the spec is empty.
+func parseFloatGrid(spec string, def []float64) ([]float64, error) {
+	if spec == "" {
+		return def, nil
+	}
+	parts := strings.Split(spec, ",")
+	grid := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad grid point %q: %w", p, err)
+		}
+		grid = append(grid, f)
+	}
+	return grid, nil
 }
 
 func cmdTables(which string, args []string) error {
 	fs := flag.NewFlagSet(which, flag.ContinueOnError)
 	j := registerJFlag(fs)
+	cell := fs.Bool("cellmode", false, "compute sweep artifacts by per-cell replay (one full simulation per curve point; the differential oracle)")
+	timing := fs.Bool("timing", false, "after rendering, recompute the tables in the other sweep mode and print the wall-clock comparison")
 	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -425,14 +663,87 @@ func cmdTables(which string, args []string) error {
 	if err != nil {
 		return err
 	}
-	err = runTables(which, newEngine(*j))
+	if *timing {
+		// workloads.Compile is a process-global cache, so whichever leg
+		// runs first would otherwise pay FORTRAN compilation and trace
+		// generation for both. Warm it up front so the timed legs
+		// compare sweep work only.
+		if err := warmTableCompiles(which); err != nil {
+			return err
+		}
+	}
+	start := time.Now()
+	err = runTablesTo(os.Stdout, which, newEngine(*j).WithCellMode(*cell))
+	if err == nil && *timing {
+		// The other mode renders to the bit bucket on a fresh engine:
+		// same compiled programs, but every simulation and sweep redone.
+		thisDur := time.Since(start)
+		otherStart := time.Now()
+		err = runTablesTo(io.Discard, which, engine.New(*j).WithCellMode(!*cell))
+		if err == nil {
+			fmt.Println(renderTimingLine(*cell, thisDur, time.Since(otherStart)))
+		}
+	}
 	if ferr := finish(); err == nil {
 		err = ferr
 	}
 	return err
 }
 
+// warmTableCompiles compiles every program the selected table draws on,
+// populating the shared workloads cache before `-timing` starts its
+// clocks.
+func warmTableCompiles(which string) error {
+	var vs []experiments.Variant
+	switch which {
+	case "table1":
+		vs = experiments.Table1Variants
+	case "table2":
+		vs = experiments.Table2Variants
+	case "table3", "table4":
+		vs = experiments.Table34Variants
+	default: // tables: Table34Variants covers every program in 1 and 2
+		vs = experiments.Table34Variants
+	}
+	seen := map[string]bool{}
+	for _, v := range vs {
+		if seen[v.Program] {
+			continue
+		}
+		seen[v.Program] = true
+		p, err := workloads.Get(v.Program)
+		if err != nil {
+			return err
+		}
+		if _, err := workloads.Compile(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// renderTimingLine formats the curve-vs-cell wall-clock comparison for
+// `cdmm table* -timing`. thisDur is the rendered leg's duration in the
+// requested mode (cell when cellMode, else curve), otherDur the silent
+// recomputation in the opposite mode.
+func renderTimingLine(cellMode bool, thisDur, otherDur time.Duration) string {
+	curve, cell := thisDur, otherDur
+	if cellMode {
+		curve, cell = otherDur, thisDur
+	}
+	speedup := 0.0
+	if curve > 0 {
+		speedup = float64(cell) / float64(curve)
+	}
+	return fmt.Sprintf("sweep timing: curve %s vs per-cell %s (%.1fx)",
+		curve.Round(time.Millisecond), cell.Round(time.Millisecond), speedup)
+}
+
 func runTables(which string, eng *engine.Engine) error {
+	return runTablesTo(os.Stdout, which, eng)
+}
+
+func runTablesTo(w io.Writer, which string, eng *engine.Engine) error {
 	show := func(name string, gen func() (string, error)) error {
 		if which != "tables" && which != name {
 			return nil
@@ -441,7 +752,7 @@ func runTables(which string, eng *engine.Engine) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(out)
+		fmt.Fprintln(w, out)
 		return nil
 	}
 	if err := show("table1", func() (string, error) {

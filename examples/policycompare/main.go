@@ -54,10 +54,16 @@ func main() {
 	// WS across a ladder of windows.
 	fmt.Println("\n       tau    WS-PF    WS-MEM      WS-ST")
 	for _, tau := range ladder(tr.Refs) {
-		r := ws.Run(tau)
+		r, err := ws.Run(tau)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%10d %8d %9.2f %10.4g\n", tau, r.Faults, r.MEM(), r.ST())
 	}
-	tauBest, wsBest := ws.MinST()
+	tauBest, wsBest, err := ws.MinST()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("WS minimum: ST=%.4g at tau=%d\n", wsBest.ST(), tauBest)
 
 	// CD across directive strata, plus the workload's canonical set.

@@ -85,7 +85,7 @@ func main() {
 	m, st := lru.MinST()
 	fmt.Printf("best LRU over all allocations: m=%d ST=%.4g\n", m, st)
 	ws, _ := prog.WSSweep()
-	tau, res := ws.MinST()
+	tau, res, _ := ws.MinST()
 	fmt.Printf("best WS over all windows:      tau=%d ST=%.4g\n", tau, res.ST())
 	fmt.Printf("CD space-time advantage: %.0f%% vs best LRU, %.0f%% vs best WS\n",
 		(st-cd.ST())/cd.ST()*100, (res.ST()-cd.ST())/cd.ST()*100)

@@ -25,6 +25,7 @@ import (
 	"cdmm/internal/obs"
 	"cdmm/internal/policy"
 	"cdmm/internal/sem"
+	"cdmm/internal/sweep"
 	"cdmm/internal/trace"
 	"cdmm/internal/vmsim"
 )
@@ -181,22 +182,22 @@ func (p *Program) RunCDObserved(opts CDOptions, o *obs.Observer) (vmsim.Result, 
 	return p.SimulateObserved(policy.NewCD(sel, opts.MinAlloc), o)
 }
 
-// LRUSweep returns the analytic all-allocations LRU sweep of the trace.
-func (p *Program) LRUSweep() (*vmsim.LRUSweep, error) {
+// LRUSweep returns the one-pass all-allocations LRU curve of the trace.
+func (p *Program) LRUSweep() (*sweep.LRUCurve, error) {
 	tr, err := p.Trace()
 	if err != nil {
 		return nil, err
 	}
-	return vmsim.NewLRUSweep(tr), nil
+	return sweep.NewLRU(tr)
 }
 
-// WSSweep returns the analytic all-windows WS sweep of the trace.
-func (p *Program) WSSweep() (*vmsim.WSSweep, error) {
+// WSSweep returns the one-pass all-windows WS curve of the trace.
+func (p *Program) WSSweep() (*sweep.WS, error) {
 	tr, err := p.Trace()
 	if err != nil {
 		return nil, err
 	}
-	return vmsim.NewWSSweep(tr), nil
+	return sweep.NewWS(tr)
 }
 
 // RenderDirectives renders the directive plan in Figure 5c style.

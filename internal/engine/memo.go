@@ -9,6 +9,7 @@ import (
 	"cdmm/internal/explain"
 	"cdmm/internal/obs"
 	"cdmm/internal/policy"
+	"cdmm/internal/sweep"
 	"cdmm/internal/vmsim"
 	"cdmm/internal/workloads"
 )
@@ -189,36 +190,58 @@ func (e *Engine) Compiled(rc *RunCtx, program string) (*workloads.Compiled, erro
 	return v.(*workloads.Compiled), nil
 }
 
-// LRUSweep returns the program's analytic all-allocations LRU sweep,
-// computed once per engine.
-func (e *Engine) LRUSweep(rc *RunCtx, program string) (*vmsim.LRUSweep, error) {
-	v, err := e.Memo(rc, Key{Kind: "lru-sweep", Program: program, Policy: "LRU"}, func(comp *RunCtx, _ *obs.Observer) (any, error) {
+// modeParams appends the engine's sweep mode to a memo-key Params
+// string, so curve-mode and cell-mode artifacts coexist in one memo
+// store (the -timing comparison computes both in one process).
+func (e *Engine) modeParams(base string) string {
+	if !e.cellMode {
+		return base
+	}
+	if base == "" {
+		return "mode=cell"
+	}
+	return base + ",mode=cell"
+}
+
+// LRUSweep returns the program's all-allocations LRU curve, computed
+// once per engine: one Mattson stack-distance pass over the trace in
+// curve mode, or V independent replays (one per allocation) in cell
+// mode.
+func (e *Engine) LRUSweep(rc *RunCtx, program string) (*sweep.LRUCurve, error) {
+	k := Key{Kind: "lru-sweep", Program: program, Policy: "LRU", Params: e.modeParams("")}
+	v, err := e.Memo(rc, k, func(comp *RunCtx, _ *obs.Observer) (any, error) {
 		c, err := e.Compiled(comp, program)
 		if err != nil {
 			return nil, err
 		}
-		return vmsim.NewLRUSweep(c.Trace), nil
+		if e.cellMode {
+			return sweep.FromLRUCells(vmsim.SweepLRU(c.Trace, c.V())), nil
+		}
+		return sweep.NewLRU(c.Trace)
 	})
 	if err != nil {
 		return nil, err
 	}
-	return v.(*vmsim.LRUSweep), nil
+	return v.(*sweep.LRUCurve), nil
 }
 
-// WSSweep returns the program's analytic working-set sweep, computed
-// once per engine.
-func (e *Engine) WSSweep(rc *RunCtx, program string) (*vmsim.WSSweep, error) {
+// WSSweep returns the program's working-set curve index (the backward
+// and forward interval histograms: PF(τ) and MemSum(τ) for every τ from
+// one pass), computed once per engine. The index is mode-independent —
+// cell mode diverges at the full-replay artifacts (WSRun, WSMinST), not
+// at the histograms, which predate the curve engines.
+func (e *Engine) WSSweep(rc *RunCtx, program string) (*sweep.WS, error) {
 	v, err := e.Memo(rc, Key{Kind: "ws-sweep", Program: program, Policy: "WS"}, func(comp *RunCtx, _ *obs.Observer) (any, error) {
 		c, err := e.Compiled(comp, program)
 		if err != nil {
 			return nil, err
 		}
-		return vmsim.NewWSSweep(c.Trace), nil
+		return sweep.NewWS(c.Trace)
 	})
 	if err != nil {
 		return nil, err
 	}
-	return v.(*vmsim.WSSweep), nil
+	return v.(*sweep.WS), nil
 }
 
 // CDRun runs (once per engine and full parameterization) the CD policy
@@ -239,16 +262,33 @@ func (e *Engine) CDRun(rc *RunCtx, program string, set workloads.Set, minAlloc i
 	return v.(vmsim.Result), nil
 }
 
-// WSRun replays the program's directive-stripped trace under WS(tau),
-// once per engine and window.
+// WSRun returns the WS(tau) result for the program, once per engine and
+// window. With an enabled observer the full trace is replayed
+// instrumented (per-reference events, exactly as before the curve
+// plane); otherwise curve mode reads the point off the one-pass grid
+// engine and cell mode replays the directive-stripped trace solo.
 func (e *Engine) WSRun(rc *RunCtx, program string, tau int) (vmsim.Result, error) {
-	k := Key{Kind: "ws-run", Program: program, Policy: "WS", Params: fmt.Sprintf("tau=%d", tau)}
+	k := Key{Kind: "ws-run", Program: program, Policy: "WS", Params: e.modeParams(fmt.Sprintf("tau=%d", tau))}
 	v, err := e.Memo(rc, k, func(comp *RunCtx, o *obs.Observer) (any, error) {
 		s, err := e.WSSweep(comp, program)
 		if err != nil {
 			return nil, err
 		}
-		return s.RunObserved(tau, o), nil
+		if o.Enabled() {
+			c, err := e.Compiled(comp, program)
+			if err != nil {
+				return nil, err
+			}
+			return vmsim.RunObserved(c.Trace, policy.NewWS(tau), o), nil
+		}
+		if e.cellMode {
+			c, err := e.Compiled(comp, program)
+			if err != nil {
+				return nil, err
+			}
+			return vmsim.Run(c.Trace.RefsOnly(), policy.NewWS(tau)), nil
+		}
+		return s.Run(tau)
 	})
 	if err != nil {
 		return vmsim.Result{}, err
@@ -263,15 +303,61 @@ type wsMin struct {
 }
 
 // WSMinST returns the working-set window minimizing space-time cost and
-// its full result, computed once per engine (the search replays the
-// trace at every ladder point, the most expensive per-program artifact).
+// its full result, computed once per engine. In curve mode the whole τ
+// ladder falls out of one grid-engine traversal; cell mode replays the
+// trace at every ladder point (formerly the most expensive per-program
+// artifact); an enabled observer keeps the historical instrumented
+// search — histogram-pruned ladder replays — so event streams are
+// unchanged.
 func (e *Engine) WSMinST(rc *RunCtx, program string) (int, vmsim.Result, error) {
-	v, err := e.Memo(rc, Key{Kind: "ws-min", Program: program, Policy: "WS"}, func(comp *RunCtx, o *obs.Observer) (any, error) {
+	k := Key{Kind: "ws-min", Program: program, Policy: "WS", Params: e.modeParams("")}
+	v, err := e.Memo(rc, k, func(comp *RunCtx, o *obs.Observer) (any, error) {
 		s, err := e.WSSweep(comp, program)
 		if err != nil {
 			return nil, err
 		}
-		tau, res := s.MinSTObserved(o)
+		if o.Enabled() {
+			c, err := e.Compiled(comp, program)
+			if err != nil {
+				return nil, err
+			}
+			taus := vmsim.DefaultTaus(c.Trace.Refs)
+			bestTau := taus[0]
+			best := vmsim.RunObserved(c.Trace, policy.NewWS(bestTau), o)
+			for _, tau := range taus[1:] {
+				// Histogram lower bound: ST >= MemSum + FaultService·faults;
+				// skip τ whose bound already exceeds the best (cheap pruning,
+				// winner identical to the unpruned strict-< scan).
+				lower := s.MemSum(tau) + float64(policy.FaultService)*float64(s.Faults(tau))
+				if lower >= best.SpaceTime {
+					continue
+				}
+				if r := vmsim.RunObserved(c.Trace, policy.NewWS(tau), o); r.SpaceTime < best.SpaceTime {
+					bestTau, best = tau, r
+				}
+			}
+			return wsMin{bestTau, best}, nil
+		}
+		if e.cellMode {
+			c, err := e.Compiled(comp, program)
+			if err != nil {
+				return nil, err
+			}
+			refs := c.Trace.RefsOnly()
+			taus := vmsim.DefaultTaus(c.Trace.Refs)
+			bestTau := taus[0]
+			best := vmsim.Run(refs, policy.NewWS(bestTau))
+			for _, tau := range taus[1:] {
+				if r := vmsim.Run(refs, policy.NewWS(tau)); r.SpaceTime < best.SpaceTime {
+					bestTau, best = tau, r
+				}
+			}
+			return wsMin{bestTau, best}, nil
+		}
+		tau, res, err := s.MinST()
+		if err != nil {
+			return nil, err
+		}
 		return wsMin{tau, res}, nil
 	})
 	if err != nil {
@@ -279,6 +365,53 @@ func (e *Engine) WSMinST(rc *RunCtx, program string) (int, vmsim.Result, error) 
 	}
 	m := v.(wsMin)
 	return m.tau, m.res, nil
+}
+
+// CDDetune runs the CD policy with every granted allocation scaled by
+// each factor — the whole detune grid as one memoized artifact. Curve
+// mode steps the entire grid in lockstep through one trace traversal
+// (sweep.Multi); cell mode and the instrumented path replay per factor,
+// in factor order. detune wraps the set's selector with the caller's
+// scaling rule. Results are in factors order.
+func (e *Engine) CDDetune(rc *RunCtx, program string, set workloads.Set, minAlloc int, factors []float64,
+	detune func(policy.ArmSelector, float64) policy.ArmSelector) ([]vmsim.Result, error) {
+	params := setParams(set, minAlloc) + ",factors=" + fmtFactors(factors)
+	k := Key{Kind: "cd-detune", Program: program, Set: set.Name, Policy: "CD", Params: e.modeParams(params)}
+	v, err := e.Memo(rc, k, func(comp *RunCtx, o *obs.Observer) (any, error) {
+		c, err := e.Compiled(comp, program)
+		if err != nil {
+			return nil, err
+		}
+		if o.Enabled() || e.cellMode {
+			out := make([]vmsim.Result, len(factors))
+			for i, f := range factors {
+				cd := policy.NewCD(detune(set.Selector(), f), minAlloc)
+				out[i] = vmsim.RunObserved(c.Trace, cd, o)
+			}
+			return out, nil
+		}
+		pols := make([]policy.Policy, len(factors))
+		for i, f := range factors {
+			pols[i] = policy.NewCD(detune(set.Selector(), f), minAlloc)
+		}
+		return sweep.Multi(c.Trace, pols)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]vmsim.Result), nil
+}
+
+// fmtFactors serializes a factor grid for a memo key.
+func fmtFactors(factors []float64) string {
+	var b strings.Builder
+	for i, f := range factors {
+		if i > 0 {
+			b.WriteByte(':')
+		}
+		fmt.Fprintf(&b, "%g", f)
+	}
+	return b.String()
 }
 
 // ExplainRun builds (once per engine and full parameterization) the

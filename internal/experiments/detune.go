@@ -7,7 +7,6 @@ import (
 	"cdmm/internal/directive"
 	"cdmm/internal/engine"
 	"cdmm/internal/policy"
-	"cdmm/internal/vmsim"
 )
 
 // Detune scales every granted ALLOCATE request by factor, modeling a
@@ -40,15 +39,13 @@ type DetuneRow struct {
 	ST      float64
 }
 
-// detuneJob is one (variant, factor) cell of the study grid.
-type detuneJob struct {
-	v Variant
-	f float64
-}
-
 // DetuneStudy runs each variant's canonical CD set with every X scaled by
-// each factor. The grid is flattened so every (variant, factor) cell is
-// an independent engine run; a nil engine uses engine.Default().
+// each factor. Each variant's whole factor grid is one engine run — in
+// curve mode the grid replays in lockstep through a single trace
+// traversal (sweep.Multi via the engine's CDDetune artifact), in cell
+// mode one replay per factor — and rows come back variant-major,
+// factor-minor, identical in either mode. A nil engine uses
+// engine.Default().
 func DetuneStudy(eng *engine.Engine, variants []Variant, factors []float64) ([]DetuneRow, error) {
 	if variants == nil {
 		variants = Table2Variants
@@ -57,29 +54,35 @@ func DetuneStudy(eng *engine.Engine, variants []Variant, factors []float64) ([]D
 		factors = []float64{0.5, 0.75, 0.9, 1.0, 1.1, 1.5, 2.0}
 	}
 	eng = engine.Or(eng)
-	jobs := make([]detuneJob, 0, len(variants)*len(factors))
-	for _, v := range variants {
-		for _, f := range factors {
-			jobs = append(jobs, detuneJob{v, f})
-		}
-	}
-	return engine.MapNamed(eng, "detune", jobs, func(rc *engine.RunCtx, j detuneJob) (DetuneRow, error) {
-		rc.Describe(fmt.Sprintf("%s/%s x%g", j.v.Program, j.v.Set, j.f), "CD detuned")
-		set, err := variantSet(eng, rc, j.v)
+	grids, err := engine.MapNamed(eng, "detune", variants, func(rc *engine.RunCtx, v Variant) ([]DetuneRow, error) {
+		rc.Describe(fmt.Sprintf("%s/%s x%d factors", v.Program, v.Set, len(factors)), "CD detuned")
+		set, err := variantSet(eng, rc, v)
 		if err != nil {
-			return DetuneRow{}, err
+			return nil, err
 		}
-		c, err := eng.Compiled(rc, j.v.Program)
+		results, err := eng.CDDetune(rc, v.Program, set, cdMinAlloc, factors, Detune)
 		if err != nil {
-			return DetuneRow{}, err
+			return nil, err
 		}
-		cd := policy.NewCD(Detune(set.Selector(), j.f), cdMinAlloc)
-		r := vmsim.RunObserved(c.Trace, cd, rc.Obs)
-		rc.Report(r)
-		return DetuneRow{
-			Variant: j.v, Factor: j.f, PF: r.Faults, MEM: r.MEM(), ST: r.ST(),
-		}, nil
+		rows := make([]DetuneRow, len(factors))
+		report := len(factors) - 1
+		for i, f := range factors {
+			rows[i] = DetuneRow{Variant: v, Factor: f, PF: results[i].Faults, MEM: results[i].MEM(), ST: results[i].ST()}
+			if f == 1.0 {
+				report = i // the /progress drill-down shows the baseline run
+			}
+		}
+		rc.Report(results[report])
+		return rows, nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DetuneRow, 0, len(variants)*len(factors))
+	for _, g := range grids {
+		out = append(out, g...)
+	}
+	return out, nil
 }
 
 // RenderDetune formats the study with one line per (program, factor).

@@ -13,6 +13,7 @@ import (
 
 	"cdmm/internal/attr"
 	"cdmm/internal/policy"
+	"cdmm/internal/sweep"
 	"cdmm/internal/trace"
 	"cdmm/internal/vmsim"
 )
@@ -61,12 +62,21 @@ func Analyze(tr *trace.Trace, opts Options) (*Report, error) {
 	r.CDRes, r.CD = vmsim.RunAttributed(tr, policy.NewCD(sel, minAlloc), nil)
 
 	refs := tr.RefsOnly()
-	lru := vmsim.NewLRUSweep(tr)
+	lru, err := sweep.NewLRU(tr)
+	if err != nil {
+		return nil, err // unreachable: in-memory cursors cannot fail
+	}
 	r.LRUFrames, _ = lru.MinST()
 	r.LRURes, r.LRU = vmsim.RunAttributed(refs, policy.NewLRU(r.LRUFrames), nil)
 
-	ws := vmsim.NewWSSweep(tr)
-	r.WSTau, _ = ws.MinST()
+	ws, err := sweep.NewWS(tr)
+	if err != nil {
+		return nil, err
+	}
+	r.WSTau, _, err = ws.MinST()
+	if err != nil {
+		return nil, err
+	}
 	r.WSRes, r.WS = vmsim.RunAttributed(refs, policy.NewWS(r.WSTau), nil)
 
 	for _, led := range []*attr.Ledger{r.CD, r.LRU, r.WS} {

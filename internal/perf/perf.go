@@ -20,6 +20,7 @@ import (
 	"cdmm/internal/kernel"
 	"cdmm/internal/obs"
 	"cdmm/internal/policy"
+	"cdmm/internal/sweep"
 	"cdmm/internal/trace"
 	"cdmm/internal/vmsim"
 	"cdmm/internal/workloads"
@@ -60,6 +61,14 @@ type Baseline struct {
 	// siteless, median of interleaved pair ratios. vmsim.Run never reads
 	// the side-band, so this must stay near zero.
 	AttrOverhead float64 `json:"attr_overhead"`
+	// SweepSpeedupLRU and SweepSpeedupWS are the wall-clock ratios of
+	// the per-cell Table 2 capacity columns (one vmsim replay per LRU
+	// allocation 1..V; one per τ of the default ladder) to the one-pass
+	// sweep curves that replace them, min-of-k timed on CONDUCT. The
+	// sweep plane's reason to exist is this ratio; Compare fails when it
+	// drops under SweepSpeedupMin.
+	SweepSpeedupLRU float64 `json:"sweep_speedup_lru"`
+	SweepSpeedupWS  float64 `json:"sweep_speedup_ws"`
 }
 
 // Schema is the current baseline file schema version.
@@ -74,6 +83,11 @@ const ServeOverheadMax = 0.02
 // carrying the provenance side-band may slow the un-instrumented fast
 // path by at most this fraction.
 const AttrOverheadMax = 0.03
+
+// SweepSpeedupMin is the acceptance floor for SweepSpeedupLRU and
+// SweepSpeedupWS: the one-pass sweep curve must beat replaying the
+// Table 2 capacity column cell by cell by at least this factor.
+const SweepSpeedupMin = 5.0
 
 // caseSpec defines the measured policy matrix. The CONDUCT trace is the
 // suite's largest (the hot path the tables and sweeps spend their time
@@ -129,6 +143,9 @@ func Collect(quick bool) (*Baseline, error) {
 		b.Cases = append(b.Cases, cs)
 	}
 	if err := collectBlockStep(b, target); err != nil {
+		return nil, err
+	}
+	if err := collectSweepCurves(b, target); err != nil {
 		return nil, err
 	}
 	if err := collectStreamDecode(b, target); err != nil {
@@ -189,6 +206,112 @@ func collectBlockStep(b *Baseline, target time.Duration) error {
 	cs.Faults = warm.Faults
 	b.Cases = append(b.Cases, cs)
 	return nil
+}
+
+// collectSweepCurves measures the one-pass sweep plane against the
+// per-cell replays it replaced. The LRU side builds the whole Mattson
+// miss-ratio curve (every allocation 1..V) in one traversal and is
+// timed against one vmsim replay per allocation; the WS side builds the
+// interval histograms plus the full default-τ-ladder curve against one
+// replay per τ. Fault anchors tie each curve to the corresponding
+// single-policy case (LRU/m=32, WS/tau=1000), and a differential check
+// pins curve results to per-cell results before anything is timed.
+func collectSweepCurves(b *Baseline, target time.Duration) error {
+	w, err := workloads.Get("CONDUCT")
+	if err != nil {
+		return err
+	}
+	c, err := workloads.Compile(w)
+	if err != nil {
+		return err
+	}
+	tr := c.Trace
+	v := c.V()
+	taus := vmsim.DefaultTaus(tr.Refs)
+
+	lru, err := sweep.NewLRU(tr)
+	if err != nil {
+		return err
+	}
+	ws, err := sweep.NewWS(tr)
+	if err != nil {
+		return err
+	}
+	// Differential anchors: the curves must agree with the cells they
+	// summarize, on this machine, before their timings mean anything.
+	if got, want := lru.Result(32), vmsim.Run(tr.RefsOnly(), policy.NewLRU(32)); got != want {
+		return fmt.Errorf("perf: LRU curve drifted from per-cell replay at m=32: %+v vs %+v", got, want)
+	}
+	wsCell := vmsim.Run(tr.RefsOnly(), policy.NewWS(1000))
+	wsCurve, err := ws.Run(1000)
+	if err != nil {
+		return err
+	}
+	if wsCurve != wsCell {
+		return fmt.Errorf("perf: WS curve drifted from per-cell replay at tau=1000: %+v vs %+v", wsCurve, wsCell)
+	}
+
+	cs := measure(target, tr.Refs, func() {
+		if _, err := sweep.NewLRU(tr); err != nil {
+			panic(err)
+		}
+	})
+	cs.Name = "sweep_lru_curve"
+	cs.Workload = "CONDUCT"
+	cs.Refs = tr.Refs
+	cs.Faults = lru.Faults(32)
+	b.Cases = append(b.Cases, cs)
+
+	cs = measure(target, tr.Refs, func() {
+		s, err := sweep.NewWS(tr)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := s.Curve(taus); err != nil {
+			panic(err)
+		}
+	})
+	cs.Name = "sweep_ws_curve"
+	cs.Workload = "CONDUCT"
+	cs.Refs = tr.Refs
+	cs.Faults = ws.Faults(1000)
+	b.Cases = append(b.Cases, cs)
+
+	// Speedups: min-of-k wall clock of the per-cell column over the
+	// curve, k small because the cell side replays the trace V (or
+	// len(taus)) times per sample.
+	curveLRU := minTime(3, func() {
+		if _, err := sweep.NewLRU(tr); err != nil {
+			panic(err)
+		}
+	})
+	cellLRU := minTime(2, func() { vmsim.SweepLRU(tr, v) })
+	curveWS := minTime(3, func() {
+		s, err := sweep.NewWS(tr)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := s.Curve(taus); err != nil {
+			panic(err)
+		}
+	})
+	cellWS := minTime(2, func() { vmsim.SweepWS(tr, taus) })
+	b.SweepSpeedupLRU = float64(cellLRU.Nanoseconds()) / float64(curveLRU.Nanoseconds())
+	b.SweepSpeedupWS = float64(cellWS.Nanoseconds()) / float64(curveWS.Nanoseconds())
+	return nil
+}
+
+// minTime returns the fastest of k timed runs of fn.
+func minTime(k int, fn func()) time.Duration {
+	var best time.Duration
+	for i := 0; i < k; i++ {
+		t0 := time.Now()
+		fn()
+		if d := time.Since(t0); i == 0 || d < best {
+			best = d
+		}
+	}
+	return best
 }
 
 // collectStreamDecode measures the chunked CDT3 decode path: a cursor
@@ -519,6 +642,27 @@ func Compare(baseline, current *Baseline, threshold float64) (string, []string) 
 		regressions = append(regressions,
 			fmt.Sprintf("site side-band overhead %+.2f%% > +%.0f%% (carrying provenance is no longer free on the fast path)",
 				100*current.AttrOverhead, 100*AttrOverheadMax))
+	}
+	// The speedup gates only arm once a baseline records them (older
+	// baselines carry zero), so growing the matrix never fails retroactively.
+	sweeps := []struct {
+		name      string
+		base, cur float64
+	}{
+		{"LRU", baseline.SweepSpeedupLRU, current.SweepSpeedupLRU},
+		{"WS", baseline.SweepSpeedupWS, current.SweepSpeedupWS},
+	}
+	for _, s := range sweeps {
+		if s.base == 0 && s.cur == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "sweep %s curve vs per-cell column: %.1fx (floor %.0fx)\n",
+			s.name, s.cur, SweepSpeedupMin)
+		if s.base > 0 && s.cur < SweepSpeedupMin {
+			regressions = append(regressions,
+				fmt.Sprintf("sweep %s curve speedup %.1fx < %.0fx (one-pass sweep no longer pays for itself)",
+					s.name, s.cur, SweepSpeedupMin))
+		}
 	}
 	return sb.String(), regressions
 }

@@ -107,6 +107,15 @@ func TestCollectQuick(t *testing.T) {
 		if c.NsPerRef <= 0 || c.Refs <= 0 || c.Faults <= 0 {
 			t.Fatalf("%s: implausible measurement %+v", c.Name, c)
 		}
+		if strings.HasPrefix(c.Name, "sweep_") {
+			// Curve construction materializes its whole result (Fenwick
+			// tree, interval histograms, per-allocation suffix sums), so it
+			// allocates by design; the bound keeps it amortized per ref.
+			if c.AllocsPerRef > 0.05 {
+				t.Fatalf("%s: curve build allocates %.4f allocs/ref, want amortized < 0.05", c.Name, c.AllocsPerRef)
+			}
+			continue
+		}
 		if c.Name == "kernel_step" {
 			// End-to-end case: each iteration synthesizes and materializes
 			// the tenant population, so it allocates by design — but the

@@ -202,7 +202,10 @@ func writeSimulation(b *strings.Builder, p *core.Program, eng *engine.Engine) er
 	if err != nil {
 		return err
 	}
-	tau, res := ws.MinST()
+	tau, res, err := ws.MinST()
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(b, "| best WS (τ=%d) | %d | %.2f | %.4g |\n", tau, res.Faults, res.MEM(), res.ST())
 	return nil
 }

@@ -63,7 +63,10 @@ func TimelineReport(eng *engine.Engine, p *core.Program, buckets int) (string, e
 		return "", err
 	}
 	m, _ := lru.MinST()
-	tau, _ := ws.MinST()
+	tau, _, err := ws.MinST()
+	if err != nil {
+		return "", err
+	}
 
 	// The CD row runs the directive stratum with the least space-time
 	// cost — the level the sweep command would crown. Ties break toward

@@ -1,0 +1,68 @@
+package sweep_test
+
+import (
+	"testing"
+
+	"cdmm/internal/mem"
+	"cdmm/internal/policy"
+	"cdmm/internal/sweep"
+	"cdmm/internal/trace"
+	"cdmm/internal/vmsim"
+)
+
+// FuzzSweep feeds arbitrary byte strings as reference traces plus a
+// fuzzer-chosen τ/capacity and checks the one-pass curve engines against
+// per-cell replay. Any divergence is a real bug in one of the engines.
+func FuzzSweep(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 1, 0, 3, 3, 2, 1, 0}, uint8(3))
+	f.Add([]byte{5, 5, 5, 5}, uint8(1))
+	f.Add([]byte{0}, uint8(200))
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(7))
+	f.Fuzz(func(t *testing.T, refs []byte, knob uint8) {
+		if len(refs) == 0 || len(refs) > 4096 {
+			return
+		}
+		tr := trace.New("fuzz")
+		for _, b := range refs {
+			tr.AddRef(mem.Page(b % 64))
+		}
+
+		lru, err := sweep.NewLRU(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := int(knob)%lru.V + 1
+		cell := vmsim.Run(tr.StripDirectives(), policy.NewLRU(m))
+		if got := lru.Result(m); got != cell {
+			t.Fatalf("LRU m=%d: curve %+v != cell %+v", m, got, cell)
+		}
+
+		ws, err := sweep.NewWS(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tau := int(knob) + 1
+		curve, err := ws.Run(tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wsCell := vmsim.Run(tr.RefsOnly(), policy.NewWS(tau))
+		if curve != wsCell {
+			t.Fatalf("WS tau=%d: curve %+v != cell %+v", tau, curve, wsCell)
+		}
+		if got := ws.Faults(tau); got != wsCell.Faults {
+			t.Fatalf("WS tau=%d: histogram faults %d != cell %d", tau, got, wsCell.Faults)
+		}
+
+		caps := []int{1, m}
+		fifo, err := sweep.FIFOCurve(tr, caps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range caps {
+			if cell := vmsim.Run(tr, policy.NewFIFO(c)); fifo[i] != cell {
+				t.Fatalf("FIFO m=%d: lockstep %+v != cell %+v", c, fifo[i], cell)
+			}
+		}
+	})
+}

@@ -1,0 +1,185 @@
+package sweep_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cdmm/internal/policy"
+	"cdmm/internal/sweep"
+	"cdmm/internal/vmsim"
+)
+
+var wsTaus = []int{1, 2, 3, 5, 10, 25, 80, 300, 2500}
+
+func TestWSHistogramsMatchBrute(t *testing.T) {
+	tr := randomTrace(5, 3000, 40)
+	s := mustWS(t, tr)
+	for _, tau := range wsTaus {
+		b := vmsim.Run(tr.RefsOnly(), policy.NewWS(tau))
+		if got := s.Faults(tau); got != b.Faults {
+			t.Errorf("tau=%d: faults %d != brute %d", tau, got, b.Faults)
+		}
+		if got := s.MemSum(tau); got != b.MemSum {
+			t.Errorf("tau=%d: MemSum %v != brute %v", tau, got, b.MemSum)
+		}
+		if got := s.MEM(tau); math.Abs(got-b.MEM()) > 1e-9 {
+			t.Errorf("tau=%d: MEM %v != brute %v", tau, got, b.MEM())
+		}
+	}
+}
+
+// TestWSCurveMatchesBrute checks the event-driven grid engine produces
+// the complete per-τ Result — including the fault-coupled space-time
+// integral and the working-set peak — identically to one replay per τ.
+func TestWSCurveMatchesBrute(t *testing.T) {
+	tr := randomTrace(9, 3000, 40)
+	s := mustWS(t, tr)
+	got, err := s.Curve(wsTaus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tau := range wsTaus {
+		b := vmsim.Run(tr.RefsOnly(), policy.NewWS(tau))
+		if got[i] != b {
+			t.Errorf("tau=%d:\n curve %+v\n brute %+v", tau, got[i], b)
+		}
+	}
+}
+
+func TestWSCurvePropertyRandom(t *testing.T) {
+	f := func(seed uint16, rawTau uint8) bool {
+		tr := randomTrace(uint64(seed)+1, 500, 20)
+		s, err := sweep.NewWS(tr)
+		if err != nil {
+			return false
+		}
+		taus := []int{1, int(rawTau)/4 + 1, int(rawTau) + 1, 3 * int(rawTau), 600}
+		got, err := s.Curve(taus)
+		if err != nil {
+			return false
+		}
+		for i, tau := range taus {
+			if tau < 1 {
+				tau = 1
+			}
+			if got[i] != vmsim.Run(tr.RefsOnly(), policy.NewWS(tau)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWSCurveDegenerate covers the grid-engine corners: τ covering the
+// whole trace (nothing ever expires), τ = 1 (everything expires next
+// step), duplicate and unsorted grids, single-page traces.
+func TestWSCurveDegenerate(t *testing.T) {
+	tr := randomTrace(13, 200, 6)
+	s := mustWS(t, tr)
+	grids := [][]int{
+		{1},
+		{200, 1, 200, 7, 1},
+		{100000},
+		{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+	for _, taus := range grids {
+		got, err := s.Curve(taus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, tau := range taus {
+			b := vmsim.Run(tr.RefsOnly(), policy.NewWS(tau))
+			if got[i] != b {
+				t.Fatalf("grid %v tau=%d: %+v != %+v", taus, tau, got[i], b)
+			}
+		}
+	}
+
+	one := randomTrace(1, 50, 1)
+	so := mustWS(t, one)
+	for _, tau := range []int{1, 3, 50} {
+		got, err := so.Run(tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b := vmsim.Run(one.RefsOnly(), policy.NewWS(tau)); got != b {
+			t.Fatalf("single-page tau=%d: %+v != %+v", tau, got, b)
+		}
+	}
+}
+
+func TestWSRunCaches(t *testing.T) {
+	tr := randomTrace(21, 800, 15)
+	s := mustWS(t, tr)
+	a, err := s.Run(37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run(37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("cache returned a different result: %+v vs %+v", a, b)
+	}
+}
+
+func TestWSTauForMEM(t *testing.T) {
+	tr := randomTrace(17, 2500, 30)
+	s := mustWS(t, tr)
+	for _, target := range []float64{1.0, 2.5, 4.0, 8.0, s.MEM(40)} {
+		tau := s.TauForMEM(target)
+		got := s.MEM(tau)
+		// No neighbouring τ may be meaningfully closer to the target.
+		for _, other := range []int{tau - 1, tau + 1} {
+			if other < 1 {
+				continue
+			}
+			if math.Abs(s.MEM(other)-target) < math.Abs(got-target)-1e-12 {
+				t.Errorf("target %v: τ=%d closer than chosen τ=%d", target, other, tau)
+			}
+		}
+	}
+}
+
+func TestWSMinTauForFaults(t *testing.T) {
+	tr := randomTrace(23, 2500, 30)
+	s := mustWS(t, tr)
+	target := s.Faults(100)
+	tau, ok := s.MinTauForFaults(target)
+	if !ok {
+		t.Fatal("achievable target reported unachievable")
+	}
+	if s.Faults(tau) > target {
+		t.Errorf("tau=%d faults %d exceed target %d", tau, s.Faults(tau), target)
+	}
+	if tau > 1 && s.Faults(tau-1) <= target {
+		t.Errorf("tau=%d is not minimal", tau)
+	}
+}
+
+// TestWSMinSTMatchesLadderScan pins MinST to the reference definition: a
+// strict-< scan of full replays over the default τ ladder, in ladder
+// order.
+func TestWSMinSTMatchesLadderScan(t *testing.T) {
+	tr := randomTrace(29, 2000, 25)
+	s := mustWS(t, tr)
+	tau, res, err := s.MinST()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestTau, best := 0, vmsim.Result{SpaceTime: math.Inf(1)}
+	for _, tt := range vmsim.DefaultTaus(tr.Refs) {
+		r := vmsim.Run(tr.RefsOnly(), policy.NewWS(tt))
+		if r.SpaceTime < best.SpaceTime {
+			bestTau, best = tt, r
+		}
+	}
+	if tau != bestTau || res != best {
+		t.Fatalf("MinST (%d, %+v) != ladder scan (%d, %+v)", tau, res, bestTau, best)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync"
 
 	"cdmm/internal/mem"
 )
@@ -531,45 +532,65 @@ func readCDT3(cr *countReader) (*Trace, error) {
 // --- streaming file source ------------------------------------------
 
 // FileSource replays a CDT3 file in O(chunk) memory: the header and
-// side tables are decoded once at open, and each cursor re-opens the
-// file and walks the chunk stream, holding one chunk's columns at a
-// time. It never materializes []Event.
+// side tables are decoded once at open, and each cursor walks the chunk
+// stream holding one chunk's columns at a time. It never materializes
+// []Event. The descriptor opened by OpenCDT3 is shared by all cursors —
+// each reads through its own io.SectionReader (positionless ReadAt), so
+// concurrent replays never contend on a seek offset — and retired
+// cursors park in a pool with their decode buffers, so repeated replays
+// re-walk the file without reallocating them.
 type FileSource struct {
 	path    string
+	f       *os.File
+	size    int64
 	meta    Meta
 	tables  SideTables
 	hdr     *cdt3Header
-	dataOff int64 // file offset of the first chunk
+	dataOff int64     // file offset of the first chunk
+	pool    sync.Pool // retired *fileCursor, decode buffers warm
 }
 
 // OpenCDT3 opens path as a streaming CDT3 source, decoding the header
 // and side tables eagerly (so Meta and Tables are O(1)) and nothing
-// else. The file itself is only held open while a cursor is walking it.
+// else. The returned source keeps the descriptor open for its cursors;
+// Close releases it (an unclosed source's descriptor is reclaimed by
+// the *os.File finalizer).
 func OpenCDT3(path string) (*FileSource, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
 	var magic [4]byte
 	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		f.Close()
 		return nil, decodeErr("magic", -1, err)
 	}
 	if string(magic[:]) != traceMagicV3 {
+		f.Close()
 		return nil, decodeErr("magic", -1, fmt.Errorf("bad magic %q (want %q)", magic[:], traceMagicV3))
 	}
 	return openCDT3(f, path)
 }
 
-// openCDT3 reads the header from f, positioned just past the magic.
+// openCDT3 reads the header from f, positioned just past the magic. It
+// takes ownership of f: the source keeps it on success, and it is
+// closed on error.
 func openCDT3(f *os.File, path string) (*FileSource, error) {
 	cr := &countReader{r: bufio.NewReader(f)}
 	hdr, err := readCDT3Header(cr)
 	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
 		return nil, err
 	}
 	return &FileSource{
 		path: path,
+		f:    f,
+		size: fi.Size(),
 		meta: Meta{
 			Name:     hdr.name,
 			Events:   int(hdr.events),
@@ -596,14 +617,15 @@ func OpenSource(path string) (Source, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
 	var magic [4]byte
 	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		f.Close()
 		return nil, decodeErr("magic", -1, err)
 	}
 	if string(magic[:]) == traceMagicV3 {
-		return openCDT3(f, path)
+		return openCDT3(f, path) // takes ownership of f
 	}
+	defer f.Close()
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, err
 	}
@@ -616,22 +638,36 @@ func (s *FileSource) Meta() Meta { return s.meta }
 // Tables implements Source.
 func (s *FileSource) Tables() *SideTables { return &s.tables }
 
-// Blocks implements Source. Each cursor owns an independent *os.File,
-// so concurrent replays of one FileSource do not share a read position.
+// Close releases the shared descriptor. Cursors opened before Close
+// keep working only until their buffered reader drains; walks started
+// after Close fail with the file-closed error. Close is idempotent in
+// the os.File sense (the second call returns os.ErrClosed).
+func (s *FileSource) Close() error { return s.f.Close() }
+
+// Blocks implements Source. Cursors read the shared descriptor through
+// an io.SectionReader (positionless ReadAt), so concurrent replays do
+// not share a read position, and the cursor itself — bufio reader plus
+// chunk decode buffers — is recycled through the source's pool: a
+// steady-state re-walk of the file costs one SectionReader, not a
+// reopened descriptor and freshly grown chunk columns.
 func (s *FileSource) Blocks(opts CursorOpts) Cursor {
-	c := &fileCursor{src: s, max: opts.MaxBlock, withSites: opts.WithSites && s.meta.HasSites}
-	f, err := os.Open(s.path)
-	if err != nil {
-		c.dec.fail(err)
-		return c
+	sec := io.NewSectionReader(s.f, s.dataOff, s.size-s.dataOff)
+	c, _ := s.pool.Get().(*fileCursor)
+	if c == nil {
+		c = &fileCursor{br: bufio.NewReader(sec)}
+	} else {
+		c.br.Reset(sec)
 	}
-	if _, err := f.Seek(s.dataOff, io.SeekStart); err != nil {
-		f.Close()
-		c.dec.fail(err)
-		return c
-	}
-	c.f = f
-	c.dec = cdt3ChunkReader{cr: &countReader{r: bufio.NewReader(f)}, hdr: s.hdr}
+	c.src = s
+	c.cr = countReader{r: c.br}
+	d := &c.dec
+	pages, dirs, runs := d.pages[:0], d.dirs[:0], d.runs[:0]
+	*d = cdt3ChunkReader{cr: &c.cr, hdr: s.hdr, pages: pages, dirs: dirs, runs: runs}
+	c.ri, c.di = 0, 0
+	c.max = opts.MaxBlock
+	c.withSites = opts.WithSites && s.meta.HasSites
+	c.siteCur = SiteCursor{}
+	c.closed = false
 	return c
 }
 
@@ -640,7 +676,8 @@ var _ Source = (*FileSource)(nil)
 // fileCursor serves blocks out of one decoded chunk at a time.
 type fileCursor struct {
 	src *FileSource
-	f   *os.File
+	br  *bufio.Reader
+	cr  countReader
 	dec cdt3ChunkReader
 
 	ri, di int // consumed refs/dirs of the current chunk
@@ -710,16 +747,18 @@ func (c *fileCursor) fillSites(n int) []int32 {
 // Err implements Cursor.
 func (c *fileCursor) Err() error { return c.dec.err }
 
-// Close implements Cursor.
+// Close implements Cursor: the cursor is parked in the source's pool
+// (decode buffers intact) for the next Blocks call to reuse. The shared
+// descriptor stays open — it belongs to the FileSource.
 func (c *fileCursor) Close() error {
 	if c.closed {
 		return nil
 	}
 	c.closed = true
-	if c.f == nil {
-		return nil
+	if c.src != nil {
+		c.src.pool.Put(c)
 	}
-	return c.f.Close()
+	return nil
 }
 
 var _ Cursor = (*fileCursor)(nil)

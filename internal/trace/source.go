@@ -139,14 +139,25 @@ func (t *Trace) Meta() Meta {
 	}
 }
 
-// Tables implements Source.
+// Tables implements Source. The result is cached so repeated replays of
+// one trace (policy grids, perf loops) allocate nothing here; the cache
+// invalidates when any side table grows (they are append-only, so equal
+// lengths imply identical content).
 func (t *Trace) Tables() *SideTables {
-	return &SideTables{
-		Allocs:     t.Allocs,
-		LockSets:   t.LockSets,
-		UnlockSets: t.UnlockSets,
-		Sites:      t.Sites,
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := t.tables
+	if c == nil || len(c.Allocs) != len(t.Allocs) || len(c.LockSets) != len(t.LockSets) ||
+		len(c.UnlockSets) != len(t.UnlockSets) || len(c.Sites) != len(t.Sites) {
+		c = &SideTables{
+			Allocs:     t.Allocs,
+			LockSets:   t.LockSets,
+			UnlockSets: t.UnlockSets,
+			Sites:      t.Sites,
+		}
+		t.tables = c
 	}
+	return c
 }
 
 // Blocks implements Source. The cursor serves zero-copy sub-slices of
@@ -156,6 +167,25 @@ func (t *Trace) Tables() *SideTables {
 func (t *Trace) Blocks(opts CursorOpts) Cursor {
 	c := t.blockCursor(opts)
 	return &c
+}
+
+// WalkBlocks streams the trace's blocks through fn (stopping early when
+// fn returns false) with the cursor kept on the stack: unlike Blocks,
+// whose interface return value forces the cursor to the heap, a whole
+// walk allocates nothing. Blocks are passed by value; their slices are
+// zero-copy views invalidated by the next iteration, exactly as with
+// Cursor.Next. The simulator's block loop takes this path for in-memory
+// traces, which is what lets steady-state replays report zero
+// allocations per run.
+func (t *Trace) WalkBlocks(opts CursorOpts, fn func(Block) bool) error {
+	c := t.blockCursor(opts)
+	var b Block
+	for c.Next(&b) {
+		if !fn(b) {
+			break
+		}
+	}
+	return c.Err()
 }
 
 // blockCursor returns the concrete cursor by value so the hot in-memory

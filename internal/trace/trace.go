@@ -94,6 +94,10 @@ type Trace struct {
 	// view has been requested is not supported.
 	mu    sync.Mutex
 	views *derived
+	// tables caches the Tables() result; valid while every side-table
+	// length is unchanged (the tables are append-only, so equal lengths
+	// mean identical content). Guarded by mu.
+	tables *SideTables
 }
 
 // derived holds the memoized views of one event-stream snapshot. pages

@@ -13,6 +13,7 @@ package vmsim
 
 import (
 	"fmt"
+	"sync"
 
 	"cdmm/internal/obs"
 	"cdmm/internal/policy"
@@ -141,6 +142,12 @@ func runFast(tr *trace.Trace, pol policy.Policy) Result {
 // updates per second on big traces.
 const progressChunk = 1 << 15
 
+// blockResultPool recycles the accumulator runBlocks hands to
+// BlockStepper policies. Passing &out through the interface makes the
+// compiler heap-allocate it, so without the pool every Run costs one
+// allocation even though the replay itself is allocation-free.
+var blockResultPool = sync.Pool{New: func() any { return new(policy.BlockResult) }}
+
 // applyDir feeds a block-closing directive event to the policy.
 func applyDir(pol policy.Policy, tb *trace.SideTables, e trace.Event) {
 	switch e.Kind {
@@ -183,16 +190,18 @@ func runBlocks(src trace.Source, pol policy.Policy, prog obs.ProgressFunc) (Resu
 	if prog != nil {
 		opts.MaxBlock = progressChunk
 	}
-	cur := src.Blocks(opts)
-	defer cur.Close()
 
-	var out policy.BlockResult
+	// The accumulator is fed to StepBlock through the BlockStepper
+	// interface, which forces it to the heap; pooling it keeps the
+	// steady-state replay at zero allocations.
+	out := blockResultPool.Get().(*policy.BlockResult)
+	*out = policy.BlockResult{}
+	defer blockResultPool.Put(out)
 	done := 0 // events consumed, for progress reporting
-	var b trace.Block
-	for cur.Next(&b) {
+	step := func(b trace.Block) bool {
 		switch {
 		case isBlock:
-			bst.StepBlock(b.Pages, &out)
+			bst.StepBlock(b.Pages, out)
 		case isStepper:
 			// One dynamic dispatch per reference instead of three.
 			for _, pg := range b.Pages {
@@ -236,6 +245,22 @@ func runBlocks(src trace.Source, pol policy.Policy, prog obs.ProgressFunc) (Resu
 			done += b.Events()
 			prog(done, meta.Events, out.VTime)
 		}
+		return true
+	}
+
+	var walkErr error
+	if tr, ok := src.(*trace.Trace); ok {
+		// In-memory traces walk with the cursor on the stack: the whole
+		// replay allocates nothing after the policy's Reset.
+		walkErr = tr.WalkBlocks(opts, step)
+	} else {
+		cur := src.Blocks(opts)
+		var b trace.Block
+		for cur.Next(&b) {
+			step(b)
+		}
+		walkErr = cur.Err()
+		cur.Close()
 	}
 	if prog != nil && done < meta.Events {
 		// The stream ended early (cursor error): report where it stopped.
@@ -252,7 +277,7 @@ func runBlocks(src trace.Source, pol policy.Policy, prog obs.ProgressFunc) (Resu
 		res.Degraded = cd.Degraded()
 		res.DegradedReason = cd.DegradedReason()
 	}
-	return res, cur.Err()
+	return res, walkErr
 }
 
 // SweepLRU runs LRU at every allocation in [1, maxFrames] and returns the
