@@ -28,6 +28,7 @@ func cmdBench(args []string) error {
 			c.Name, c.Workload, c.Refs, c.NsPerRef, c.AllocsPerRef, c.Faults)
 	}
 	fmt.Printf("serve overhead (no client attached): %+.2f%%\n", 100*cur.ServeOverhead)
+	fmt.Printf("kernel telemetry overhead (unwatched): %+.2f%%\n", 100*cur.TelemetryOverhead)
 	if *out != "" {
 		if err := perf.Save(*out, cur); err != nil {
 			return err

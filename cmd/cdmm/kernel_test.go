@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCmdKernelTelemetryFlags(t *testing.T) {
+	if err := cmdKernel([]string{"-tenants", "48", "-quick", "-top", "3", "-slo"}); err != nil {
+		t.Fatalf("kernel -top -slo: %v", err)
+	}
+}
+
+// TestCmdKernelTripWritesIncidents drives the incident path through the
+// CLI: the trip fault must fail the run (it injects violations by
+// design) and leave one deterministic JSONL dump per shard.
+func TestCmdKernelTripWritesIncidents(t *testing.T) {
+	dir := t.TempDir()
+	err := cmdKernel([]string{"-tenants", "48", "-quick", "-shards", "2", "-chaos", "trip", "-incident-dir", dir})
+	if err == nil || !strings.Contains(err.Error(), "invariant violations") {
+		t.Fatalf("trip chaos returned %v, want an invariant-violation failure", err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "incident-*.jsonl"))
+	if err != nil || len(names) != 2 {
+		t.Fatalf("incident dumps = %v (err %v), want one per shard", names, err)
+	}
+	for _, name := range names {
+		f, err := os.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		lines := 0
+		for sc.Scan() {
+			var v map[string]any
+			if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+				t.Errorf("%s line %d not JSON: %v", name, lines+1, err)
+			}
+			lines++
+		}
+		f.Close()
+		if lines < 2 {
+			t.Errorf("%s has %d lines, want header + events", name, lines)
+		}
+	}
+}
+
+func TestCmdKernelRejectsUnknownChaos(t *testing.T) {
+	if err := cmdKernel([]string{"-tenants", "8", "-quick", "-chaos", "sparks"}); err == nil {
+		t.Fatal("unknown chaos fault accepted")
+	}
+}

@@ -221,9 +221,13 @@ commands:
       -tenants N -seed S           population (default 1000)
       -frames F | -overcommit X    pool size, explicit or derived (default 4x)
       -pool cd|lru|ws -level N     per-tenant policy (default cd, level 2)
-      -chaos kill,oscillate,corrupt|all -intensity x   fault injection
+      -chaos kill,oscillate,corrupt,trip|all -intensity x   fault injection
       -checked=false               skip invariant verification
       -shards N                    fix the shard split (determines results)
+      -telemetry                   latency histograms + SLO burn rates
+      -top N                       heavy-hitter tenant tables (implies -telemetry)
+      -slo                         SLO compliance report (implies -telemetry)
+      -incident-dir DIR            write flight-recorder dumps (implies -telemetry)
   bench    [flags]          measure the simulation hot path (ns/ref,
                             allocs/ref, fault anchors) as JSON baselines
       -quick                       short windows (CI smoke mode)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cdmm/internal/attr"
+	"cdmm/internal/kernel"
 	"cdmm/internal/obs"
 	"cdmm/internal/serve"
 	"cdmm/internal/vmsim"
@@ -114,6 +115,16 @@ func (f *obsFlags) explainStore() *attr.Store {
 		return nil
 	}
 	return f.srv.Explain()
+}
+
+// kernelStore returns the live -serve server's kernel telemetry store,
+// or nil when no telemetry server is attached: a kernel run publishes
+// into it so /kernel and the cdmm_kernel_* scrape series go live.
+func (f *obsFlags) kernelStore() *kernel.TelemetryStore {
+	if f.srv == nil {
+		return nil
+	}
+	return f.srv.Kernel()
 }
 
 func (f *obsFlags) finish() error {

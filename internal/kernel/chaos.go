@@ -23,13 +23,19 @@ type Chaos struct {
 	// Corrupt perturbs a fraction of tenants' directive streams with the
 	// registered chaos injectors, exercising degraded mode under load.
 	Corrupt bool
+	// Trip injects a synthetic invariant violation ("chaos-trip") into
+	// each shard at a seeded quantum, exercising the violation path and
+	// the flight recorder end to end. Unlike the other faults it always
+	// fails the run — it is a test of the incident machinery, so the
+	// "all" chaos selection does not include it.
+	Trip bool
 	// Intensity is the usual [0, 1] dial; zero with any fault enabled
 	// defaults to 0.4.
 	Intensity float64
 }
 
 // enabled reports whether any fault is selected.
-func (c *Chaos) enabled() bool { return c.Kill || c.Oscillate || c.Corrupt }
+func (c *Chaos) enabled() bool { return c.Kill || c.Oscillate || c.Corrupt || c.Trip }
 
 // intensity returns the effective dial.
 func (c *Chaos) intensity() float64 {
@@ -66,6 +72,17 @@ func planTenantChaos(cfg *Config, t *tenant) {
 			t.corrupt = corruptInjectors[rng.Intn(len(corruptInjectors))]
 		}
 	}
+}
+
+// planShardTrip draws the shard's trip-wire quantum: every shard trips
+// once, early (quanta 8-31), so even quick scaled-down runs reach it. A
+// pure function of (seed, shard), independent of scheduling and -j.
+func planShardTrip(cfg *Config, shardIdx int) int64 {
+	if !cfg.Chaos.Trip {
+		return 0
+	}
+	rng := chaos.NewRand(chaos.DeriveSeed(cfg.Seed, "trip", strconv.Itoa(shardIdx)))
+	return 8 + int64(rng.Intn(24))
 }
 
 // materializeTenant builds (and, per the chaos plan, perturbs) the

@@ -73,6 +73,36 @@ type Config struct {
 	Checked bool
 	// Chaos selects fault injection.
 	Chaos Chaos
+
+	// Telemetry enables the distributional telemetry plane: latency
+	// histograms, heavy-hitter sketches, SLO counters and the flight
+	// recorder. Off (the default), the hot loop pays one nil check per
+	// hook; on, collection is shard-local integer state merged at the
+	// run barrier, so results stay byte-identical at any -j and
+	// identical to a telemetry-off run.
+	Telemetry bool
+	// TopK is the heavy-hitter sketch capacity per dimension. Default 64.
+	TopK int
+	// SLOAdmitWait is the admission-wait objective in virtual ticks: an
+	// admission within it counts good, beyond it bad. Default
+	// 256 × FaultService.
+	SLOAdmitWait int64
+	// SLOFaultRate is the fault-rate objective in faults per 1000
+	// references, scored per closed thrash window. Default ThrashRate/2.
+	SLOFaultRate float64
+	// SLOBudget is the allowed bad fraction per objective (the error
+	// budget burn rate divides by it). Default 0.1.
+	SLOBudget float64
+	// FlightEvents is the per-shard flight-recorder ring capacity.
+	// Default 64.
+	FlightEvents int
+	// MaxIncidents bounds captured incident dumps per shard; further
+	// triggers are counted, not stored. Default 4.
+	MaxIncidents int
+	// Publish, when non-nil, receives live telemetry during the run and
+	// the final view at the barrier (the serve plane's /kernel source).
+	// Setting it implies Telemetry.
+	Publish *TelemetryStore
 }
 
 // withDefaults returns a copy with the documented defaults applied.
@@ -115,6 +145,27 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRestarts <= 0 {
 		c.MaxRestarts = 1
+	}
+	if c.Publish != nil {
+		c.Telemetry = true
+	}
+	if c.TopK <= 0 {
+		c.TopK = 64
+	}
+	if c.SLOAdmitWait <= 0 {
+		c.SLOAdmitWait = 256 * policy.FaultService
+	}
+	if c.SLOFaultRate <= 0 {
+		c.SLOFaultRate = c.ThrashRate / 2
+	}
+	if c.SLOBudget <= 0 {
+		c.SLOBudget = 0.1
+	}
+	if c.FlightEvents <= 0 {
+		c.FlightEvents = 64
+	}
+	if c.MaxIncidents <= 0 {
+		c.MaxIncidents = 4
 	}
 	return c
 }
@@ -211,6 +262,14 @@ type Result struct {
 
 	Violations []Violation    `json:"violations,omitempty"`
 	PerTenant  []TenantResult `json:"perTenant,omitempty"`
+
+	// Telemetry is the merged telemetry snapshot (nil when the plane is
+	// off); Incidents are the flight-recorder dumps in shard order.
+	// Neither feeds back into the scheduler, so the fields above are
+	// byte-identical whether or not these are collected.
+	Telemetry        *TelemetrySnapshot `json:"telemetry,omitempty"`
+	Incidents        []Incident         `json:"incidents,omitempty"`
+	IncidentsDropped int64              `json:"incidentsDropped,omitempty"`
 }
 
 // FaultRate returns faults per 1000 references.
@@ -449,6 +508,8 @@ func Run(cfg Config, eng *engine.Engine) (*Result, error) {
 	var gaugesOnce sync.Once
 	var gauges *liveGauges
 
+	cfg.Publish.begin(fmt.Sprintf("kernel/%s tenants=%d seed=%d", cfg.Pool, cfg.Tenants, cfg.Seed), cfg, shards)
+
 	idxs := make([]int, shards)
 	for i := range idxs {
 		idxs[i] = i
@@ -523,9 +584,25 @@ func Run(cfg Config, eng *engine.Engine) (*Result, error) {
 		}
 		res.Starved += sr.Starved
 		res.Violations = append(res.Violations, sr.Violations...)
+		res.Incidents = append(res.Incidents, sr.Incidents...)
+		res.IncidentsDropped += sr.IncidentsDropped
 		for _, t := range sr.Tenants {
 			res.PerTenant[t.ID] = t
 		}
+	}
+	if cfg.Telemetry {
+		merged := newTelem(&cfg)
+		for _, sr := range shardResults {
+			merged.merge(sr.Telem)
+		}
+		res.Telemetry = merged.snapshot(&cfg)
+		cfg.Publish.publishFinal(&TelemetryView{
+			Run:              fmt.Sprintf("kernel/%s tenants=%d seed=%d", cfg.Pool, cfg.Tenants, cfg.Seed),
+			Final:            true,
+			Incidents:        len(res.Incidents),
+			IncidentsDropped: res.IncidentsDropped,
+			Telemetry:        res.Telemetry,
+		})
 	}
 	return res, nil
 }
@@ -547,4 +624,11 @@ func addShardMetrics(reg *obs.Registry, sr *shardResult) {
 	reg.Counter("kernel_thrash_events").Add(sr.ThrashEvents)
 	reg.Counter("kernel_starved").Add(sr.Starved)
 	reg.Counter("kernel_violations").Add(int64(len(sr.Violations)))
+	if sr.Telem != nil {
+		reg.Counter("kernel_slo_admit_good").Add(sr.Telem.admitGood)
+		reg.Counter("kernel_slo_admit_bad").Add(sr.Telem.admitBad)
+		reg.Counter("kernel_slo_rate_good").Add(sr.Telem.rateGood)
+		reg.Counter("kernel_slo_rate_bad").Add(sr.Telem.rateBad)
+		reg.Counter("kernel_incidents").Add(int64(len(sr.Incidents)))
+	}
 }

@@ -38,6 +38,10 @@ type shard struct {
 	winRefs, winFaults int64
 	thrashStreak       int
 
+	// trip is the chaos trip-wire: the quantum count at which an
+	// injected invariant violation fires (0 = never).
+	trip int64
+
 	remaining int // tenants not yet in a terminal state
 	totalRefs int64
 	doneRefs  int64
@@ -47,6 +51,9 @@ type shard struct {
 
 	o *obs.Observer // enabled observer (events), nil otherwise
 	g *liveGauges   // shared live tenant-state gauges, nil when unobserved
+
+	tl *telem      // telemetry collection state, nil when the plane is off
+	fr *flightRing // flight recorder, nil when the plane is off
 
 	res shardResult
 }
@@ -71,6 +78,10 @@ type shardResult struct {
 
 	Violations []Violation
 	Tenants    []TenantResult
+
+	Telem            *telem
+	Incidents        []Incident
+	IncidentsDropped int64
 }
 
 // action is runQuantum's outcome signal to the scheduler.
@@ -87,6 +98,11 @@ func newShard(cfg *Config, idx, frames int, specs []SynthSpec, o *obs.Observer, 
 	sh := &shard{cfg: cfg, idx: idx, frames: frames, o: o, g: g}
 	sh.res.Shard = idx
 	sh.res.Frames = frames
+	if cfg.Telemetry {
+		sh.tl = newTelem(cfg)
+		sh.fr = newFlightRing(cfg.FlightEvents)
+	}
+	sh.trip = planShardTrip(cfg, idx)
 	sh.osc = newOscillator(cfg, idx, frames)
 	sh.tenants = make([]*tenant, 0, len(specs))
 	sh.queue = make([]*tenant, 0, len(specs))
@@ -142,6 +158,9 @@ func (sh *shard) run(prog obs.ProgressFunc) *shardResult {
 		sh.pressureWave()
 		sh.thrashCheck()
 		quanta++
+		if sh.trip > 0 && int64(quanta) == sh.trip {
+			sh.violate("chaos-trip", "", fmt.Sprintf("injected invariant trip at quantum %d", quanta))
+		}
 		if quanta%64 == 0 {
 			if prog != nil {
 				done := sh.doneRefs
@@ -151,6 +170,9 @@ func (sh *shard) run(prog obs.ProgressFunc) *shardResult {
 				prog(int(done), int(sh.totalRefs), sh.clock)
 			}
 			sh.g.flush()
+			if sh.cfg.Publish != nil {
+				sh.cfg.Publish.publishShard(sh.idx, sh.tl.clone())
+			}
 		}
 	}
 	sh.finalChecks()
@@ -159,10 +181,14 @@ func (sh *shard) run(prog obs.ProgressFunc) *shardResult {
 	}
 	sh.g.flush()
 	sh.res.Clock = sh.clock
+	for _, t := range sh.tenants {
+		sh.telFlush(t) // residual buffered telemetry, in id order
+	}
 	sh.res.Tenants = make([]TenantResult, 0, len(sh.tenants))
 	for _, t := range sh.tenants {
 		sh.res.Tenants = append(sh.res.Tenants, t.result())
 	}
+	sh.res.Telem = sh.tl
 	return &sh.res
 }
 
@@ -255,6 +281,16 @@ func (sh *shard) admit(t *tenant) {
 	t.queueWait += sh.clock - t.queuedAt
 	if t.queueWait > sh.res.MaxQueueWait {
 		sh.res.MaxQueueWait = t.queueWait
+	}
+	if sh.tl != nil {
+		wait := sh.clock - t.queuedAt
+		sh.tl.admitWait.Observe(wait)
+		if wait <= sh.cfg.SLOAdmitWait {
+			sh.tl.admitGood++
+		} else {
+			sh.tl.admitBad++
+		}
+		sh.flight("admit", t.spec.Name, "")
 	}
 	t.state = StateRunning
 	t.admitSeq = sh.admitSeq
@@ -371,7 +407,33 @@ loop:
 	sh.clock += int64(executed)
 	t.readyAt = sh.clock + int64(out.Faults)*policy.FaultService
 	t.grace = false
+	if sh.tl != nil {
+		if out.Faults > 0 {
+			sh.tl.faultLat.Observe(int64(out.Faults) * policy.FaultService)
+			t.telFaults += int64(out.Faults)
+		}
+		sh.tl.occupancy.Observe(int64(t.pol.Resident()))
+		t.telMem += out.MemSum
+	}
 	return act
+}
+
+// telFlush drains a tenant's buffered fault/frame telemetry into the
+// heavy-hitter sketches. Called at scheduling transitions (suspend,
+// kill, finish) and at shard end — deterministic points in virtual
+// time — so the amortized sketch cost stays off the quantum path.
+func (sh *shard) telFlush(t *tenant) {
+	if sh.tl == nil {
+		return
+	}
+	if t.telFaults > 0 {
+		sh.tl.topFaults.Add(t.spec.ID, t.telFaults)
+		t.telFaults = 0
+	}
+	if t.telMem > 0 {
+		sh.tl.topFrames.Add(t.spec.ID, t.telMem)
+		t.telMem = 0
+	}
 }
 
 // parkPolicy folds the tenant's policy counters, audits its lock
@@ -397,6 +459,10 @@ func (sh *shard) parkPolicy(t *tenant) {
 func (sh *shard) noteDegraded(t *tenant) {
 	sh.res.Degraded++
 	sh.g.degrade()
+	if sh.fr != nil {
+		sh.flight("degrade", t.spec.Name, t.degradedReason)
+		sh.incident("degrade", t.spec.Name, t.degradedReason)
+	}
 	if sh.o != nil {
 		sh.o.Emit(obs.Event{Kind: obs.KindDegrade, T: sh.clock, Job: t.spec.Name,
 			Why: t.degradedReason})
@@ -418,6 +484,11 @@ func (sh *shard) suspend(t *tenant, why string) {
 	sh.res.Suspends++
 	sh.suspended = append(sh.suspended, t)
 	sh.g.suspendFromRunning()
+	if sh.tl != nil {
+		sh.telFlush(t)
+		sh.tl.topSheds.Add(t.spec.ID, 1)
+		sh.flight("suspend", t.spec.Name, why)
+	}
 	if sh.o != nil {
 		sh.o.Emit(obs.Event{Kind: obs.KindSwap, T: sh.clock, Job: t.spec.Name, Res: res, Why: why})
 	}
@@ -443,6 +514,10 @@ func (sh *shard) resume(t *tenant) {
 	sh.active = append(sh.active, t)
 	sh.res.Resumes++
 	sh.g.resumeToRunning()
+	if sh.tl != nil {
+		sh.tl.suspDur.Observe(wait)
+		sh.flight("resume", t.spec.Name, "")
+	}
 }
 
 // kill is the chaos tenant-kill: frames reclaimed, stream rewound to the
@@ -461,6 +536,12 @@ func (sh *shard) kill(t *tenant) {
 	sh.estSum -= t.spec.Est
 	sh.queue = append(sh.queue, t)
 	sh.g.killToQueued()
+	if sh.tl != nil {
+		sh.telFlush(t)
+		sh.tl.topSheds.Add(t.spec.ID, 1)
+		sh.flight("kill", t.spec.Name, fmt.Sprintf("restart %d", t.restarts))
+		sh.incident("kill", t.spec.Name, fmt.Sprintf("chaos kill at %d refs", t.refs))
+	}
 	if sh.o != nil {
 		sh.o.Emit(obs.Event{Kind: obs.KindSwap, T: sh.clock, Job: t.spec.Name, Why: "kill"})
 	}
@@ -470,6 +551,7 @@ func (sh *shard) kill(t *tenant) {
 // outstanding fault service into its finish time and freeing its trace
 // and policy.
 func (sh *shard) finish(t *tenant) {
+	sh.telFlush(t)
 	sh.parkPolicy(t)
 	sh.removeActive(t)
 	t.state = StateDone
@@ -487,6 +569,7 @@ func (sh *shard) finish(t *tenant) {
 	t.step = nil
 	t.cd = nil
 	sh.g.finishFromRunning()
+	sh.flight("finish", t.spec.Name, "")
 	if sh.o != nil {
 		sh.o.Emit(obs.Event{Kind: obs.KindJobDone, T: t.finished, Job: t.spec.Name,
 			Refs: int(t.refs), Faults: int(t.faults)})
@@ -504,6 +587,10 @@ func (sh *shard) shed(t *tenant, why string) {
 	sh.remaining--
 	sh.res.Shed++
 	sh.g.shedFromQueued()
+	if sh.tl != nil {
+		sh.tl.topSheds.Add(t.spec.ID, 1)
+		sh.flight("shed", t.spec.Name, why)
+	}
 }
 
 // removeActive deletes t from the active slice, keeping round-robin
@@ -534,6 +621,14 @@ func (sh *shard) pressureWave() {
 		return
 	}
 	sh.res.ReclaimWaves++
+	waveStart := over
+	waveGot := 0
+	defer func() {
+		if sh.tl != nil {
+			sh.tl.reclaimYield.Observe(int64(waveGot))
+			sh.flight("wave", "", fmt.Sprintf("over=%d reclaimed=%d", waveStart, waveGot))
+		}
+	}()
 	sh.scratch = append(sh.scratch[:0], sh.active...)
 	sort.Slice(sh.scratch, func(i, j int) bool {
 		a, b := sh.scratch[i], sh.scratch[j]
@@ -559,6 +654,7 @@ func (sh *shard) pressureWave() {
 		}
 		got := v.cd.Reclaim(excess)
 		over -= got
+		waveGot += got
 		sh.res.ReclaimedFrames += int64(got)
 	}
 	for over > 0 {
@@ -617,6 +713,13 @@ func (sh *shard) thrashCheck() {
 	}
 	rate := float64(sh.winFaults) * 1000 / float64(sh.winRefs)
 	sh.winRefs, sh.winFaults = 0, 0
+	if sh.tl != nil {
+		if rate <= sh.cfg.SLOFaultRate {
+			sh.tl.rateGood++
+		} else {
+			sh.tl.rateBad++
+		}
+	}
 	if rate <= sh.cfg.ThrashRate {
 		sh.thrashStreak = 0
 		return
@@ -715,9 +818,13 @@ func (sh *shard) finalChecks() {
 }
 
 // violate records an invariant violation (never panics: chaos runs must
-// degrade, not crash).
+// degrade, not crash) and fires the flight recorder.
 func (sh *shard) violate(kind, tenant, detail string) {
 	sh.res.Violations = append(sh.res.Violations, Violation{
 		Shard: sh.idx, Kind: kind, Tenant: tenant, Detail: detail,
 	})
+	if sh.fr != nil {
+		sh.flight("violation", tenant, kind+": "+detail)
+		sh.incident("violation", tenant, kind+": "+detail)
+	}
 }

@@ -1,0 +1,371 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"cdmm/internal/obs"
+)
+
+// The kernel's telemetry plane turns the end-of-run aggregates into
+// distributions: per-shard log2 histograms of the latencies that matter
+// operationally (fault service, admission wait, suspension duration,
+// reclaim yield, resident occupancy), space-saving heavy-hitter sketches
+// of the tenants responsible (by faults, frame usage and displacement),
+// and SLO counters with burn-rate accounting. Everything is collected in
+// shard-local integer state — no locks, no atomics, no floats in the hot
+// loop — and merged shard→global in shard order at the run barrier, so a
+// telemetry-on run is byte-identical at any -j and its core results are
+// byte-identical to a telemetry-off run.
+
+// telem is one shard's telemetry collection state. All values are in
+// virtual time (ticks) or integral units; nothing here depends on wall
+// clocks or scheduling, which is what keeps the plane deterministic.
+type telem struct {
+	faultLat     obs.Log2Hist // per-quantum fault-service latency (faults × FaultService)
+	admitWait    obs.Log2Hist // queued → admitted, per admission
+	suspDur      obs.Log2Hist // suspended → resumed, per resume
+	reclaimYield obs.Log2Hist // frames recovered per pressure wave (CD reclaim pass)
+	occupancy    obs.Log2Hist // resident frames of the stepped tenant, per quantum
+
+	topFaults *obs.TopK // tenant id → faults
+	topFrames *obs.TopK // tenant id → Σ resident-set integral (MemSum)
+	topSheds  *obs.TopK // tenant id → displacements (suspend/kill/shed)
+
+	// SLO counters. admission-wait objective: an admission is good when
+	// the tenant waited at most SLOAdmitWait ticks. fault-rate objective:
+	// a closed thrash window is good when its rate is at most
+	// SLOFaultRate faults per 1k references.
+	admitGood, admitBad int64
+	rateGood, rateBad   int64
+}
+
+func newTelem(cfg *Config) *telem {
+	return &telem{
+		topFaults: obs.NewTopK(cfg.TopK),
+		topFrames: obs.NewTopK(cfg.TopK),
+		topSheds:  obs.NewTopK(cfg.TopK),
+	}
+}
+
+// merge folds o into t. Shards partition tenants, so the sketch unions
+// are exact; merging in shard order makes the global state deterministic.
+func (t *telem) merge(o *telem) {
+	if o == nil {
+		return
+	}
+	t.faultLat.Merge(&o.faultLat)
+	t.admitWait.Merge(&o.admitWait)
+	t.suspDur.Merge(&o.suspDur)
+	t.reclaimYield.Merge(&o.reclaimYield)
+	t.occupancy.Merge(&o.occupancy)
+	t.topFaults.Merge(o.topFaults)
+	t.topFrames.Merge(o.topFrames)
+	t.topSheds.Merge(o.topSheds)
+	t.admitGood += o.admitGood
+	t.admitBad += o.admitBad
+	t.rateGood += o.rateGood
+	t.rateBad += o.rateBad
+}
+
+// clone deep-copies the shard state for lock-free publication: the shard
+// hands the store a private copy at progress cadence and keeps mutating
+// its own.
+func (t *telem) clone() *telem {
+	c := *t
+	c.topFaults = t.topFaults.Clone()
+	c.topFrames = t.topFrames.Clone()
+	c.topSheds = t.topSheds.Clone()
+	return &c
+}
+
+// Bound is an exact quantile bracket: the true quantile lies in [Lo, Hi].
+type Bound struct {
+	Lo int64 `json:"lo"`
+	Hi int64 `json:"hi"`
+}
+
+// HistSnapshot is one named histogram with its quantile brackets.
+type HistSnapshot struct {
+	Name string `json:"name"`
+	obs.Log2Snapshot
+	P50 Bound `json:"p50"`
+	P90 Bound `json:"p90"`
+	P99 Bound `json:"p99"`
+}
+
+// TopHitter is one heavy-hitter table row. True count ∈ [Count-Err, Count].
+type TopHitter struct {
+	Tenant string `json:"tenant"`
+	Count  int64  `json:"count"`
+	Err    int64  `json:"err,omitempty"`
+}
+
+// TopTable is one named heavy-hitter table, ranked best-first.
+type TopTable struct {
+	Name    string      `json:"name"`
+	Entries []TopHitter `json:"entries,omitempty"`
+}
+
+// SLOSnapshot is one objective's accounting. BurnRate is the rate at
+// which the error budget is being consumed: (bad/total)/budget, so 1.0
+// means exactly on budget and 10 means burning ten times too fast.
+type SLOSnapshot struct {
+	Name       string  `json:"name"`
+	Objective  string  `json:"objective"`
+	Good       int64   `json:"good"`
+	Bad        int64   `json:"bad"`
+	Compliance float64 `json:"compliance"`
+	BurnRate   float64 `json:"burnRate"`
+	Budget     float64 `json:"budget"`
+}
+
+// TelemetrySnapshot is the merged, export-ready telemetry of a run (or
+// of its live partial state mid-run): everything JSON-serializable,
+// everything derived from integer state, byte-identical at any -j.
+type TelemetrySnapshot struct {
+	Hists []HistSnapshot `json:"histograms"`
+	Top   []TopTable     `json:"top"`
+	SLOs  []SLOSnapshot  `json:"slos"`
+}
+
+// tenantName reproduces SynthSpec naming from the id alone, so heavy-
+// hitter tables render names without holding the population. Hand-rolled
+// (one allocation) because snapshotting renders hundreds of these.
+func tenantName(id int) string {
+	if id < 0 || id > 99999 {
+		return fmt.Sprintf("t%05d", id)
+	}
+	buf := [6]byte{'t', '0', '0', '0', '0', '0'}
+	for i := 5; id > 0; i-- {
+		buf[i] = byte('0' + id%10)
+		id /= 10
+	}
+	return string(buf[:])
+}
+
+func histSnap(name string, h *obs.Log2Hist) HistSnapshot {
+	s := HistSnapshot{Name: name, Log2Snapshot: h.Snapshot()}
+	s.P50.Lo, s.P50.Hi = h.Quantile(0.50)
+	s.P90.Lo, s.P90.Hi = h.Quantile(0.90)
+	s.P99.Lo, s.P99.Hi = h.Quantile(0.99)
+	return s
+}
+
+func topTable(name string, tk *obs.TopK) TopTable {
+	entries := tk.Entries()
+	tbl := TopTable{Name: name}
+	if len(entries) > 0 {
+		tbl.Entries = make([]TopHitter, 0, len(entries))
+	}
+	for _, e := range entries {
+		tbl.Entries = append(tbl.Entries, TopHitter{Tenant: tenantName(e.Key), Count: e.Count, Err: e.Err})
+	}
+	return tbl
+}
+
+func sloSnap(name, objective string, good, bad int64, budget float64) SLOSnapshot {
+	s := SLOSnapshot{Name: name, Objective: objective, Good: good, Bad: bad, Budget: budget}
+	if total := good + bad; total > 0 {
+		s.Compliance = float64(good) / float64(total)
+		s.BurnRate = (float64(bad) / float64(total)) / budget
+	}
+	return s
+}
+
+// snapshot renders the telem state for export. cfg supplies the SLO
+// objectives for self-describing output.
+func (t *telem) snapshot(cfg *Config) *TelemetrySnapshot {
+	return &TelemetrySnapshot{
+		Hists: []HistSnapshot{
+			histSnap("fault_latency", &t.faultLat),
+			histSnap("admit_wait", &t.admitWait),
+			histSnap("suspend_duration", &t.suspDur),
+			histSnap("reclaim_yield", &t.reclaimYield),
+			histSnap("occupancy", &t.occupancy),
+		},
+		Top: []TopTable{
+			topTable("faults", t.topFaults),
+			topTable("frames", t.topFrames),
+			topTable("displacements", t.topSheds),
+		},
+		SLOs: []SLOSnapshot{
+			sloSnap("admission_wait",
+				fmt.Sprintf("admission wait <= %d ticks", cfg.SLOAdmitWait),
+				t.admitGood, t.admitBad, cfg.SLOBudget),
+			sloSnap("fault_rate",
+				fmt.Sprintf("window fault rate <= %g/1k refs", cfg.SLOFaultRate),
+				t.rateGood, t.rateBad, cfg.SLOBudget),
+		},
+	}
+}
+
+// Hist returns the named histogram, or nil.
+func (ts *TelemetrySnapshot) Hist(name string) *HistSnapshot {
+	for i := range ts.Hists {
+		if ts.Hists[i].Name == name {
+			return &ts.Hists[i]
+		}
+	}
+	return nil
+}
+
+// Table returns the named heavy-hitter table, or nil.
+func (ts *TelemetrySnapshot) Table(name string) *TopTable {
+	for i := range ts.Top {
+		if ts.Top[i].Name == name {
+			return &ts.Top[i]
+		}
+	}
+	return nil
+}
+
+// RenderHists renders the histogram block of the run summary: count,
+// mean, the p50/p99 brackets and the max, one line per histogram.
+func (ts *TelemetrySnapshot) RenderHists() string {
+	var b strings.Builder
+	b.WriteString("telemetry (virtual ticks; quantiles are exact brackets):\n")
+	for i := range ts.Hists {
+		h := &ts.Hists[i]
+		fmt.Fprintf(&b, "  %-17s n=%-8d mean=%-12.1f p50=[%d,%d] p99=[%d,%d] max=%d\n",
+			h.Name, h.Count, h.Mean(), h.P50.Lo, h.P50.Hi, h.P99.Lo, h.P99.Hi, h.Max)
+	}
+	return b.String()
+}
+
+// RenderTop renders the heavy-hitter tables, at most n rows each.
+func (ts *TelemetrySnapshot) RenderTop(n int) string {
+	var b strings.Builder
+	for i := range ts.Top {
+		tbl := &ts.Top[i]
+		fmt.Fprintf(&b, "top %s:\n", tbl.Name)
+		rows := tbl.Entries
+		if len(rows) > n {
+			rows = rows[:n]
+		}
+		for r, e := range rows {
+			if e.Err > 0 {
+				fmt.Fprintf(&b, "  %2d. %-8s %12d (±%d)\n", r+1, e.Tenant, e.Count, e.Err)
+			} else {
+				fmt.Fprintf(&b, "  %2d. %-8s %12d\n", r+1, e.Tenant, e.Count)
+			}
+		}
+	}
+	return b.String()
+}
+
+// RenderSLO renders the SLO block: compliance and burn rate per
+// objective.
+func (ts *TelemetrySnapshot) RenderSLO() string {
+	var b strings.Builder
+	b.WriteString("slo:\n")
+	for _, s := range ts.SLOs {
+		fmt.Fprintf(&b, "  %-15s good=%d bad=%d compliance=%.4f burn-rate=%.2f (budget %g, %s)\n",
+			s.Name, s.Good, s.Bad, s.Compliance, s.BurnRate, s.Budget, s.Objective)
+	}
+	return b.String()
+}
+
+// TelemetryStore is the live publication point between a running kernel
+// and the serve plane: shards publish cloned partials at progress
+// cadence, Run publishes the final merged snapshot, and scrapes read a
+// merged view at any moment in between. The mutex is only ever touched
+// at the 64-quantum flush cadence and by scrapes — never per reference.
+type TelemetryStore struct {
+	mu        sync.Mutex
+	run       string
+	cfg       Config
+	shards    []*telem
+	final     *TelemetryView
+	published bool
+}
+
+// TelemetryView is what a scrape of the store sees: the run descriptor,
+// whether the run has completed, the incident count, and the merged
+// telemetry snapshot.
+type TelemetryView struct {
+	Run              string             `json:"run"`
+	Final            bool               `json:"final"`
+	Incidents        int                `json:"incidents"`
+	IncidentsDropped int64              `json:"incidentsDropped,omitempty"`
+	Telemetry        *TelemetrySnapshot `json:"telemetry"`
+}
+
+// NewTelemetryStore returns an empty store.
+func NewTelemetryStore() *TelemetryStore { return &TelemetryStore{} }
+
+// begin resets the store for a run.
+func (s *TelemetryStore) begin(run string, cfg Config, shards int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.run = run
+	s.cfg = cfg
+	s.shards = make([]*telem, shards)
+	s.final = nil
+	s.published = true
+}
+
+// publishShard installs a shard's cloned partial state.
+func (s *TelemetryStore) publishShard(i int, t *telem) {
+	if s == nil || t == nil {
+		return
+	}
+	s.mu.Lock()
+	if i >= 0 && i < len(s.shards) {
+		s.shards[i] = t
+	}
+	s.mu.Unlock()
+}
+
+// publishFinal installs the run's completed view.
+func (s *TelemetryStore) publishFinal(v *TelemetryView) {
+	if s == nil || v == nil {
+		return
+	}
+	s.mu.Lock()
+	s.final = v
+	s.mu.Unlock()
+}
+
+// Len reports how many runs have published into the store (0 or 1); the
+// serve plane uses it to keep scrapes byte-identical until a kernel
+// actually runs with telemetry.
+func (s *TelemetryStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.published {
+		return 1
+	}
+	return 0
+}
+
+// Snapshot returns the current view: the final view once the run has
+// completed, otherwise a merge of the shard partials published so far
+// (in shard order). Returns nil when nothing has been published.
+func (s *TelemetryStore) Snapshot() *TelemetryView {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.final != nil {
+		return s.final
+	}
+	if !s.published {
+		return nil
+	}
+	m := newTelem(&s.cfg)
+	for _, t := range s.shards {
+		if t != nil {
+			m.merge(t)
+		}
+	}
+	return &TelemetryView{Run: s.run, Telemetry: m.snapshot(&s.cfg)}
+}

@@ -241,35 +241,6 @@ func LinearBounds(start, step float64, n int) []float64 {
 	return out
 }
 
-func sortedKeys[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
-}
-
-// snapshot copies the registry's maps under the lock so rendering does
-// not hold the registration mutex while formatting.
-func (r *Registry) snapshot() (map[string]*Counter, map[string]*Gauge, map[string]*Histogram) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	cs := make(map[string]*Counter, len(r.counters))
-	for k, v := range r.counters {
-		cs[k] = v
-	}
-	gs := make(map[string]*Gauge, len(r.gauges))
-	for k, v := range r.gauges {
-		gs[k] = v
-	}
-	hs := make(map[string]*Histogram, len(r.hists))
-	for k, v := range r.hists {
-		hs[k] = v
-	}
-	return cs, gs, hs
-}
-
 // WriteJSON writes the registry snapshot as a single JSON object with
 // stable key order, suitable for the CLI's -metrics file.
 func (r *Registry) WriteJSON(w io.Writer) error {

@@ -31,9 +31,19 @@ func (r *Registry) WritePrometheus(w io.Writer, namespace string) error {
 // WritePrometheus renders an already-taken snapshot; see
 // Registry.WritePrometheus.
 func (s Snapshot) WritePrometheus(w io.Writer, namespace string) error {
-	b := make([]byte, 0, 4096)
+	_, err := w.Write(s.AppendPrometheus(make([]byte, 0, 4096), namespace))
+	return err
+}
+
+// AppendPrometheus appends the snapshot's exposition-format rendering to
+// b and returns the extended slice. Callers that reuse b (and the
+// Snapshot, via SnapshotInto) scrape without allocating.
+func (s Snapshot) AppendPrometheus(b []byte, namespace string) []byte {
+	// The sanitized metric name is rebuilt into a stack scratch buffer
+	// per metric so the scrape loop performs no string allocation.
+	var nameBuf [128]byte
 	for _, c := range s.Counters {
-		name := promName(namespace, c.Name, "_total")
+		name := appendPromName(nameBuf[:0], namespace, c.Name, "_total")
 		b = appendPromHeader(b, name, c.Name, "counter")
 		b = append(b, name...)
 		b = append(b, ' ')
@@ -41,7 +51,7 @@ func (s Snapshot) WritePrometheus(w io.Writer, namespace string) error {
 		b = append(b, '\n')
 	}
 	for _, g := range s.Gauges {
-		name := promName(namespace, g.Name, "")
+		name := appendPromName(nameBuf[:0], namespace, g.Name, "")
 		b = appendPromHeader(b, name, g.Name, "gauge")
 		b = append(b, name...)
 		b = append(b, ' ')
@@ -49,7 +59,7 @@ func (s Snapshot) WritePrometheus(w io.Writer, namespace string) error {
 		b = append(b, '\n')
 	}
 	for _, h := range s.Histograms {
-		name := promName(namespace, h.Name, "")
+		name := appendPromName(nameBuf[:0], namespace, h.Name, "")
 		b = appendPromHeader(b, name, h.Name, "histogram")
 		var cum int64
 		for _, bk := range h.Buckets {
@@ -74,19 +84,19 @@ func (s Snapshot) WritePrometheus(w io.Writer, namespace string) error {
 		b = strconv.AppendInt(b, h.Count, 10)
 		b = append(b, '\n')
 	}
-	_, err := w.Write(b)
-	return err
+	return b
 }
 
 // appendPromHeader emits the # HELP and # TYPE comment lines. The help
 // text is the registry-level metric name with exposition-format escaping
 // (backslash and newline), which documents the mapping from the sanitized
 // Prometheus name back to the simulator's own.
-func appendPromHeader(b []byte, name, origin, typ string) []byte {
+func appendPromHeader(b []byte, name []byte, origin, typ string) []byte {
 	b = append(b, `# HELP `...)
 	b = append(b, name...)
 	b = append(b, ' ')
-	b = appendPromHelp(b, "simulator metric "+origin)
+	b = append(b, `simulator metric `...)
+	b = appendPromHelp(b, origin)
 	b = append(b, '\n')
 	b = append(b, `# TYPE `...)
 	b = append(b, name...)
@@ -134,35 +144,44 @@ func EscapeLabelValue(s string) string {
 	return b.String()
 }
 
-// promName builds the exported metric name: namespace_name with every
-// character outside [a-zA-Z0-9_:] replaced by '_' (and a '_' prefix when
-// the name would start with a digit), plus an optional suffix — which is
-// not doubled when the metric name already carries it.
-func promName(namespace, name, suffix string) string {
-	var b strings.Builder
+// appendPromName builds the exported metric name into b: namespace_name
+// with every character outside [a-zA-Z0-9_:] replaced by '_' (and a '_'
+// prefix when the name would start with a digit), plus an optional
+// suffix — which is not doubled when the metric name already carries it.
+// Appending instead of returning a string keeps the scrape loop free of
+// per-metric allocations.
+func appendPromName(b []byte, namespace, name, suffix string) []byte {
+	start := len(b)
 	if namespace != "" {
-		b.WriteString(namespace)
-		b.WriteByte('_')
+		b = append(b, namespace...)
+		b = append(b, '_')
 	}
 	for i := 0; i < len(name); i++ {
 		c := name[i]
 		switch {
 		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
-			b.WriteByte(c)
+			b = append(b, c)
 		case c >= '0' && c <= '9':
-			if b.Len() == 0 {
-				b.WriteByte('_')
+			if len(b) == start {
+				b = append(b, '_')
 			}
-			b.WriteByte(c)
+			b = append(b, c)
 		default:
-			b.WriteByte('_')
+			b = append(b, '_')
 		}
 	}
-	out := b.String()
-	if suffix != "" && !strings.HasSuffix(out, suffix) {
-		out += suffix
+	if suffix != "" && !hasSuffix(b[start:], suffix) {
+		b = append(b, suffix...)
 	}
-	return out
+	return b
+}
+
+// hasSuffix is bytes.HasSuffix without the []byte(suffix) conversion.
+func hasSuffix(b []byte, suffix string) bool {
+	if len(b) < len(suffix) {
+		return false
+	}
+	return string(b[len(b)-len(suffix):]) == suffix
 }
 
 // appendPromFloat renders a float the way Prometheus clients expect:

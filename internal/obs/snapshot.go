@@ -1,6 +1,10 @@
 package obs
 
-import "math"
+import (
+	"cmp"
+	"math"
+	"slices"
+)
 
 // CounterSnapshot is one counter's name and value at snapshot time.
 type CounterSnapshot struct {
@@ -41,42 +45,63 @@ type Snapshot struct {
 	Histograms []HistogramSnapshot
 }
 
-// Snapshot reads all counters, gauges and histograms in one pass:
-// the registration maps are copied under the registry lock, then each
-// handle's atomics are read outside it. Values observed concurrently
-// with the snapshot land in it or in the next one; within a histogram
-// the count, sum and buckets may be skewed by in-flight observations
-// (each field is individually atomic), which is as consistent as a
-// scrape of a live system can be without stopping the world.
+// Snapshot reads all counters, gauges and histograms in one pass.
+// Values observed concurrently with the snapshot land in it or in the
+// next one; within a histogram the count, sum and buckets may be skewed
+// by in-flight observations (each field is individually atomic), which
+// is as consistent as a scrape of a live system can be without stopping
+// the world.
 func (r *Registry) Snapshot() Snapshot {
-	counters, gauges, hists := r.snapshot()
 	var s Snapshot
-	s.Counters = make([]CounterSnapshot, 0, len(counters))
-	for _, k := range sortedKeys(counters) {
-		s.Counters = append(s.Counters, CounterSnapshot{Name: k, Value: counters[k].Value()})
+	r.SnapshotInto(&s)
+	return s
+}
+
+// SnapshotInto refills s from the registry, reusing s's slices (and each
+// histogram entry's bucket slice) so a tight scrape loop that keeps one
+// Snapshot around stays allocation-free once capacities have grown to
+// fit. The handles' atomics are read under the registration lock, which
+// only contends with registration of new metrics — never the hot path.
+func (r *Registry) SnapshotInto(s *Snapshot) {
+	r.mu.Lock()
+	s.Counters = s.Counters[:0]
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: name, Value: c.Value()})
 	}
-	s.Gauges = make([]GaugeSnapshot, 0, len(gauges))
-	for _, k := range sortedKeys(gauges) {
-		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: k, Value: gauges[k].Value()})
+	s.Gauges = s.Gauges[:0]
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: name, Value: g.Value()})
 	}
-	s.Histograms = make([]HistogramSnapshot, 0, len(hists))
-	for _, k := range sortedKeys(hists) {
-		h := hists[k]
-		hs := HistogramSnapshot{
-			Name:    k,
+	// Truncating s.Histograms parks the previous entries — and their
+	// bucket slices — in the backing array; entry i's old bucket slice
+	// is captured before append overwrites slot i, so its capacity is
+	// recycled for the new entry.
+	old := s.Histograms
+	s.Histograms = s.Histograms[:0]
+	n := 0
+	for name, h := range r.hists {
+		var bks []BucketSnapshot
+		if n < len(old) {
+			bks = old[n].Buckets[:0]
+		}
+		for i := 0; i < h.NumBuckets(); i++ {
+			le, cnt := h.Bucket(i)
+			bks = append(bks, BucketSnapshot{LE: le, N: cnt})
+		}
+		s.Histograms = append(s.Histograms, HistogramSnapshot{
+			Name:    name,
 			Count:   h.Count(),
 			Sum:     h.Sum(),
 			Min:     h.Min(),
 			Max:     h.Max(),
-			Buckets: make([]BucketSnapshot, h.NumBuckets()),
-		}
-		for i := range hs.Buckets {
-			le, n := h.Bucket(i)
-			hs.Buckets[i] = BucketSnapshot{LE: le, N: n}
-		}
-		s.Histograms = append(s.Histograms, hs)
+			Buckets: bks,
+		})
+		n++
 	}
-	return s
+	r.mu.Unlock()
+	slices.SortFunc(s.Counters, func(a, b CounterSnapshot) int { return cmp.Compare(a.Name, b.Name) })
+	slices.SortFunc(s.Gauges, func(a, b GaugeSnapshot) int { return cmp.Compare(a.Name, b.Name) })
+	slices.SortFunc(s.Histograms, func(a, b HistogramSnapshot) int { return cmp.Compare(a.Name, b.Name) })
 }
 
 // Infinite reports whether the bucket is the +Inf overflow bucket.

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestTopKExactBelowCapacity(t *testing.T) {
+	tk := NewTopK(8)
+	tk.Add(3, 10)
+	tk.Add(1, 30)
+	tk.Add(2, 20)
+	tk.Add(3, 5)
+	got := tk.Entries()
+	want := []TopEntry{{Key: 1, Count: 30}, {Key: 2, Count: 20}, {Key: 3, Count: 15}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("entries = %+v, want %+v", got, want)
+	}
+}
+
+// TestTopKGuarantee checks the space-saving invariants against exact
+// counts on a skewed random stream: every entry's true total lies in
+// [Count-Err, Count], and any key with true total > N/k is tracked.
+func TestTopKGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const k = 16
+	tk := NewTopK(k)
+	truth := map[int]int64{}
+	var total int64
+	for i := 0; i < 20000; i++ {
+		// Zipf-ish: a few heavy keys over a long tail.
+		var key int
+		if rng.Intn(3) == 0 {
+			key = rng.Intn(4)
+		} else {
+			key = 4 + rng.Intn(500)
+		}
+		inc := int64(1 + rng.Intn(5))
+		tk.Add(key, inc)
+		truth[key] += inc
+		total += inc
+	}
+	tracked := map[int]TopEntry{}
+	for _, e := range tk.Entries() {
+		tracked[e.Key] = e
+		if tr := truth[e.Key]; tr > e.Count || tr < e.Count-e.Err {
+			t.Errorf("key %d: true %d outside [%d, %d]", e.Key, tr, e.Count-e.Err, e.Count)
+		}
+	}
+	for key, tr := range truth {
+		if tr > total/int64(k) {
+			if _, ok := tracked[key]; !ok {
+				t.Errorf("heavy hitter %d (true %d > N/k=%d) missing from sketch", key, tr, total/int64(k))
+			}
+		}
+	}
+}
+
+// TestTopKMergeDisjointExact: shards partition the key space, so merging
+// their sketches is an exact union and deterministic in any fixed order.
+func TestTopKMergeDisjointExact(t *testing.T) {
+	a, b := NewTopK(4), NewTopK(4)
+	a.Add(1, 100)
+	a.Add(2, 50)
+	b.Add(10, 75)
+	b.Add(11, 60)
+	b.Add(12, 5)
+	m := a.Clone()
+	m.Merge(b)
+	got := m.Entries()
+	want := []TopEntry{{Key: 1, Count: 100}, {Key: 10, Count: 75}, {Key: 11, Count: 60}, {Key: 2, Count: 50}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged = %+v, want %+v", got, want)
+	}
+	// Merge must keep the slot index consistent for further Adds.
+	m.Add(10, 30)
+	if e := m.Entries()[0]; e.Key != 10 || e.Count != 105 {
+		t.Fatalf("post-merge Add landed wrong: %+v", e)
+	}
+}
+
+func TestTopKEvictionDeterministic(t *testing.T) {
+	run := func() []TopEntry {
+		tk := NewTopK(2)
+		tk.Add(5, 3)
+		tk.Add(7, 3) // tie with key 5: smaller key evicts first
+		tk.Add(9, 1) // evicts key 5, inherits err=3
+		return tk.Entries()
+	}
+	got := run()
+	want := []TopEntry{{Key: 9, Count: 4, Err: 3}, {Key: 7, Count: 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("entries = %+v, want %+v", got, want)
+	}
+	for i := 0; i < 10; i++ {
+		if again := run(); !reflect.DeepEqual(again, got) {
+			t.Fatal("eviction is not deterministic across runs")
+		}
+	}
+}
+
+func TestTopKClone(t *testing.T) {
+	tk := NewTopK(4)
+	tk.Add(1, 5)
+	c := tk.Clone()
+	c.Add(1, 5)
+	c.Add(2, 1)
+	if tk.Entries()[0].Count != 5 || len(tk.Entries()) != 1 {
+		t.Error("clone mutated the original")
+	}
+	if c.Entries()[0].Count != 10 {
+		t.Error("clone lost state")
+	}
+}

@@ -61,6 +61,13 @@ type Baseline struct {
 	// siteless, median of interleaved pair ratios. vmsim.Run never reads
 	// the side-band, so this must stay near zero.
 	AttrOverhead float64 `json:"attr_overhead"`
+	// TelemetryOverhead is the fractional cost the kernel pays for the
+	// full telemetry plane (histograms, heavy-hitter sketches, SLO
+	// counters, flight recorder) when nobody is watching: (telemetry-on -
+	// plain) / plain over full kernel runs, median of interleaved pair
+	// ratios. The plane is shard-local integer state, so this must stay
+	// small.
+	TelemetryOverhead float64 `json:"telemetry_overhead"`
 	// SweepSpeedupLRU and SweepSpeedupWS are the wall-clock ratios of
 	// the per-cell Table 2 capacity columns (one vmsim replay per LRU
 	// allocation 1..V; one per τ of the default ladder) to the one-pass
@@ -83,6 +90,11 @@ const ServeOverheadMax = 0.02
 // carrying the provenance side-band may slow the un-instrumented fast
 // path by at most this fraction.
 const AttrOverheadMax = 0.03
+
+// TelemetryOverheadMax is the acceptance ceiling for TelemetryOverhead:
+// an unwatched kernel may pay at most this fraction for collecting its
+// telemetry plane.
+const TelemetryOverheadMax = 0.03
 
 // SweepSpeedupMin is the acceptance floor for SweepSpeedupLRU and
 // SweepSpeedupWS: the one-pass sweep curve must beat replaying the
@@ -158,6 +170,9 @@ func Collect(quick bool) (*Baseline, error) {
 		return nil, err
 	}
 	if err := collectKernelStep(b, target); err != nil {
+		return nil, err
+	}
+	if err := collectTelemetryOverhead(b, target); err != nil {
 		return nil, err
 	}
 	return b, nil
@@ -530,6 +545,79 @@ func collectKernelStep(b *Baseline, target time.Duration) error {
 	return nil
 }
 
+// collectTelemetryOverhead measures the kernel plain and with the full
+// telemetry plane on (no store attached — the unwatched configuration),
+// interleaving pairs and taking the median ratio like the other
+// overhead gates. It also anchors that telemetry does not perturb the
+// run: the instrumented kernel's fault count must match the plain one.
+// Full-length workloads, unlike kernel_step's quarter-scale ones: the
+// plane's cost is dominated by the fixed end-of-run merge and snapshot,
+// so a short scaled run would overstate the ratio a real population
+// pays.
+func collectTelemetryOverhead(b *Baseline, target time.Duration) error {
+	plain := kernel.Config{Tenants: 96, Shards: 2, Seed: 1}
+	instr := plain
+	instr.Telemetry = true
+	eng := engine.New(1)
+	plainRes, err := kernel.Run(plain, eng)
+	if err != nil {
+		return err
+	}
+	instrRes, err := kernel.Run(instr, eng)
+	if err != nil {
+		return err
+	}
+	if instrRes.Faults != plainRes.Faults || instrRes.Refs != plainRes.Refs {
+		return fmt.Errorf("perf: telemetry perturbed the kernel: pf %d refs %d, want pf %d refs %d",
+			instrRes.Faults, instrRes.Refs, plainRes.Faults, plainRes.Refs)
+	}
+	if instrRes.Telemetry == nil {
+		return fmt.Errorf("perf: telemetry on but no snapshot collected")
+	}
+	// Unrecorded warm-up pairs grow the heap to its steady state before
+	// anything is timed — the first instrumented runs otherwise pay the
+	// one-time heap growth for the plane's buffers and bias the ratio.
+	for i := 0; i < 2; i++ {
+		if _, err := kernel.Run(plain, eng); err != nil {
+			return err
+		}
+		if _, err := kernel.Run(instr, eng); err != nil {
+			return err
+		}
+	}
+	runtime.GC()
+	// Alternate plain and instrumented runs and compare the *minimum*
+	// time of each: both workloads are deterministic, so the minimum over
+	// many runs converges on the true cost, and scheduler or GC noise —
+	// which only ever adds time — cannot bias the ratio the way it smears
+	// a median of pair ratios on a loaded machine.
+	// The window is longer than the other collectors': each sample is a
+	// whole kernel run, and the min needs enough draws on both sides to
+	// land in an uncontended scheduling slot.
+	minOff, minOn := time.Duration(1<<62), time.Duration(1<<62)
+	pairs := 0
+	deadline := time.Now().Add(6 * target)
+	for pairs < 32 || time.Now().Before(deadline) {
+		t0 := time.Now()
+		if _, err := kernel.Run(plain, eng); err != nil {
+			return err
+		}
+		if d := time.Since(t0); d < minOff {
+			minOff = d
+		}
+		t0 = time.Now()
+		if _, err := kernel.Run(instr, eng); err != nil {
+			return err
+		}
+		if d := time.Since(t0); d < minOn {
+			minOn = d
+		}
+		pairs++
+	}
+	b.TelemetryOverhead = float64(minOn.Nanoseconds())/float64(minOff.Nanoseconds()) - 1
+	return nil
+}
+
 // measure times fn over a wall-clock window and reports per-ref cost and
 // steady-state allocation rate.
 func measure(target time.Duration, refs int, fn func()) Case {
@@ -642,6 +730,13 @@ func Compare(baseline, current *Baseline, threshold float64) (string, []string) 
 		regressions = append(regressions,
 			fmt.Sprintf("site side-band overhead %+.2f%% > +%.0f%% (carrying provenance is no longer free on the fast path)",
 				100*current.AttrOverhead, 100*AttrOverheadMax))
+	}
+	fmt.Fprintf(&sb, "kernel telemetry overhead (unwatched): %+.2f%% (ceiling +%.0f%%)\n",
+		100*current.TelemetryOverhead, 100*TelemetryOverheadMax)
+	if current.TelemetryOverhead > TelemetryOverheadMax {
+		regressions = append(regressions,
+			fmt.Sprintf("kernel telemetry overhead %+.2f%% > +%.0f%% (the unwatched telemetry plane is no longer near-free)",
+				100*current.TelemetryOverhead, 100*TelemetryOverheadMax))
 	}
 	// The speedup gates only arm once a baseline records them (older
 	// baselines carry zero), so growing the matrix never fails retroactively.

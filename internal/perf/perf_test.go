@@ -136,9 +136,9 @@ func TestCollectQuick(t *testing.T) {
 		// the instrumented-vs-plain *ratios* are meaningless in this
 		// build. Keep the structural, allocation and anchor checks; drop
 		// only the overhead ceilings.
-		t.Logf("race build: skipping overhead ceilings (measured serve %+.2f%%, attr %+.2f%%)",
-			100*b.ServeOverhead, 100*b.AttrOverhead)
-		b.ServeOverhead, b.AttrOverhead = 0, 0
+		t.Logf("race build: skipping overhead ceilings (measured serve %+.2f%%, attr %+.2f%%, telemetry %+.2f%%)",
+			100*b.ServeOverhead, 100*b.AttrOverhead, 100*b.TelemetryOverhead)
+		b.ServeOverhead, b.AttrOverhead, b.TelemetryOverhead = 0, 0, 0
 	}
 	if b.ServeOverhead > ServeOverheadMax {
 		t.Errorf("unwatched serve observer costs %+.2f%% ns/ref, ceiling +%.0f%%",
@@ -148,16 +148,37 @@ func TestCollectQuick(t *testing.T) {
 		t.Errorf("site side-band costs %+.2f%% ns/ref on the fast path, ceiling +%.0f%%",
 			100*b.AttrOverhead, 100*AttrOverheadMax)
 	}
+	if b.TelemetryOverhead > TelemetryOverheadMax {
+		t.Errorf("unwatched kernel telemetry costs %+.2f%%, ceiling +%.0f%%",
+			100*b.TelemetryOverhead, 100*TelemetryOverheadMax)
+	}
 	// A second collection must reproduce the fault anchors exactly.
 	b2, err := Collect(true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if raceEnabled {
-		b2.ServeOverhead, b2.AttrOverhead = 0, 0
+		b2.ServeOverhead, b2.AttrOverhead, b2.TelemetryOverhead = 0, 0, 0
 	}
 	if _, regs := Compare(b, b2, 10); len(regs) != 0 { // huge threshold: only anchors can fail
 		t.Fatalf("fault anchors unstable: %v", regs)
+	}
+}
+
+func TestCompareFlagsTelemetryOverhead(t *testing.T) {
+	old := mkBaseline(Case{Name: "LRU", NsPerRef: 10, AllocsPerRef: 0, Faults: 100})
+	cur := mkBaseline(Case{Name: "LRU", NsPerRef: 10, AllocsPerRef: 0, Faults: 100})
+	cur.TelemetryOverhead = TelemetryOverheadMax * 2
+	report, regs := Compare(old, cur, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "telemetry overhead") {
+		t.Fatalf("want one telemetry-overhead regression, got %v", regs)
+	}
+	if !strings.Contains(report, "kernel telemetry overhead") {
+		t.Fatalf("report missing telemetry-overhead line:\n%s", report)
+	}
+	cur.TelemetryOverhead = TelemetryOverheadMax / 2
+	if _, regs := Compare(old, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("in-budget telemetry overhead flagged: %v", regs)
 	}
 }
 

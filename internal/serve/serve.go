@@ -26,11 +26,13 @@ import (
 	"net/http"
 	httppprof "net/http/pprof"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"cdmm/internal/attr"
 	"cdmm/internal/engine"
+	"cdmm/internal/kernel"
 	"cdmm/internal/obs"
 )
 
@@ -61,6 +63,11 @@ type Options struct {
 	// the per-site scrape series (a fresh, empty store when nil — an
 	// empty store exports nothing and costs nothing).
 	Explain *attr.Store
+	// Kernel is the multiprogrammed kernel's telemetry store behind
+	// /kernel and the cdmm_kernel_* scrape series (a fresh, empty store
+	// when nil). Pass it as kernel.Config.Publish to watch a run live; an
+	// empty store exports nothing and keeps scrapes byte-identical.
+	Kernel *kernel.TelemetryStore
 }
 
 // Server is the telemetry daemon. Construct with New, then Start.
@@ -76,6 +83,14 @@ type Server struct {
 
 	// lastScrape is the unix-nano time of the latest /metrics hit.
 	lastScrape atomic.Int64
+
+	// The scrape path reuses its snapshot and buffers across scrapes
+	// (under scrapeMu), so a steady scraper costs no allocations per hit
+	// in the registry section regardless of how many metrics exist.
+	scrapeMu   sync.Mutex
+	scrapeSnap obs.Snapshot
+	scrapeRaw  []byte
+	scrapeBuf  bytes.Buffer
 
 	// ctx is canceled by Shutdown so SSE handlers unblock before
 	// http.Server.Shutdown waits for them.
@@ -103,6 +118,9 @@ func New(opt Options) *Server {
 	if opt.Explain == nil {
 		opt.Explain = attr.NewStore()
 	}
+	if opt.Kernel == nil {
+		opt.Kernel = kernel.NewTelemetryStore()
+	}
 	log := opt.Log
 	if log == nil {
 		log = slog.New(discardHandler{})
@@ -117,6 +135,7 @@ func New(opt Options) *Server {
 	mux.HandleFunc("GET /runs/{id}", s.handleRun)
 	mux.HandleFunc("GET /events", s.handleEvents)
 	mux.HandleFunc("GET /explain", s.handleExplain)
+	mux.HandleFunc("GET /kernel", s.handleKernel)
 	if opt.Pprof {
 		mux.HandleFunc("/debug/pprof/", httppprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
@@ -209,12 +228,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.lastScrape.Store(time.Now().UnixNano())
-	var buf bytes.Buffer
-	s.opt.Registry.WritePrometheus(&buf, s.opt.Namespace)
-	s.writeServeMetrics(&buf)
-	s.writeExplainMetrics(&buf)
+	s.scrapeMu.Lock()
+	defer s.scrapeMu.Unlock()
+	s.renderMetrics(&s.scrapeBuf)
 	w.Header().Set("Content-Type", obs.PromContentType)
-	w.Write(buf.Bytes())
+	w.Write(s.scrapeBuf.Bytes())
+}
+
+// renderMetrics assembles the full exposition into buf (reset first).
+// The registry section goes through the pooled snapshot and byte slice,
+// which the alloc test pins at zero per-scrape allocations; callers hold
+// scrapeMu when using the server's pooled state.
+func (s *Server) renderMetrics(buf *bytes.Buffer) {
+	buf.Reset()
+	s.opt.Registry.SnapshotInto(&s.scrapeSnap)
+	s.scrapeRaw = s.scrapeSnap.AppendPrometheus(s.scrapeRaw[:0], s.opt.Namespace)
+	buf.Write(s.scrapeRaw)
+	s.writeServeMetrics(buf)
+	s.writeExplainMetrics(buf)
+	s.writeKernelMetrics(buf)
 }
 
 // writeServeMetrics appends the server's own series to a scrape.
